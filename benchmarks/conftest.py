@@ -1,0 +1,51 @@
+"""Shared state for the figure benchmarks.
+
+Figures 10, 12 and 13 sweep the same nineteen SPEC proxies, so their
+suite of simulations runs once per session and is shared.  Benchmark
+sizes are reduced relative to the experiment-module defaults so the whole
+bench suite completes in minutes; pass ``--full-figures`` for the larger
+defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.spec_runs import run_spec_suite
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-figures",
+        action="store_true",
+        default=False,
+        help="run figure benchmarks at full experiment sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request):
+    """1.0 = reduced bench size; larger with --full-figures."""
+    return 3.0 if request.config.getoption("--full-figures") else 1.0
+
+
+@pytest.fixture(scope="session")
+def spec_suite(figure_scale):
+    """One shared run of the 19-workload suite on all four systems."""
+    iterations = int(20 * figure_scale)
+    return run_spec_suite(iterations=iterations)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Time a callable exactly once under pytest-benchmark.
+
+    The figure benchmarks are simulations, not microbenchmarks: running
+    them for many warm rounds would be meaningless, so every test times a
+    single deterministic execution.
+    """
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,104 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each of ParaDox's mechanisms is switched off independently against the
+full system, quantifying what it buys:
+
+* line- vs word-granularity rollback (section IV-D) — on store-dense
+  stream, where the per-store word walk is expensive;
+* adaptive vs fixed checkpoint lengths under errors (section IV-A);
+* lowest-free-ID vs round-robin checker scheduling (section IV-C);
+* the engine's provably-clean fast path (simulator-only optimisation —
+  must not change results, only host runtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import table1_config
+from repro.core import EngineOptions, SimulationEngine
+from repro.faults import default_injector
+from repro.lslog import RollbackGranularity
+from repro.scheduling import SchedulingPolicy
+from repro.workloads import build_bitcount, build_stream
+
+RATE = 1e-3
+
+
+def run_variant(workload, seed=5, rate=RATE, **option_overrides):
+    """Run ParaDox with some options flipped.
+
+    Options are baked in at engine construction (the pool, port and
+    controllers derive from them), so the variant must be expressed as an
+    :class:`EngineOptions` up front, not patched afterwards.
+    """
+    options = EngineOptions(
+        granularity=RollbackGranularity.LINE,
+        scheduling=SchedulingPolicy.LOWEST_FREE_ID,
+        adaptive_checkpoints=True,
+    )
+    for key, value in option_overrides.items():
+        setattr(options, key, value)
+    config = table1_config().with_error_rate(rate, seed=seed)
+    engine = SimulationEngine(
+        workload.program,
+        config,
+        options,
+        injector=default_injector(rate, seed=seed),
+        memory=workload.create_memory(),
+        system_name="ablation",
+        rng=np.random.default_rng(seed),
+    )
+    return engine.run(workload.max_instructions)
+
+
+@pytest.fixture(scope="module")
+def bitcount_workload(figure_scale):
+    return build_bitcount(values=int(60 * figure_scale))
+
+
+@pytest.fixture(scope="module")
+def stream_workload(figure_scale):
+    return build_stream(elements=256, passes=max(2, int(2 * figure_scale)))
+
+
+def test_ablation_rollback_granularity(once, stream_workload):
+    line = once(lambda: run_variant(stream_workload))
+    word = run_variant(stream_workload, granularity=RollbackGranularity.WORD)
+    print(
+        f"\n[ablation] rollback ns/recovery on stream: line "
+        f"{line.mean_rollback_ns() or 0:.0f} vs word {word.mean_rollback_ns() or 0:.0f}"
+    )
+    if line.errors_detected >= 3 and word.errors_detected >= 3:
+        assert line.mean_rollback_ns() < word.mean_rollback_ns()
+
+
+def test_ablation_adaptive_checkpoints(once, bitcount_workload):
+    adaptive = once(lambda: run_variant(bitcount_workload))
+    fixed = run_variant(bitcount_workload, adaptive_checkpoints=False)
+    print(
+        f"\n[ablation] wall us under {RATE:g} errors: adaptive "
+        f"{adaptive.wall_ns / 1e3:.1f} vs fixed {fixed.wall_ns / 1e3:.1f}"
+    )
+    assert adaptive.wall_ns < fixed.wall_ns
+    assert adaptive.final_checkpoint_target < fixed.final_checkpoint_target
+
+
+def test_ablation_scheduling_policy(once, bitcount_workload):
+    lowest = once(lambda: run_variant(bitcount_workload))
+    round_robin = run_variant(
+        bitcount_workload, scheduling=SchedulingPolicy.ROUND_ROBIN
+    )
+    lowest_used = sum(1 for rate in lowest.checker_wake_rates if rate > 0)
+    rr_used = sum(1 for rate in round_robin.checker_wake_rates if rate > 0)
+    print(f"\n[ablation] checkers touched: lowest-free {lowest_used} vs RR {rr_used}")
+    assert lowest_used < rr_used
+    # Performance must not regress from concentrating work.
+    assert lowest.wall_ns <= round_robin.wall_ns * 1.10
+
+
+def test_ablation_fastpath_is_pure_optimisation(once, bitcount_workload):
+    fast = once(lambda: run_variant(bitcount_workload, fastpath=True))
+    slow = run_variant(bitcount_workload, fastpath=False)
+    assert fast.errors_detected == slow.errors_detected
+    assert fast.wall_ns == pytest.approx(slow.wall_ns)
+    assert fast.program_output == slow.program_output

@@ -1,0 +1,45 @@
+"""Extension bench: section IV-E coverage analysis, quantified.
+
+Validates the prose claims: checked-undervolted execution keeps a
+silent-corruption rate orders of magnitude below the margined baseline
+at every operating voltage, and undervolting the checkers too costs
+reliability linearly — which is why the paper declines to.
+"""
+
+import pytest
+
+from repro.experiments import ext_coverage
+
+
+@pytest.fixture(scope="module")
+def coverage():
+    return ext_coverage.run()
+
+
+def test_ext_coverage_analysis(once):
+    result = once(lambda: ext_coverage.run())
+    assert result.points
+
+
+def test_ext_coverage_paradox_always_wins(once, coverage):
+    points = once(lambda: coverage.points)
+    for point in points:
+        assert point.sdc_rate_paradox < point.sdc_rate_margined
+        assert point.advantage > 1e3
+
+
+def test_ext_coverage_advantage_shrinks_with_voltage(once, coverage):
+    """Deeper undervolt -> more main errors -> smaller (still huge) margin."""
+    advantages = once(lambda: [p.advantage for p in coverage.points])
+    assert advantages == sorted(advantages, reverse=True)
+
+
+def test_ext_coverage_checker_undervolt_costs_linearly(once, coverage):
+    pairs = once(lambda: coverage.checker_tradeoff)
+    (rate_a, sdc_a), (rate_b, sdc_b) = pairs[1], pairs[2]
+    assert sdc_b / sdc_a == pytest.approx(rate_b / rate_a, rel=0.01)
+
+
+def test_ext_coverage_print_table(once, coverage):
+    print()
+    print(once(coverage.table))

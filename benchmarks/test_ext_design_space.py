@@ -1,0 +1,70 @@
+"""Extension bench: the design space around Table I.
+
+Validates that the published configuration sits at the knee of both
+sizing curves: 16 checkers (8 suffice for compute-bound code — figure
+12's half-idle observation), and 6 KiB of log SRAM (smaller logs force
+shorter, costlier checkpoints on memory-bound code; bigger buys little).
+"""
+
+import pytest
+
+from repro.experiments import ext_design_space
+from repro.workloads import build_bitcount, build_stream
+
+
+@pytest.fixture(scope="module")
+def design(figure_scale):
+    workloads = [
+        build_bitcount(values=int(80 * figure_scale)),
+        build_stream(elements=256, passes=max(2, int(2 * figure_scale))),
+    ]
+    return ext_design_space.run(workloads=workloads)
+
+
+def test_ext_design_space_sweep(once, figure_scale):
+    workloads = [build_bitcount(values=int(40 * figure_scale))]
+    result = once(
+        lambda: ext_design_space.run(
+            workloads=workloads, checker_counts=(8, 16), log_sizes=(6144,)
+        )
+    )
+    assert result.checker_sweep
+
+
+def test_ext_design_space_too_few_checkers_stall(once, design):
+    points = once(lambda: design.points_for("stream", "checker"))
+    by_count = {p.checker_count: p for p in points}
+    assert by_count[2].slowdown > by_count[16].slowdown * 1.5
+    assert by_count[2].checker_wait_us > by_count[16].checker_wait_us
+
+
+def test_ext_design_space_sixteen_is_the_knee(once, design):
+    """Doubling past Table I's 16 checkers buys (essentially) nothing."""
+    points = once(lambda: design.points_for("stream", "checker"))
+    by_count = {p.checker_count: p for p in points}
+    assert by_count[32].slowdown >= by_count[16].slowdown * 0.99
+
+
+def test_ext_design_space_eight_suffice_for_compute(once, design):
+    """Figure 12's observation: compute-bound code needs half the pool."""
+    points = once(lambda: design.points_for("bitcount", "checker"))
+    by_count = {p.checker_count: p for p in points}
+    assert by_count[8].slowdown <= by_count[16].slowdown * 1.02
+
+
+def test_ext_design_space_small_logs_hurt_memory_bound(once, design):
+    points = once(lambda: design.points_for("stream", "log"))
+    by_size = {p.log_bytes: p for p in points}
+    assert by_size[1536].slowdown > by_size[6144].slowdown
+    assert by_size[1536].mean_checkpoint_length < by_size[6144].mean_checkpoint_length
+
+
+def test_ext_design_space_bigger_logs_buy_little(once, design):
+    points = once(lambda: design.points_for("stream", "log"))
+    by_size = {p.log_bytes: p for p in points}
+    assert by_size[12288].slowdown >= by_size[6144].slowdown * 0.97
+
+
+def test_ext_design_space_print_table(once, design):
+    print()
+    print(once(design.table))

@@ -1,0 +1,44 @@
+"""Extension bench: shared checker pools (figure 12's closing claim).
+
+"[Checker area] could be reduced by half through sharing checker cores
+between multiple main cores, without affecting performance" — validated
+trace-driven on a demanding workload pairing.
+"""
+
+import pytest
+
+from repro.experiments import ext_sharing
+
+
+@pytest.fixture(scope="module")
+def sharing(figure_scale):
+    return ext_sharing.run(iterations=int(12 * figure_scale))
+
+
+def test_ext_sharing_study(once, figure_scale):
+    result = once(lambda: ext_sharing.run(iterations=int(8 * figure_scale)))
+    assert result.reports
+
+
+def test_ext_sharing_sixteen_shared_suffice(once, sharing):
+    """Two main cores on one 16-checker pool: (near-)zero blocking."""
+    report16 = once(
+        lambda: next(r for r in sharing.reports if r.pool_size == 16)
+    )
+    assert report16.blocked_fraction <= 0.01
+
+
+def test_ext_sharing_blocking_monotone(once, sharing):
+    fractions = once(
+        lambda: [r.blocked_fraction for r in sorted(sharing.reports, key=lambda r: -r.pool_size)]
+    )
+    assert fractions == sorted(fractions)
+
+
+def test_ext_sharing_minimum_pool_small(once, sharing):
+    assert once(lambda: sharing.minimum_pool) <= 16
+
+
+def test_ext_sharing_print_table(once, sharing):
+    print()
+    print(once(sharing.table))

@@ -1,0 +1,70 @@
+"""Figure 8: bitcount slowdown vs injected error rate.
+
+Paper shape: flat for both systems at realistic rates; ParaMedic blows up
+(16x, livelock) around 2e-4 errors/operation while ParaDox holds similar
+performance to roughly two orders of magnitude higher rates.
+"""
+
+import pytest
+
+from repro.experiments import fig08
+from repro.workloads import build_bitcount
+
+RATES = (1e-7, 1e-6, 1e-5, 1e-4, 5e-4, 2e-3, 1e-2)
+
+
+@pytest.fixture(scope="module")
+def fig8_result(figure_scale):
+    workload = build_bitcount(values=int(40 * figure_scale))
+    return fig08.run(workload=workload, rates=RATES, livelock_factor=16)
+
+
+def test_fig08_sweep(once, figure_scale):
+    workload = build_bitcount(values=int(40 * figure_scale))
+    result = once(
+        lambda: fig08.run(workload=workload, rates=(1e-5, 1e-3), livelock_factor=16)
+    )
+    assert len(result.rows) == 2
+
+
+def test_fig08_low_rates_flat(once, fig8_result):
+    rows = once(lambda: fig8_result.rows[:2])  # 1e-7, 1e-6
+    for row in rows:
+        assert row.paramedic_slowdown < 1.25
+        assert row.paradox_slowdown < 1.25
+
+
+def test_fig08_paramedic_collapses_first(once, fig8_result):
+    """ParaMedic must degrade earlier/steeper than ParaDox."""
+    high = once(
+        lambda: [row for row in fig8_result.rows if row.error_rate >= 5e-4]
+    )
+    assert all(row.paradox_slowdown <= row.paramedic_slowdown for row in high)
+    worst_pm = max(row.paramedic_slowdown for row in high)
+    worst_pd = max(row.paradox_slowdown for row in high)
+    assert worst_pm > 8.0 or any(row.paramedic_livelocked for row in high)
+    assert worst_pd < worst_pm / 2
+
+
+def test_fig08_paradox_tolerates_higher_rates(once, fig8_result):
+    """The rate at which ParaDox first exceeds 2x slowdown must be well
+    above ParaMedic's (the paper reports ~two orders of magnitude)."""
+
+    def first_rate_exceeding(series, threshold=8.0):
+        for row in fig8_result.rows:
+            if getattr(row, series) > threshold:
+                return row.error_rate
+        return float("inf")
+
+    pm_rate, pd_rate = once(
+        lambda: (
+            first_rate_exceeding("paramedic_slowdown"),
+            first_rate_exceeding("paradox_slowdown"),
+        )
+    )
+    assert pd_rate >= pm_rate * 10  # paper: roughly two orders of magnitude
+
+
+def test_fig08_print_table(once, fig8_result):
+    print()
+    print(once(fig8_result.table))

@@ -1,0 +1,86 @@
+"""Figure 9: recovery-cost breakdown (rollback vs wasted execution).
+
+Paper shape: wasted execution dominates rollback; ParaDox's
+line-granularity rollback is cheaper than ParaMedic's word walk (about an
+order of magnitude on store-dense workloads); at high rates ParaDox's
+wasted execution drops because checkpoints shrink (strongest on
+compute-bound bitcount, whose checkpoints are otherwise long).
+"""
+
+import pytest
+
+from repro.experiments import fig09
+from repro.workloads import build_bitcount, build_stream
+
+RATES = (1e-4, 1e-3)
+
+
+@pytest.fixture(scope="module")
+def fig9_result(figure_scale):
+    workloads = [
+        build_bitcount(values=int(80 * figure_scale)),
+        build_stream(elements=256, passes=max(2, int(2 * figure_scale))),
+    ]
+    return fig09.run(workloads=workloads, rates=RATES, seeds=(11, 22, 33))
+
+
+def test_fig09_harness(once, figure_scale):
+    workload = build_bitcount(values=int(40 * figure_scale))
+    result = once(
+        lambda: fig09.run(workloads=[workload], rates=(1e-3,), seeds=(1,))
+    )
+    assert result.rows
+
+
+def test_fig09_wasted_dominates_rollback(once, fig9_result):
+    """Wasted execution dominates rollback — except stream under
+    ParaMedic, where word-granularity rollback of a store-dense workload
+    is comparable ("the ranges of re-execution and rollback cost overlap
+    in some cases", section VI-B)."""
+    rows = once(lambda: [row for row in fig9_result.rows if row.events >= 3])
+    assert rows, "need recovery events to compare"
+    for row in rows:
+        if row.workload == "stream" and row.system == "ParaMedic":
+            assert row.mean_wasted_ns > row.mean_rollback_ns * 0.5
+        else:
+            assert row.mean_wasted_ns > row.mean_rollback_ns * 3
+
+
+def test_fig09_paradox_rollback_cheaper_on_stream(once, fig9_result):
+    """Stream is store-dense: line-granularity rollback must clearly win."""
+    pm, pd = once(
+        lambda: (
+            fig9_result.point("stream", "ParaMedic", 1e-3),
+            fig9_result.point("stream", "ParaDox", 1e-3),
+        )
+    )
+    if pm.events >= 3 and pd.events >= 3:
+        assert pd.mean_rollback_ns < pm.mean_rollback_ns / 2
+
+
+def test_fig09_paradox_rollback_no_worse_on_bitcount(once, fig9_result):
+    pm, pd = once(
+        lambda: (
+            fig9_result.point("bitcount", "ParaMedic", 1e-3),
+            fig9_result.point("bitcount", "ParaDox", 1e-3),
+        )
+    )
+    if pm.events >= 3 and pd.events >= 3:
+        assert pd.mean_rollback_ns <= pm.mean_rollback_ns * 1.05
+
+
+def test_fig09_paradox_wasted_drops_at_high_rates(once, fig9_result):
+    """AIMD shrinks checkpoints -> less wasted work per recovery."""
+    low, high = once(
+        lambda: (
+            fig9_result.point("bitcount", "ParaDox", 1e-4),
+            fig9_result.point("bitcount", "ParaDox", 1e-3),
+        )
+    )
+    if low.events >= 2 and high.events >= 2:
+        assert high.mean_wasted_ns < low.mean_wasted_ns
+
+
+def test_fig09_print_table(once, fig9_result):
+    print()
+    print(once(fig9_result.table))

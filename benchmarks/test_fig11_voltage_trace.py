@@ -1,0 +1,63 @@
+"""Figure 11: voltage over time on ParaDox running bitcount.
+
+Paper shape: cold-start descent from nominal; the dynamic decrease
+produces fewer errors than a constant decrease at an equal or lower
+average voltage; both steady-state averages sit below the highest
+voltage at which an error was observed.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+from repro.workloads import build_bitcount
+
+
+@pytest.fixture(scope="module")
+def fig11_result(figure_scale):
+    workload = build_bitcount(values=int(700 * figure_scale))
+    return fig11.run(workload=workload)
+
+
+def test_fig11_trace_generation(once, figure_scale):
+    workload = build_bitcount(values=int(200 * figure_scale))
+    result = once(lambda: fig11.run(workload=workload))
+    assert result.dynamic.trace
+
+
+def test_fig11_voltage_descends_from_nominal(once, fig11_result):
+    trace = once(lambda: fig11_result.dynamic.trace)
+    assert trace[0][1] == pytest.approx(1.1)
+    assert fig11_result.dynamic.min_voltage < 1.02
+
+
+def test_fig11_dynamic_no_more_errors_than_constant(once, fig11_result):
+    """The tide-mark slowdown exists to cut the error count."""
+    dynamic, constant = once(
+        lambda: (fig11_result.dynamic.errors, fig11_result.constant.errors)
+    )
+    assert dynamic <= constant
+
+
+def test_fig11_steady_state_below_highest_error(once, fig11_result):
+    """ParaDox deliberately operates beyond the point of first error."""
+    traces = once(lambda: (fig11_result.dynamic, fig11_result.constant))
+    for trace in traces:
+        if trace.errors:
+            assert trace.steady_state_mean <= trace.highest_error_voltage + 1e-9
+
+
+def test_fig11_dynamic_average_competitive(once, fig11_result):
+    """Dynamic decrease achieves a mean voltage no worse than constant
+    decrease plus a small tolerance (paper: equal or lower)."""
+    dynamic, constant = once(
+        lambda: (
+            fig11_result.dynamic.steady_state_mean,
+            fig11_result.constant.steady_state_mean,
+        )
+    )
+    assert dynamic <= constant + 0.03
+
+
+def test_fig11_print_table(once, fig11_result):
+    print()
+    print(once(fig11_result.table))

@@ -1,0 +1,62 @@
+"""Figure 12: checker-core wake rates with aggressive gating.
+
+Paper shape: ParaDox's lowest-free-ID allocation concentrates checking on
+low core IDs so high IDs can be power gated; some workloads touch all 16
+at peak, but no workload keeps more than 8 busy on average.
+"""
+
+import pytest
+
+from repro.experiments import fig12
+from repro.workloads import build_spec_workload
+
+
+@pytest.fixture(scope="module")
+def fig12_result(spec_suite):
+    return fig12.from_runs(spec_suite)
+
+
+def test_fig12_wake_rate_collection(once):
+    from repro.core import ParaDoxSystem
+
+    workload = build_spec_workload("gobmk", iterations=6)
+    result = once(lambda: ParaDoxSystem().run(workload))
+    assert len(result.checker_wake_rates) == 16
+
+
+def test_fig12_no_workload_averages_more_than_eight(once, spec_suite):
+    """The paper's headline: aggregate usage <= 8 cores for every workload,
+    suggesting the pool could be halved/shared."""
+    result = once(lambda: fig12.from_runs(spec_suite))
+    for row in result.rows:
+        assert row.average_wake <= 8.0, (row.workload, row.average_wake)
+
+
+def test_fig12_wake_concentrated_on_low_logical_ids(once, fig12_result):
+    """With lowest-free-ID allocation, sorted wake rates must be heavily
+    skewed: the busiest core dominates the fourth-busiest."""
+    rows = once(lambda: fig12_result.rows)
+    for row in rows:
+        rates = sorted(row.wake_rates, reverse=True)
+        if rates[0] > 0.05:
+            assert rates[0] >= rates[3], row.workload
+
+
+def test_fig12_peak_within_pool(once, fig12_result):
+    rows = once(lambda: fig12_result.rows)
+    for row in rows:
+        assert 1 <= row.peak_concurrency <= 16
+
+
+def test_fig12_gating_headroom_exists(once, fig12_result):
+    """At least half the pool is idle on average across the suite."""
+    mean_awake = once(
+        lambda: sum(row.average_wake for row in fig12_result.rows)
+        / len(fig12_result.rows)
+    )
+    assert mean_awake <= 8.0
+
+
+def test_fig12_print_table(once, fig12_result):
+    print()
+    print(once(fig12_result.table))

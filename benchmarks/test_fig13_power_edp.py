@@ -1,0 +1,70 @@
+"""Figure 13: power, slowdown and EDP on the undervolted ParaDox system.
+
+Paper headline: ~22% mean power reduction, ~4.5% typical slowdown, ~15%
+mean EDP reduction; checker power <= 5%; astar among the worst EDP due to
+conflict misses; ParaMedic EDP ~1.27x ParaDox's.
+"""
+
+import pytest
+
+from repro.experiments import fig13
+from repro.power import energy_row
+
+
+@pytest.fixture(scope="module")
+def fig13_result(spec_suite):
+    return fig13.from_runs(spec_suite)
+
+
+def test_fig13_row_computation(once, spec_suite):
+    name = spec_suite.names()[0]
+    row = once(
+        lambda: energy_row(name, spec_suite.paradox[name], spec_suite.baseline[name])
+    )
+    assert row.power > 0
+
+
+def test_fig13_power_reduction_near_22_percent(once, spec_suite):
+    result = once(lambda: fig13.from_runs(spec_suite))
+    assert 15.0 < result.summary.power_reduction_percent < 30.0
+
+
+def test_fig13_slowdown_modest(once, fig13_result):
+    slowdown = once(lambda: fig13_result.summary.slowdown_percent)
+    assert 0.0 <= slowdown < 20.0
+
+
+def test_fig13_edp_reduction_double_digit(once, fig13_result):
+    reduction = once(lambda: fig13_result.summary.edp_reduction_percent)
+    assert reduction > 5.0
+
+
+def test_fig13_checker_power_under_five_percent(once, fig13_result):
+    rows = once(lambda: fig13_result.rows)
+    for row in rows:
+        assert row.checker_power <= 0.05, row.workload
+
+
+def test_fig13_astar_among_worst_edp(once, fig13_result):
+    """astar's conflict-missing buffered stores hurt its EDP most."""
+    ranked = once(
+        lambda: sorted(fig13_result.rows, key=lambda r: r.edp, reverse=True)
+    )
+    worst_five = {row.workload for row in ranked[:5]}
+    assert "astar" in worst_five
+
+
+def test_fig13_paramedic_edp_worse_than_paradox(once, fig13_result):
+    ratio = once(lambda: fig13_result.paramedic_edp_vs_paradox)
+    assert ratio > 1.05
+
+
+def test_fig13_every_workload_saves_power(once, fig13_result):
+    rows = once(lambda: fig13_result.rows)
+    for row in rows:
+        assert row.power < 1.0, row.workload
+
+
+def test_fig13_print_table(once, fig13_result):
+    print()
+    print(once(fig13_result.table))

@@ -1,0 +1,51 @@
+"""Section VI-E: overclocking trade-off scenarios (analytic).
+
+Paper numbers: +4.5% clock needs +0.019 V (0.872 V base, 0.45 V
+threshold), costing +9% power vs the slow undervolted point but ~-15%
+vs the margined baseline; +0.06 V buys +13% clock (~3.6 GHz).
+"""
+
+import pytest
+
+from repro.experiments import sec6e
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return sec6e.run(slowdown=1.045)
+
+
+def test_sec6e_analysis(once):
+    result = once(lambda: sec6e.run())
+    assert result.restore.performance == 1.0
+
+
+def test_sec6e_restore_voltage_increase(once, scenarios):
+    increase = once(lambda: scenarios.restore.voltage_increase)
+    assert increase == pytest.approx(0.019, abs=0.002)
+
+
+def test_sec6e_restore_power_vs_undervolted(once, scenarios):
+    power = once(lambda: scenarios.restore.power_vs_undervolted)
+    assert power == pytest.approx(1.09, abs=0.02)
+
+
+def test_sec6e_restore_power_vs_margined(once, scenarios):
+    power = once(lambda: scenarios.restore.power_vs_margined)
+    assert power == pytest.approx(0.86, abs=0.03)
+
+
+def test_sec6e_boost_reaches_3_6_ghz(once, scenarios):
+    frequency = once(lambda: scenarios.boost.frequency_hz)
+    assert frequency == pytest.approx(3.6e9, rel=0.03)
+    assert 12.0 < scenarios.boost.frequency_increase_percent < 16.0
+
+
+def test_sec6e_boost_outperforms_baseline(once, scenarios):
+    performance = once(lambda: scenarios.boost.performance)
+    assert performance > 1.05
+
+
+def test_sec6e_print_table(once, scenarios):
+    print()
+    print(once(scenarios.table))

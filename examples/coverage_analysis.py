@@ -1,0 +1,78 @@
+"""Coverage analysis: what ParaDox catches, and the one case it can't.
+
+Three demonstrations on real machinery:
+
+1. Memory-side upsets are absorbed by SECDED ECC (the paper's division of
+   labour: ECC covers memory, redundant execution covers compute).
+2. Any one-sided or mismatched corruption of compute is detected.
+3. Only an *identical* corruption of main and checker at the same dynamic
+   instruction slips through — and the analytic model prices that
+   coincidence against the margined baseline's residual error rate.
+
+    python examples/coverage_analysis.py
+"""
+
+from repro.coverage import (
+    Corruption,
+    coverage_sweep,
+    inject_common_mode,
+    inject_independent,
+)
+from repro.faults import VoltageErrorModel
+from repro.isa import assemble
+from repro.memory import EccProtectedWord, EccStatus
+
+PROGRAM = assemble("""
+    movi x1, 123
+    movi x2, 45
+    mul x3, x1, x2
+    movi x5, 64
+    str x3, [x5]
+    ldr x4, [x5]
+    add x6, x4, x1
+    str x6, [x5, 8]
+    halt
+""")
+
+
+def demo_ecc() -> None:
+    print("1) memory-side upsets -> SECDED ECC")
+    cell = EccProtectedWord(0xDEADBEEF)
+    cell.upset(17)
+    result = cell.read()
+    print(f"   single upset: {result.status.value}, data {result.data:#x}")
+    cell.upset(3, 40)
+    print(f"   double upset: {cell.read().status.value}")
+    assert cell.read().status is not EccStatus.CLEAN or True
+
+
+def demo_detection() -> None:
+    print("\n2) compute corruption -> redundant execution")
+    one_sided = inject_independent(PROGRAM, Corruption(instruction_index=2))
+    print(f"   main-only corruption: detected via {one_sided.channel.value}")
+    mismatched = inject_independent(
+        PROGRAM,
+        Corruption(instruction_index=2, bit=0),
+        Corruption(instruction_index=2, bit=7),
+    )
+    print(f"   mismatched corruption: detected via {mismatched.channel.value}")
+
+
+def demo_common_mode() -> None:
+    print("\n3) the blind spot: identical common-mode corruption")
+    result = inject_common_mode(PROGRAM, Corruption(instruction_index=2))
+    print(f"   identical flip on both sides: detected = {result.detected}")
+    print("   ...which is why the analytic model charges for coincidences:")
+    model = VoltageErrorModel.itanium_9560()
+    for point in coverage_sweep(model, [1.00, 0.96, 0.93]):
+        print(
+            f"   V={point.voltage:.2f}: main errs {point.main_error_rate:.1e}/inst, "
+            f"SDC {point.sdc_rate_paradox:.1e} vs margined "
+            f"{point.sdc_rate_margined:.1e} -> {point.advantage:.0e}x safer"
+        )
+
+
+if __name__ == "__main__":
+    demo_ecc()
+    demo_detection()
+    demo_common_mode()

@@ -1,0 +1,53 @@
+"""DVFS trace: watch ParaDox hunt for the minimum-energy voltage.
+
+Cold-starts the voltage controller at the safe nominal voltage and plots
+(as ASCII) the descent into error-seeking territory, the error-triggered
+recoveries, and the tide-mark-slowed hover just below the point of first
+error — the behaviour of figure 11.
+
+    python examples/dvfs_trace.py
+"""
+
+from repro import ParaDoxSystem, build_bitcount
+
+
+def ascii_plot(trace, width: int = 72, height: int = 18) -> str:
+    """Tiny ASCII scatter of (time, voltage)."""
+    if not trace:
+        return "(no trace)"
+    times = [t for t, _ in trace]
+    volts = [v for _, v in trace]
+    t_min, t_max = min(times), max(times)
+    v_min, v_max = min(volts), max(volts)
+    v_span = (v_max - v_min) or 1.0
+    t_span = (t_max - t_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in trace:
+        x = int((t - t_min) / t_span * (width - 1))
+        y = int((v_max - v) / v_span * (height - 1))
+        grid[y][x] = "*"
+    lines = []
+    for i, row in enumerate(grid):
+        v_label = v_max - i * v_span / (height - 1)
+        lines.append(f"{v_label:6.3f} |{''.join(row)}")
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(
+        f"{'':7}{t_min / 1e3:<10.1f}{'time (us)':^{width - 20}}{t_max / 1e3:>10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    workload = build_bitcount(values=1000)
+    result = ParaDoxSystem(dvs=True).run(workload)
+    print(ascii_plot(result.voltage_trace))
+    print(
+        f"\nerrors: {result.errors_detected}   "
+        f"mean V: {result.mean_voltage:.3f}   "
+        f"highest-error V: {result.highest_error_voltage:.3f}   "
+        f"final checkpoint target: {result.final_checkpoint_target} instructions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fault-injection demo: watch ParaDox catch and repair real corruption.
+
+Unlike the paper's evaluation (which injects into checkers only, since
+detection is symmetric), this example injects faults into the *main
+core's* architectural state mid-execution, so the log, the memory image
+and downstream computation genuinely go wrong — and then verifies that
+every run still converges to the golden final memory, bit for bit.
+
+It also demonstrates the detection channels: store-value mismatches,
+address divergence, final-state mismatches and main-core traps.
+
+    python examples/fault_injection_demo.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import ParaDoxSystem, build_stream, golden_run
+from repro.faults import FaultInjector, FunctionalUnitFaultModel, RegisterFaultModel
+from repro.isa import FunctionalUnit
+
+
+def main() -> None:
+    workload = build_stream(elements=128, passes=4)
+    golden = golden_run(workload)
+    print(f"workload: {workload.name} — {golden.instructions} instructions")
+    print(f"golden output: {golden.output}\n")
+
+    channels: "Counter[str]" = Counter()
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        injector = FaultInjector(
+            [
+                RegisterFaultModel(5e-4, rng),
+                FunctionalUnitFaultModel(5e-4, rng, FunctionalUnit.FP_MUL),
+            ],
+            target="main",
+        )
+        system = ParaDoxSystem()
+        engine = system.engine(workload, seed=seed, injector=injector)
+        result = engine.run(workload.max_instructions)
+
+        ok = result.program_output == golden.output
+        mem_ok = engine.memory == golden.memory
+        print(
+            f"seed {seed}: {result.faults_injected:3d} faults injected, "
+            f"{result.errors_detected:3d} recoveries, "
+            f"slow {result.wall_ns / 1e3:7.1f} us, "
+            f"output {'OK' if ok else 'CORRUPT'}, memory {'OK' if mem_ok else 'CORRUPT'}"
+        )
+        assert ok and mem_ok, "ParaDox failed to recover!"
+        for event in result.recoveries:
+            channels[event.channel.value] += 1
+
+    print("\ndetection channels exercised:")
+    for channel, count in channels.most_common():
+        print(f"  {count:4d}  {channel}")
+    print("\nEvery corrupted run converged to the golden state. ✓")
+
+
+if __name__ == "__main__":
+    main()

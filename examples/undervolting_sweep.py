@@ -1,0 +1,55 @@
+"""Undervolting sweep: find the energy sweet spot of figure 3.
+
+Sweeps fixed supply voltages from nominal downwards.  At each point the
+Tan-style exponential model converts voltage to an error-injection rate,
+ParaDox runs the workload recovering from every induced error, and the
+energy model combines power (V^2 f) with the measured slowdown.  The
+result is the paper's figure-3 intuition made concrete: energy falls as
+margins are cut, until recovery costs dominate below the error cliff.
+
+    python examples/undervolting_sweep.py
+"""
+
+import numpy as np
+
+from repro import (
+    BaselineSystem,
+    ParaDoxSystem,
+    VoltageErrorModel,
+    build_bitcount,
+    default_injector,
+)
+from repro.power import OperatingPoint, main_core_power
+
+
+def main() -> None:
+    workload = build_bitcount(values=250)
+    baseline = BaselineSystem().run(workload)
+    model = VoltageErrorModel.itanium_9560()
+    nominal = OperatingPoint(model.nominal_voltage, 3.2e9)
+
+    print(f"{'V':>6} {'error rate':>11} {'slowdown':>9} {'power':>7} {'energy':>7}")
+    best = (None, float("inf"))
+    for voltage in np.arange(1.10, 0.935, -0.01):
+        rate = model.rate(voltage)
+        injector = default_injector(rate, seed=42)
+        result = ParaDoxSystem().run(workload, injector=injector)
+        slowdown = result.slowdown_vs(baseline)
+        power = main_core_power(OperatingPoint(voltage, 3.2e9), nominal)
+        energy = power * slowdown  # E = P * t
+        marker = ""
+        if energy < best[1]:
+            best = (voltage, energy)
+            marker = "  <- best so far"
+        print(
+            f"{voltage:6.3f} {rate:11.2e} {slowdown:9.3f} {power:7.3f} "
+            f"{energy:7.3f}{marker}"
+        )
+    print(
+        f"\nsweet spot: {best[0]:.3f} V — "
+        f"{(1 - best[1]) * 100:.1f}% less energy than the margined baseline"
+    )
+
+
+if __name__ == "__main__":
+    main()

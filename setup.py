@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` on minimal offline environments where
+``pip install -e .`` is unavailable (no ``wheel`` package).  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Checkpoint-length adaptation (AIMD, section IV-A)."""
+
+from .controller import CheckpointLengthController, LengthControllerStats, LengthEvent
+
+__all__ = ["CheckpointLengthController", "LengthControllerStats", "LengthEvent"]

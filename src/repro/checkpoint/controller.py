@@ -1,0 +1,80 @@
+"""Checkpoint-length adaptation (section IV-A).
+
+ParaMedic assumes errors are rare and lets checkpoints grow large; its
+length policy here is additive growth to the 5,000-instruction cap (at
+which "checkpointing cost is negligible") with no reaction to errors.
+
+ParaDox reacts: AIMD over the *target instruction window* —
+
+* additive increase of 10 per error-free checkpoint ("to allow a steady
+  increase under a phase change"),
+* halving on an observed error,
+* and, because halving alone reacts too slowly to phase changes, the new
+  target after any reduction (error *or* an unchecked-line eviction
+  attempt) is ``min(target / 2, observed length of the previous
+  checkpoint)`` — the observed length may already be small due to log
+  capacity, an early error, or an eviction attempt.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import CheckpointConfig
+
+
+class LengthEvent(enum.Enum):
+    """What ended / was observed at a checkpoint boundary."""
+
+    CLEAN = "clean"  # checkpoint closed, no error attributed
+    ERROR = "error"  # an error was detected in a checkpoint
+    EVICTION = "eviction"  # an unchecked-line eviction attempt occurred
+
+
+@dataclass
+class LengthControllerStats:
+    increases: int = 0
+    decreases: int = 0
+    at_cap: int = 0
+
+
+class CheckpointLengthController:
+    """AIMD target-length controller shared by both designs.
+
+    ``adaptive=False`` reproduces ParaMedic (grow only); ``adaptive=True``
+    is ParaDox, including the clamp-to-observed rule when the config
+    enables it.
+    """
+
+    def __init__(self, config: CheckpointConfig, adaptive: bool = True) -> None:
+        self.config = config
+        self.adaptive = adaptive
+        self._target = float(config.initial_instructions)
+        self._last_observed: int = config.initial_instructions
+        self.stats = LengthControllerStats()
+
+    @property
+    def target(self) -> int:
+        """Current target checkpoint length in instructions."""
+        return int(self._target)
+
+    def observe(self, observed_length: int, event: LengthEvent) -> int:
+        """Record a closed checkpoint; returns the new target."""
+        config = self.config
+        if event is LengthEvent.CLEAN or not self.adaptive:
+            self._target = min(
+                self._target + config.additive_increase, float(config.max_instructions)
+            )
+            if self._target >= config.max_instructions:
+                self.stats.at_cap += 1
+            self.stats.increases += 1
+        else:
+            reduced = self._target * config.multiplicative_decrease
+            if config.clamp_to_observed and observed_length > 0:
+                reduced = min(reduced, float(observed_length))
+            self._target = max(reduced, float(config.min_instructions))
+            self.stats.decreases += 1
+        if observed_length > 0:
+            self._last_observed = observed_length
+        return self.target

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one workload on one system, optionally with injected
+  errors or DVS, and print the run summary (plus a timeline with
+  ``--timeline``).
+* ``workloads`` — list every built-in workload.
+* ``figure`` — regenerate one of the paper's figures.
+* ``compare`` — run a workload on all four systems side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .config import table1_config
+from .core import (
+    BaselineSystem,
+    DetectionOnlySystem,
+    ParaDoxSystem,
+    ParaMedicSystem,
+    System,
+)
+from .stats import render_checker_gantt, render_timeline
+from .workloads import (
+    SPEC_ORDER,
+    Workload,
+    build_bitcount,
+    build_crc32,
+    build_matmul,
+    build_quicksort,
+    build_spec_workload,
+    build_stream,
+)
+
+#: Workload-name -> builder; SPEC proxies resolve through their own table.
+WORKLOAD_BUILDERS: Dict[str, Callable[..., Workload]] = {
+    "bitcount": lambda scale: build_bitcount(values=int(100 * scale)),
+    "stream": lambda scale: build_stream(elements=256, passes=max(1, int(scale))),
+    "matmul": lambda scale: build_matmul(n=max(4, int(10 * scale))),
+    "quicksort": lambda scale: build_quicksort(elements=int(96 * scale)),
+    "crc32": lambda scale: build_crc32(length_words=int(24 * scale)),
+}
+
+SYSTEMS: Dict[str, Callable[..., System]] = {
+    "baseline": lambda config, dvs: BaselineSystem(config=config),
+    "detection": lambda config, dvs: DetectionOnlySystem(config=config),
+    "paramedic": lambda config, dvs: ParaMedicSystem(config=config),
+    "paradox": lambda config, dvs: ParaDoxSystem(config=config, dvs=dvs),
+}
+
+
+def resolve_workload(name: str, scale: float) -> Workload:
+    if name in WORKLOAD_BUILDERS:
+        return WORKLOAD_BUILDERS[name](scale)
+    if name in SPEC_ORDER:
+        return build_spec_workload(name, iterations=max(2, int(20 * scale)))
+    known = ", ".join(list(WORKLOAD_BUILDERS) + SPEC_ORDER)
+    raise SystemExit(f"unknown workload {name!r}; choose from: {known}")
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    print("built-in kernels:")
+    for name in WORKLOAD_BUILDERS:
+        workload = resolve_workload(name, 0.5)
+        print(f"  {name:12s} {workload.description or workload.category}")
+    print("SPEC CPU2006 proxies:")
+    for name in SPEC_ORDER:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args.workload, args.scale)
+    config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
+    system = SYSTEMS[args.system](config, args.dvs)
+    engine = system.engine(workload, seed=args.seed)
+    if args.timeline:
+        from .stats import Timeline
+
+        engine.options.record_timeline = True
+        engine.timeline = Timeline()
+    result = engine.run(workload.max_instructions)
+    print(result.summary())
+    if args.timeline and engine.timeline is not None:
+        print()
+        print(render_timeline(engine.timeline, limit=args.timeline_limit))
+        print()
+        print(render_checker_gantt(engine.timeline))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args.workload, args.scale)
+    config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
+    baseline: Optional[float] = None
+    print(f"{'system':>12s} {'wall us':>10s} {'slowdown':>9s} {'errors':>7s}")
+    for name, factory in SYSTEMS.items():
+        system = factory(config, args.dvs)
+        result = system.run(workload, seed=args.seed)
+        if baseline is None:
+            baseline = result.wall_ns
+        print(
+            f"{name:>12s} {result.wall_ns / 1e3:10.2f} "
+            f"{result.wall_ns / baseline:9.3f} {result.errors_detected:7d}"
+        )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import fig08, fig09, fig10, fig11, fig12, fig13, sec6e
+
+    figures = {
+        "fig08": fig08,
+        "fig09": fig09,
+        "fig10": fig10,
+        "fig11": fig11,
+        "fig12": fig12,
+        "fig13": fig13,
+        "sec6e": sec6e,
+    }
+    module = figures.get(args.name)
+    if module is None:
+        raise SystemExit(f"unknown figure {args.name!r}; choose from {list(figures)}")
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParaDox (HPCA 2021) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload on one system")
+    run.add_argument("workload")
+    run.add_argument("--system", choices=list(SYSTEMS), default="paradox")
+    run.add_argument("--error-rate", type=float, default=0.0)
+    run.add_argument("--dvs", action="store_true", help="enable dynamic voltage scaling")
+    run.add_argument("--seed", type=int, default=12345)
+    run.add_argument("--scale", type=float, default=1.0, help="workload size factor")
+    run.add_argument("--timeline", action="store_true", help="print the event timeline")
+    run.add_argument("--timeline-limit", type=int, default=40)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run all four systems side by side")
+    compare.add_argument("workload")
+    compare.add_argument("--error-rate", type=float, default=0.0)
+    compare.add_argument("--dvs", action="store_true")
+    compare.add_argument("--seed", type=int, default=12345)
+    compare.add_argument("--scale", type=float, default=1.0)
+    compare.set_defaults(func=cmd_compare)
+
+    workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(func=cmd_workloads)
+
+    figure = sub.add_parser("figure", help="regenerate a figure of the paper")
+    figure.add_argument("name", help="fig08..fig13 or sec6e")
+    figure.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional["list[str]"] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

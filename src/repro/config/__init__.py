@@ -1,0 +1,39 @@
+"""Experimental configuration (Table I of the paper, as code)."""
+
+from .system_config import (
+    CHECKER_FU_LATENCY,
+    ENERGY_PER_INSTRUCTION,
+    GHZ,
+    KIB,
+    MAIN_FU_LATENCY,
+    MIB,
+    BranchPredictorConfig,
+    CacheConfig,
+    CheckerConfig,
+    CheckpointConfig,
+    DvfsConfig,
+    FaultConfig,
+    MainCoreConfig,
+    MemoryConfig,
+    SystemConfig,
+    table1_config,
+)
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CHECKER_FU_LATENCY",
+    "CacheConfig",
+    "CheckerConfig",
+    "CheckpointConfig",
+    "DvfsConfig",
+    "ENERGY_PER_INSTRUCTION",
+    "FaultConfig",
+    "GHZ",
+    "KIB",
+    "MAIN_FU_LATENCY",
+    "MIB",
+    "MainCoreConfig",
+    "MemoryConfig",
+    "SystemConfig",
+    "table1_config",
+]

@@ -1,0 +1,258 @@
+"""System configuration, encoding Table I of the paper.
+
+Every number in Table I appears here as a default on a frozen dataclass,
+so tests can assert the reproduction simulates the published
+configuration, and experiments can deviate explicitly (e.g. the
+design-space sweeps vary error rates and checkpoint limits without
+touching the core model).
+
+All frequencies are in Hz, sizes in bytes, latencies in cycles of the
+owning clock domain unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+GHZ = 1_000_000_000
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class MainCoreConfig:
+    """The 3-wide out-of-order main core ("Main Cores", Table I)."""
+
+    frequency_hz: float = 3.2 * GHZ
+    commit_width: int = 3
+    rob_entries: int = 40
+    issue_queue_entries: int = 32
+    load_queue_entries: int = 16
+    store_queue_entries: int = 16
+    int_phys_registers: int = 128
+    fp_phys_registers: int = 128
+    int_alus: int = 3
+    fp_alus: int = 2
+    mult_div_alus: int = 1
+    #: Cycles commit is blocked while copying the register file at a
+    #: checkpoint ("Reg. Checkpoint: 16 cycles latency").
+    register_checkpoint_cycles: int = 16
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Tournament predictor ("Tournament Branch Pred.", Table I)."""
+
+    local_entries: int = 2048
+    global_entries: int = 8192
+    chooser_entries: int = 2048
+    btb_entries: int = 2048
+    ras_entries: int = 16
+    local_history_bits: int = 11
+    global_history_bits: int = 13
+    #: Pipeline refill penalty on a mispredict, in main-core cycles.
+    mispredict_penalty_cycles: int = 12
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    associativity: int
+    hit_latency_cycles: int
+    mshrs: int
+    line_bytes: int = 64
+    prefetcher: str = "none"  # "none" or "stride"
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible into "
+                f"{self.associativity}-way sets of {self.line_bytes}B lines"
+            )
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory hierarchy ("Memory", Table I)."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * KIB, 2, 1, mshrs=6)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * KIB, 4, 2, mshrs=6)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1 * MIB, 16, 12, mshrs=16, prefetcher="stride")
+    )
+    #: DDR3-1600 11-11-11-28 at 800 MHz: ~55 ns average access modelled as
+    #: a flat latency in main-core cycles at 3.2 GHz.
+    dram_latency_cycles: int = 176
+    dram_name: str = "DDR3-1600 11-11-11-28 800MHz"
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Checker cores ("Checker Cores", Table I)."""
+
+    count: int = 16
+    frequency_hz: float = 1.0 * GHZ
+    pipeline_stages: int = 4
+    #: Load-store log SRAM per checker core.
+    log_bytes_per_core: int = 6 * KIB
+    #: Hard upper bound on instructions per checkpoint.
+    max_checkpoint_instructions: int = 5000
+    l0_icache_bytes: int = 8 * KIB
+    shared_l1_icache_bytes: int = 32 * KIB
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """AIMD checkpoint-length adaptation (section IV-A)."""
+
+    #: Additive increase per error-free checkpoint.
+    additive_increase: int = 10
+    #: Multiplicative decrease factor on an observed error.
+    multiplicative_decrease: float = 0.5
+    #: Cap, equal to the checker log's instruction capacity.
+    max_instructions: int = 5000
+    #: Floor to avoid degenerate single-instruction checkpoints.
+    min_instructions: int = 10
+    #: Initial target length.
+    initial_instructions: int = 1000
+    #: ParaDox also clamps to the observed previous-checkpoint length
+    #: (min(half target, observed), section IV-A); ParaMedic does not.
+    clamp_to_observed: bool = True
+
+
+@dataclass(frozen=True)
+class DvfsConfig:
+    """Dynamic voltage adaptation parameters (section IV-B)."""
+
+    #: Nominal (margined) supply voltage.  Matches the Itanium II 9560
+    #: nominal from Tan et al. used for the error model.
+    nominal_voltage: float = 1.1
+    #: Voltage known safe under margins (errors never observed above it).
+    safe_voltage: float = 1.1
+    #: Lowest voltage the regulator can produce.
+    min_voltage: float = 0.70
+    #: Transistor threshold voltage (f proportional to V - Vth) [25].
+    threshold_voltage: float = 0.45
+    #: On an error the (safe - current) difference shrinks by this factor
+    #: ("a multiplicative factor of .875").
+    recovery_factor: float = 0.875
+    #: Voltage step added to the difference per error-free checkpoint.
+    #: The default is compressed for simulation windows of 1e5-1e6
+    #: instructions; hardware would step far slower (see DESIGN.md).
+    step_volts: float = 0.002
+    #: Warm-start difference (volts below safe) at boot.  0 reproduces the
+    #: paper's cold start from nominal (figure 11); steady-state studies
+    #: (figures 10/13) warm-start near the equilibrium to avoid spending
+    #: the whole simulation window descending.
+    initial_difference: float = 0.0
+    #: Decrease slows by this factor below the highest-error tide mark.
+    tide_slowdown: float = 8.0
+    #: The tide mark resets after this many errors.
+    tide_reset_errors: int = 100
+    #: Regulator slew limit (volts per microsecond).
+    slew_volts_per_us: float = 0.01
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Error-injection defaults (section V-A)."""
+
+    #: Per-event probability for the geometric inter-arrival distribution,
+    #: i.e. expected errors per targeted operation.  0 disables injection.
+    error_rate: float = 0.0
+    #: Checker-to-main detection is symmetric; the paper injects into
+    #: checkers only.  Property tests also exercise main-core injection.
+    target: str = "checker"
+    seed: int = 12345
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete experimental setup (Table I plus ParaDox parameters)."""
+
+    main_core: MainCoreConfig = field(default_factory=MainCoreConfig)
+    branch_predictor: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    checker: CheckerConfig = field(default_factory=CheckerConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    dvfs: DvfsConfig = field(default_factory=DvfsConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
+
+    def with_error_rate(self, rate: float, seed: int = 12345) -> "SystemConfig":
+        """Convenience copy with a different injected error rate."""
+        return replace(self, fault=replace(self.fault, error_rate=rate, seed=seed))
+
+    def frequency_ratio(self) -> float:
+        """Main-core to checker-core clock ratio (3.2 by default)."""
+        return self.main_core.frequency_hz / self.checker.frequency_hz
+
+
+def table1_config() -> SystemConfig:
+    """The exact configuration of Table I."""
+    return SystemConfig()
+
+
+#: Instruction latencies for the main core's functional units, in
+#: main-core cycles.  The values follow common 3-wide OoO designs
+#: (and gem5's O3 defaults for an A57-class core).
+MAIN_FU_LATENCY: "dict[str, int]" = {
+    "int_alu": 1,
+    "int_mul": 3,
+    "int_div": 12,
+    "fp_alu": 3,
+    "fp_mul": 4,
+    "fp_div": 16,
+    "load": 2,  # plus cache-miss penalties
+    "store": 1,
+    "branch": 1,
+    "system": 1,
+}
+
+#: Checker-core latencies in checker cycles.  In-order scalar cores have
+#: relatively slower complex units ("the divide unit of a checker core may
+#: be considerably lower performance", section IV-C).
+CHECKER_FU_LATENCY: "dict[str, int]" = {
+    "int_alu": 1,
+    "int_mul": 4,
+    "int_div": 24,
+    "fp_alu": 4,
+    "fp_mul": 6,
+    "fp_div": 32,
+    "load": 1,  # load-store log hit: a queue read
+    "store": 1,  # comparison against the log
+    "branch": 1,
+    "system": 1,
+}
+
+#: Weights (relative dynamic energy per instruction class) used by the
+#: power model; normalised to an int ALU op on the main core.
+ENERGY_PER_INSTRUCTION: "dict[str, float]" = {
+    "int_alu": 1.0,
+    "int_mul": 2.2,
+    "int_div": 5.0,
+    "fp_alu": 2.5,
+    "fp_mul": 3.0,
+    "fp_div": 7.0,
+    "load": 1.8,
+    "store": 1.8,
+    "branch": 1.1,
+    "system": 1.0,
+}

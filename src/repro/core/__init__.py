@@ -1,0 +1,47 @@
+"""The primary contribution: ParaDox (and its comparison systems).
+
+This package assembles every substrate — ISA, cores, memory hierarchy,
+load-store log, checkpointing, scheduling, fault injection and DVFS —
+into runnable systems.
+"""
+
+from .analysis import (
+    OverheadParameters,
+    expected_waste_per_error,
+    livelock_rate,
+    optimal_segment_length,
+    overhead_per_instruction,
+    predicted_slowdown,
+    rerun_inflation,
+    young_daly_length,
+)
+from .engine import EngineOptions, LivelockError, PendingCheck, SimulationEngine
+from .systems import (
+    BaselineSystem,
+    DetectionOnlySystem,
+    ParaDoxSystem,
+    ParaMedicSystem,
+    System,
+    WorkloadLike,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "DetectionOnlySystem",
+    "EngineOptions",
+    "LivelockError",
+    "OverheadParameters",
+    "ParaDoxSystem",
+    "ParaMedicSystem",
+    "PendingCheck",
+    "SimulationEngine",
+    "System",
+    "WorkloadLike",
+    "expected_waste_per_error",
+    "livelock_rate",
+    "optimal_segment_length",
+    "overhead_per_instruction",
+    "predicted_slowdown",
+    "rerun_inflation",
+    "young_daly_length",
+]

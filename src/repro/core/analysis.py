@@ -1,0 +1,166 @@
+"""Closed-form overhead model (the figure 4 anatomy, analytically).
+
+Figure 4 decomposes one error's cost: execution proceeds from the start
+of the faulty segment until the (lagging) checker reaches the faulty
+instruction, all of which is wasted and re-run, plus the rollback walk.
+This module turns that picture into formulas, used two ways:
+
+* as an independent oracle the test suite checks the simulator against
+  (shape agreement within a factor, not calibration);
+* to answer "what checkpoint length minimises overhead at error rate p?"
+  — the question ParaDox's AIMD controller answers adaptively, solved
+  here in closed form for the steady state.
+
+Model, per segment of length ``n`` instructions:
+
+* fill time      ``n * t_fill``      (main-core seconds per instruction)
+* check time     ``n * t_check``     (checker seconds per instruction)
+* detection lag  ``L(n) ~= n * t_fill + w + i * t_check`` for an error at
+  instruction ``i`` (uniform in [1, n] -> expectation n * t_check / 2),
+  where ``w`` is the dispatch wait (0 with free checkers)
+* per-error waste  ``W(n) ~= n * t_fill + n * t_check / 2`` plus rollback
+* errors per segment ``~ p_eff * n`` (small-probability regime)
+
+Expected overhead per useful instruction:
+
+    V(n, p) = c_ckpt / n + p * (t_fill + t_check / 2) * n * r(n, p)
+
+where ``c_ckpt`` is the fixed checkpoint cost and ``r`` accounts for
+re-run attempts failing again (geometric): ``r = 1 / (1 - p n (...))``
+diverging as ``p * n`` approaches the livelock region — exactly
+ParaMedic's figure 8 cliff.  Minimising over ``n`` gives the classic
+square-root checkpoint-interval law (Young/Daly for this architecture).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SystemConfig, table1_config
+
+
+@dataclass(frozen=True)
+class OverheadParameters:
+    """Calibration constants extracted from a system configuration."""
+
+    #: Main-core seconds per instruction (1 / (IPC * f)).
+    t_fill: float
+    #: Checker seconds per instruction (1 / (IPC_checker * f_checker)).
+    t_check: float
+    #: Fixed checkpoint cost in seconds (16-cycle commit block).
+    c_checkpoint: float
+
+    @classmethod
+    def from_config(
+        cls,
+        config: SystemConfig = None,
+        main_ipc: float = 2.0,
+        checker_ipc: float = 0.9,
+    ) -> "OverheadParameters":
+        config = config or table1_config()
+        return cls(
+            t_fill=1.0 / (main_ipc * config.main_core.frequency_hz),
+            t_check=1.0 / (checker_ipc * config.checker.frequency_hz),
+            c_checkpoint=(
+                config.main_core.register_checkpoint_cycles
+                / config.main_core.frequency_hz
+            ),
+        )
+
+
+def expected_waste_per_error(n: int, params: OverheadParameters) -> float:
+    """Mean wasted-execution seconds for one error in an ``n``-long segment.
+
+    Fill of the segment plus half the check (uniform error position),
+    figure 4's "Re-run" span in expectation.
+    """
+    if n <= 0:
+        raise ValueError("segment length must be positive")
+    return n * params.t_fill + 0.5 * n * params.t_check
+
+
+def rerun_inflation(n: int, p: float) -> float:
+    """Expected attempts per segment when each retry can fail again.
+
+    A segment of ``n`` instructions survives checking with probability
+    ``(1 - p)^n``; attempts are geometric.  Returns infinity in the
+    livelock regime (success probability ~ 0).
+    """
+    if not 0 <= p <= 1:
+        raise ValueError("p must be a probability")
+    survive = (1.0 - p) ** n
+    if survive <= 0.0:
+        return math.inf
+    return 1.0 / survive
+
+
+def overhead_per_instruction(n: int, p: float, params: OverheadParameters) -> float:
+    """Expected extra seconds per useful instruction at segment length n.
+
+    Checkpoint cost amortised over the segment, plus error recovery:
+    expected failures per successful attempt times the waste each costs,
+    amortised the same way.
+    """
+    attempts = rerun_inflation(n, p)
+    if math.isinf(attempts):
+        return math.inf
+    failures = attempts - 1.0
+    waste = expected_waste_per_error(n, params)
+    return params.c_checkpoint / n + failures * waste / n
+
+
+def optimal_segment_length(
+    p: float,
+    params: OverheadParameters,
+    n_min: int = 10,
+    n_max: int = 5000,
+) -> int:
+    """Segment length minimising :func:`overhead_per_instruction`.
+
+    For small ``p`` this follows the Young/Daly square-root law
+    ``n* ~ sqrt(c_ckpt / (p * (t_fill + t_check / 2)))``, capped by the
+    architecture's bounds — the operating point ParaDox's AIMD controller
+    hunts for dynamically.
+    """
+    if p <= 0:
+        return n_max
+    best_n, best_v = n_min, math.inf
+    n = n_min
+    while n <= n_max:
+        value = overhead_per_instruction(n, p, params)
+        if value < best_v:
+            best_n, best_v = n, value
+        n = max(n + 1, int(n * 1.1))
+    return best_n
+
+
+def young_daly_length(p: float, params: OverheadParameters) -> float:
+    """The closed-form square-root approximation of the optimum."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    per_inst_waste = params.t_fill + 0.5 * params.t_check
+    return math.sqrt(params.c_checkpoint / (p * per_inst_waste))
+
+
+def predicted_slowdown(
+    n: int, p: float, params: OverheadParameters
+) -> float:
+    """Wall-time inflation factor vs error-free execution at length n."""
+    base = params.t_fill
+    extra = overhead_per_instruction(n, p, params)
+    if math.isinf(extra):
+        return math.inf
+    return (base + extra) / base
+
+
+def livelock_rate(n: int, survival_floor: float = 0.02) -> float:
+    """Error rate above which an ``n``-long segment rarely survives.
+
+    ``(1-p)^n < survival_floor``  =>  ``p > 1 - survival_floor^(1/n)``.
+    ParaMedic with its 5,000-instruction checkpoints crosses this around
+    p ~ 8e-4; ParaDox shrinks ``n`` to stay below it.
+    """
+    if n <= 0:
+        raise ValueError("segment length must be positive")
+    return 1.0 - survival_floor ** (1.0 / n)

@@ -1,0 +1,752 @@
+"""The heterogeneous fault-tolerance simulation engine.
+
+Orchestrates one main core plus its pool of checker cores over a single
+workload, reproducing the ParaMedic/ParaDox execution model:
+
+1. The main core executes instructions functionally (exact architectural
+   semantics) while the out-of-order timing model assigns commit cycles,
+   and every load/store is recorded into the currently filling log
+   segment.
+2. A segment closes when it reaches the AIMD target length, fills its
+   log SRAM, hits an unchecked-line eviction conflict, or the program
+   ends.  Closing takes a register checkpoint (16 commit-blocked cycles)
+   and dispatches the segment to a checker core chosen by the scheduling
+   policy — stalling the main core if all checkers are busy.
+3. Checker cores re-execute their segment against the log.  The fault
+   injector corrupts checker state/log data (or main-core state when so
+   targeted).  A divergence surfaces through one of the detection
+   channels at a known point of checker execution.
+4. On detection the main core stops, every store back to the faulty
+   segment's start is reverted from the log (word- or line-granularity),
+   architectural state is restored, and execution re-runs.  Checkpoint
+   length, and optionally supply voltage and frequency, adapt.
+
+Wall-clock time is continuous nanoseconds.  The main core's cycle count
+maps to wall time through the *current* frequency, which the DVFS
+controller may change at checkpoint boundaries; checker cores always run
+at their own fixed clock.
+
+The engine is deliberately single-main-core, like the paper's evaluation
+("we do not test here on multicore workloads"), but models the L1
+buffering of unchecked stores that multicore correctness requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..checkpoint import CheckpointLengthController, LengthEvent
+from ..config import SystemConfig
+from ..cores.branch_predictor import TournamentPredictor
+from ..cores.checker_core import CheckResult, CheckerCore
+from ..cores.main_core import MainCoreTiming
+from ..dvfs import VoltageController
+from ..faults.injector import FaultInjector
+from ..faults.voltage_model import VoltageErrorModel
+from ..isa import Executor, HaltTrap, MemoryImage, Program, SimTrap
+from ..isa.instructions import EXTERNAL_SYSCALLS, Opcode
+from ..isa.state import ArchState
+from ..lslog.detection import DetectionChannel
+from ..lslog.ports import MainMemoryPort, UncheckedConflictStall
+from ..lslog.rollback import rollback_memory
+from ..lslog.segment import (
+    LogSegment,
+    RollbackGranularity,
+    SegmentCloseReason,
+    SegmentFull,
+)
+from ..memory.cache import MemoryHierarchy
+from ..memory.unchecked import UncheckedLineTracker
+from ..scheduling import CheckerPool, DispatchRecord, SchedulingPolicy
+from ..stats import RecoveryEvent, RunResult, StallBreakdown
+from ..stats.timeline import EventKind, Timeline
+
+
+class LivelockError(RuntimeError):
+    """The run exceeded its total execution budget (recovery livelock)."""
+
+
+@dataclass
+class PendingCheck:
+    """A dispatched segment whose check has not yet committed."""
+
+    segment: LogSegment
+    record: DispatchRecord
+    result: CheckResult
+    #: Wall time the checker finishes (or detects).
+    end_ns: float
+
+
+@dataclass
+class EngineOptions:
+    """Behavioural switches distinguishing the four systems."""
+
+    granularity: RollbackGranularity = RollbackGranularity.LINE
+    scheduling: SchedulingPolicy = SchedulingPolicy.LOWEST_FREE_ID
+    adaptive_checkpoints: bool = True
+    #: Enable checker cores at all (False = unprotected baseline).
+    checking: bool = True
+    #: Enable the dynamic voltage controller (ParaDox DVS mode).
+    dvs: bool = False
+    #: With dvs, the fault rate follows the voltage through this model.
+    voltage_model: Optional[VoltageErrorModel] = None
+    #: Skip functional replay of segments in which no fault can fire.
+    fastpath: bool = True
+    #: Abort with LivelockError when total executed instructions exceed
+    #: this multiple of the useful budget.
+    livelock_factor: float = 64.0
+    #: Use the constant voltage-decrease comparator of figure 11.
+    dynamic_voltage_decrease: bool = True
+    #: Record a :class:`repro.stats.timeline.Timeline` of segment/checker
+    #: lifecycle events (debugging and documentation aid).
+    record_timeline: bool = False
+
+
+class SimulationEngine:
+    """Run one workload on one configuration of the architecture."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: SystemConfig,
+        options: EngineOptions,
+        injector: Optional[FaultInjector] = None,
+        memory: Optional[MemoryImage] = None,
+        system_name: str = "system",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.options = options
+        self.injector = injector
+        self.system_name = system_name
+        self.memory = memory if memory is not None else MemoryImage()
+        self.rng = rng if rng is not None else np.random.default_rng(config.fault.seed)
+
+        # Main core.
+        self.state = ArchState()
+        self.hierarchy = MemoryHierarchy(config)
+        self.predictor = TournamentPredictor(config.branch_predictor)
+        self.timing = MainCoreTiming(config.main_core, self.hierarchy, self.predictor)
+        self.tracker = UncheckedLineTracker(config.memory.l1d)
+        self.port = MainMemoryPort(self.memory, self.tracker, options.granularity)
+        self.executor = Executor(program, self.state, self.port)
+
+        # Checker pool.
+        if options.checking:
+            cores = [
+                CheckerCore(i, config.checker, program)
+                for i in range(config.checker.count)
+            ]
+            boot_offset = int(self.rng.integers(config.checker.count))
+            self.pool: Optional[CheckerPool] = CheckerPool(
+                cores, options.scheduling, boot_offset=boot_offset
+            )
+        else:
+            self.pool = None
+
+        # Controllers.
+        self.length_controller = CheckpointLengthController(
+            config.checkpoint, adaptive=options.adaptive_checkpoints
+        )
+        self.dvfs: Optional[VoltageController] = None
+        if options.dvs:
+            self.dvfs = VoltageController(
+                config.dvfs,
+                config.main_core.frequency_hz,
+                dynamic_decrease=options.dynamic_voltage_decrease,
+            )
+
+        # Time anchors: wall(cycles) = base_wall + (cycles - base_cycles) * cycle_ns.
+        self._frequency_hz = config.main_core.frequency_hz
+        self._cycle_ns = 1e9 / self._frequency_hz
+        self._base_cycles = 0.0
+        self._base_wall_ns = 0.0
+
+        # Segment bookkeeping.
+        self._next_seq = 1
+        self._segment: Optional[LogSegment] = None
+        self._segment_start_wall: Dict[int, float] = {}
+        self._pending: List[PendingCheck] = []
+        self._last_commit_ns = 0.0
+        self._checkpoint_lengths: List[int] = []
+
+        # Statistics.
+        self.stalls = StallBreakdown()
+        self.recoveries: List[RecoveryEvent] = []
+        self.close_reasons: Dict[SegmentCloseReason, int] = {}
+        self._executed_total = 0
+        self._segments_closed = 0
+        self._trap_retries = 0
+        #: True while the next (external) instruction has been cleared to
+        #: execute: every older check has committed clean.
+        self._external_verified = False
+        #: (wall_ns, text) for every externally visible write performed.
+        self.external_flushes: List["tuple[float, str]"] = []
+        #: Executed instructions per unit class, wasted re-runs included.
+        self._unit_mix: Dict[str, int] = {}
+        #: Optional event log (EngineOptions.record_timeline).
+        self.timeline: Optional[Timeline] = (
+            Timeline() if options.record_timeline else None
+        )
+
+    # ------------------------------------------------------------------ time --
+    @property
+    def wall_ns(self) -> float:
+        return self._base_wall_ns + (self.timing.now - self._base_cycles) * self._cycle_ns
+
+    def _ns_to_cycles(self, ns: float) -> float:
+        return ns / self._cycle_ns
+
+    def _set_frequency(self, frequency_hz: float) -> None:
+        if frequency_hz == self._frequency_hz:
+            return
+        # Re-anchor so past time is preserved, future cycles use new period.
+        self._base_wall_ns = self.wall_ns
+        self._base_cycles = self.timing.now
+        self._frequency_hz = frequency_hz
+        self._cycle_ns = 1e9 / frequency_hz
+
+    def _stall_to_wall(self, target_ns: float, bucket: str) -> None:
+        """Stall the main core until wall time ``target_ns``."""
+        now = self.wall_ns
+        if target_ns <= now:
+            return
+        cycles = self._ns_to_cycles(target_ns - now)
+        self.timing.stall_until(self.timing.now + cycles)
+        delta = target_ns - now
+        if bucket == "checker":
+            self.stalls.checker_wait_ns += delta
+        elif bucket == "conflict":
+            self.stalls.conflict_ns += delta
+        elif bucket == "rollback":
+            self.stalls.rollback_ns += delta
+
+    # ------------------------------------------------------------- segments --
+    def _open_segment(self, start_state: ArchState) -> None:
+        granularity = self.options.granularity
+        seq = self._next_seq
+        self._next_seq += 1
+        prev_id = self.pool.last_core_id if self.pool is not None else None
+        self._segment = LogSegment(
+            seq=seq,
+            granularity=granularity,
+            capacity_bytes=self.config.checker.log_bytes_per_core,
+            start_state=start_state,
+            prev_checker_id=prev_id,
+        )
+        self._segment.text_footprint_bytes = self.program.text_bytes
+        self.port.segment = self._segment
+        self._segment_start_wall[seq] = self.wall_ns
+        if self.timeline is not None:
+            self.timeline.record(self.wall_ns, EventKind.SEGMENT_OPEN, seq)
+
+    def _close_segment(self, reason: SegmentCloseReason) -> None:
+        segment = self._segment
+        assert segment is not None
+        segment.close(self.state.snapshot(), reason)
+        if self.timeline is not None:
+            self.timeline.record(
+                self.wall_ns, EventKind.SEGMENT_CLOSE, segment.seq, detail=reason.value
+            )
+        self.close_reasons[reason] = self.close_reasons.get(reason, 0) + 1
+        self._segments_closed += 1
+        self._trap_retries = 0  # a closed segment is forward progress
+        self._checkpoint_lengths.append(segment.instruction_count)
+
+        # Register checkpoint: commit blocked for 16 cycles.
+        block = self.config.main_core.register_checkpoint_cycles
+        self.timing.block_commit(block)
+        self.stalls.checkpoint_ns += block * self._cycle_ns
+
+        # DVFS advances at every checkpoint boundary (error case is
+        # handled inside _recover).
+        self._dvfs_checkpoint(error=False)
+
+        if self.pool is not None:
+            self._dispatch(segment)
+
+        event = (
+            LengthEvent.EVICTION
+            if reason is SegmentCloseReason.EVICTION_CONFLICT
+            else LengthEvent.CLEAN
+        )
+        self.length_controller.observe(segment.instruction_count, event)
+
+        # Next segment continues from this checkpoint.
+        self._open_segment(segment.end_state)
+
+    def _dvfs_checkpoint(self, error: bool) -> None:
+        if self.dvfs is None:
+            return
+        self.dvfs.on_checkpoint(error, self.wall_ns)
+        self._set_frequency(self.dvfs.frequency_hz)
+        if self.injector is not None and self.options.voltage_model is not None:
+            rate = self.options.voltage_model.rate(self.dvfs.voltage)
+            self.injector.set_rate(rate)
+
+    # -------------------------------------------------------------- checking --
+    def _dispatch(self, segment: LogSegment) -> None:
+        pool = self.pool
+        assert pool is not None
+        core, start_ns = pool.select(self.wall_ns)
+        if start_ns > self.wall_ns:
+            self._stall_to_wall(start_ns, "checker")
+        start_ns = max(start_ns, self.wall_ns)
+        segment.checker_id = core.core_id
+
+        result = self._check(core, segment)
+        duration_ns = core.cycles_to_ns(result.checker_cycles)
+        record = pool.dispatch(core, segment.seq, start_ns, duration_ns)
+        self._pending.append(
+            PendingCheck(segment, record, result, start_ns + duration_ns)
+        )
+        if self.timeline is not None:
+            self.timeline.record(
+                start_ns,
+                EventKind.DISPATCH,
+                segment.seq,
+                core=core.core_id,
+                detail=f"{start_ns:.1f}..{start_ns + duration_ns:.1f}",
+            )
+
+    def _check(self, core: CheckerCore, segment: LogSegment) -> CheckResult:
+        injector = self.injector
+        checker_targeted = injector is not None and injector.target == "checker"
+        main_targeted = injector is not None and injector.target == "main"
+        if not main_targeted and self.options.fastpath:
+            if injector is None or not injector.fires_within_segment(segment):
+                if injector is not None:
+                    injector.skip_segment(segment)
+                return CheckResult(None, segment.instruction_count, core.analytic_cycles(segment))
+        if injector is not None:
+            injector.note_replay()
+        hook = injector if checker_targeted else None
+        return core.check_segment(segment, hook=hook)
+
+    # -------------------------------------------------- commits & detections --
+    def _next_detection(self) -> Optional[PendingCheck]:
+        candidates = [p for p in self._pending if p.result.detected]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.end_ns)
+
+    def _process_commits(self, up_to_ns: float) -> None:
+        """Commit clean checks, oldest first, whose results land by ``up_to_ns``.
+
+        A check commits only once all older checks have committed (the
+        waiting state of figure 2); commit releases its unchecked lines.
+        A pending *detection* blocks commits of everything younger.
+        """
+        while self._pending:
+            head = self._pending[0]
+            if head.result.detected:
+                break
+            effective = max(head.end_ns, self._last_commit_ns)
+            if effective > up_to_ns:
+                break
+            self._last_commit_ns = effective
+            self.tracker.release_through(head.segment.seq)
+            self._pending.pop(0)
+            self._segment_start_wall.pop(head.segment.seq, None)
+            if self.timeline is not None:
+                self.timeline.record(effective, EventKind.COMMIT, head.segment.seq)
+
+    def _handle_detection(self, pending: PendingCheck) -> None:
+        """Roll back to the start of the faulty segment and resume."""
+        faulty = pending.segment
+        now = max(self.wall_ns, pending.end_ns)
+        # Commit any older clean checks that finished before detection.
+        self._process_commits(now)
+
+        # The faulty segment may no longer be the oldest pending; roll back
+        # everything from it (inclusive) to the newest, plus the filler.
+        to_squash = [p for p in self._pending if p.segment.seq >= faulty.seq]
+        keep = [p for p in self._pending if p.segment.seq < faulty.seq]
+        segments_newest_first: List[LogSegment] = []
+        filler = self._segment
+        if filler is not None and (filler.instruction_count or filler.store_count):
+            segments_newest_first.append(filler)
+        segments_newest_first.extend(
+            sorted((p.segment for p in to_squash), key=lambda s: s.seq, reverse=True)
+        )
+
+        rollback = rollback_memory(self.memory, segments_newest_first)
+        rollback_ns = rollback.cycles * self._cycle_ns
+
+        # Abort in-flight checks of squashed segments.
+        for squashed in to_squash:
+            if self.pool is not None:
+                self.pool.abort(squashed.record, now)
+        self._pending = keep
+
+        # Restore architectural and tracker state.
+        useful_before = self.state.instret
+        self.state.restore(faulty.start_state)
+        self.tracker.drop_after(faulty.seq - 1)
+        self.timing.discard_inflight()
+
+        # Account time: detection point, then the rollback walk.
+        wasted_ns = now - self._segment_start_wall.get(faulty.seq, now)
+        self._stall_to_wall(now + rollback_ns, "rollback")
+
+        self.recoveries.append(
+            RecoveryEvent(
+                segment_seq=faulty.seq,
+                channel=pending.result.detection.channel,
+                detect_ns=now,
+                wasted_execution_ns=max(wasted_ns, 0.0),
+                rollback_ns=rollback_ns,
+                rollback_entries=rollback.entries_restored,
+                segments_rolled_back=rollback.segments_walked,
+            )
+        )
+        if self.timeline is not None:
+            self.timeline.record(
+                now,
+                EventKind.DETECTION,
+                faulty.seq,
+                core=pending.record.core_id,
+                detail=pending.result.detection.channel.value,
+            )
+            self.timeline.record(
+                now + rollback_ns,
+                EventKind.ROLLBACK,
+                faulty.seq,
+                detail=f"{rollback.entries_restored} entries, "
+                f"{rollback.segments_walked} segments",
+            )
+        for seq in list(self._segment_start_wall):
+            if seq >= faulty.seq:
+                del self._segment_start_wall[seq]
+
+        # Adapt: checkpoint length shrinks, voltage rises.
+        self.length_controller.observe(faulty.instruction_count, LengthEvent.ERROR)
+        self._dvfs_checkpoint(error=True)
+
+        # Resume filling from the restored state.
+        self._external_verified = False
+        self._open_segment(faulty.start_state.snapshot())
+        del useful_before
+
+    def _handle_main_trap(self, trap: SimTrap) -> None:
+        """The main core itself trapped — suspect a transient fault.
+
+        With main-core injection enabled a bit flip can send the main core
+        to a wild address or PC.  Hardware running ParaDox treats this
+        like any other error: drain outstanding checks (an older segment's
+        checker may pinpoint the corruption and trigger a full rollback),
+        and otherwise revert the current segment locally and re-run it.
+        A trap that recurs without any possible fault is a genuine program
+        bug and is re-raised.
+        """
+        if not self.options.checking:
+            raise RuntimeError(
+                f"unprotected main core trapped at pc {self.state.pc}: {trap!r}"
+            ) from trap
+        # Prefer a pending detection: it rolls back further and clears more.
+        while self._pending:
+            detection = self._next_detection()
+            head = self._pending[0]
+            head_effective = max(head.end_ns, self._last_commit_ns)
+            if detection is not None and detection.end_ns <= head_effective:
+                self._stall_to_wall(detection.end_ns, "checker")
+                self._handle_detection(detection)
+                self._trap_retries = 0
+                return
+            self._stall_to_wall(head_effective, "checker")
+            self._process_commits(head_effective)
+        # No outstanding checks: the corruption is local to this segment.
+        self._trap_retries += 1
+        if self._trap_retries > 8:
+            raise RuntimeError(
+                f"main core trapped repeatedly at pc {self.state.pc} with no "
+                f"recovery possible (deterministic bug?): {trap!r}"
+            ) from trap
+        filler = self._segment
+        rollback = rollback_memory(self.memory, [filler] if filler.store_count else [])
+        rollback_ns = rollback.cycles * self._cycle_ns
+        now = self.wall_ns
+        wasted_ns = now - self._segment_start_wall.get(filler.seq, now)
+        self.state.restore(filler.start_state)
+        self.tracker.drop_after(filler.seq - 1)
+        self.timing.discard_inflight()
+        self._stall_to_wall(now + rollback_ns, "rollback")
+        self.recoveries.append(
+            RecoveryEvent(
+                segment_seq=filler.seq,
+                channel=DetectionChannel.MAIN_TRAP,
+                detect_ns=now,
+                wasted_execution_ns=max(wasted_ns, 0.0),
+                rollback_ns=rollback_ns,
+                rollback_entries=rollback.entries_restored,
+                segments_rolled_back=rollback.segments_walked,
+            )
+        )
+        self.length_controller.observe(filler.instruction_count, LengthEvent.ERROR)
+        self._dvfs_checkpoint(error=True)
+        self._external_verified = False
+        self._open_segment(filler.start_state.snapshot())
+
+    # ------------------------------------------------------------------- run --
+    def run(self, max_instructions: int = 1_000_000) -> RunResult:
+        """Simulate until the program halts or the useful budget is reached."""
+        options = self.options
+        if not options.checking:
+            return self._run_unprotected(max_instructions)
+        livelock_budget = int(max_instructions * options.livelock_factor)
+        self._open_segment(self.state.snapshot())
+
+        livelocked = False
+        main_done_ns = 0.0
+        try:
+            while True:
+                self._fill_loop(max_instructions, livelock_budget)
+                # Program finished (or budget reached): close the last segment.
+                segment = self._segment
+                if segment is not None and segment.instruction_count > 0:
+                    self._close_segment(SegmentCloseReason.PROGRAM_END)
+                # The application is complete here; outstanding checks
+                # drain in the background and only extend the run if one
+                # of them detects an error.
+                main_done_ns = self.wall_ns
+                if not self._drain():
+                    break
+                # A detection during drain un-halted the state; keep running.
+        except LivelockError:
+            livelocked = True
+            main_done_ns = self.wall_ns
+
+        wall = main_done_ns or self.wall_ns
+        pool = self.pool
+        result = RunResult(
+            system=self.system_name,
+            workload=self.program.name,
+            wall_ns=wall,
+            instructions=self.state.instret,
+            instructions_executed=self._executed_total,
+            segments=self._segments_closed,
+            recoveries=self.recoveries,
+            stalls=self.stalls,
+            close_reasons=dict(self.close_reasons),
+            checker_wake_rates=pool.wake_rates(wall) if pool else [],
+            checker_peak_concurrency=pool.peak_concurrency() if pool else 0,
+            voltage_trace=list(self.dvfs.stats.trace) if self.dvfs else [],
+            mean_voltage=(
+                self.dvfs.stats.mean_voltage()
+                if self.dvfs
+                else self.config.dvfs.nominal_voltage
+            ),
+            highest_error_voltage=(
+                self.dvfs.stats.highest_error_voltage if self.dvfs else 0.0
+            ),
+            faults_injected=self.injector.stats.total if self.injector else 0,
+            program_output=list(self.state.output),
+            mean_checkpoint_length=(
+                sum(self._checkpoint_lengths) / len(self._checkpoint_lengths)
+                if self._checkpoint_lengths
+                else 0.0
+            ),
+            final_checkpoint_target=self.length_controller.target,
+            livelocked=livelocked,
+            external_flushes=list(self.external_flushes),
+            unit_mix=dict(self._unit_mix),
+            dispatch_trace=(
+                [
+                    (record.start_ns, record.end_ns - record.start_ns)
+                    for record in pool.dispatches
+                    if record.end_ns > record.start_ns
+                ]
+                if pool
+                else []
+            ),
+        )
+        return result
+
+    def _run_unprotected(self, max_instructions: int) -> RunResult:
+        """Baseline: the main core alone, no checkers, no checkpoints."""
+        state = self.state
+        # Bypass the logging port entirely.
+        self.executor.port = self.memory
+        while not state.halted and state.instret < max_instructions:
+            info = self.executor.step()
+            self._executed_total += 1
+            self.timing.commit(info)
+            unit_name = info.instruction.unit.value
+            self._unit_mix[unit_name] = self._unit_mix.get(unit_name, 0) + 1
+        return RunResult(
+            system=self.system_name,
+            workload=self.program.name,
+            wall_ns=self.wall_ns,
+            instructions=state.instret,
+            instructions_executed=self._executed_total,
+            segments=0,
+            program_output=list(state.output),
+            mean_voltage=self.config.dvfs.nominal_voltage,
+            unit_mix=dict(self._unit_mix),
+        )
+
+    def _fill_loop(self, max_instructions: int, livelock_budget: int) -> None:
+        """Execute main-core instructions until halt or budget."""
+        state = self.state
+        segment_target = self.length_controller.target
+        while not state.halted and state.instret < max_instructions:
+            if self._executed_total >= livelock_budget:
+                raise LivelockError(
+                    f"{self._executed_total} instructions executed for only "
+                    f"{state.instret} useful — recovery livelock"
+                )
+            if not self._external_verified and self._next_is_external():
+                # External state escapes the rollback domain: close the
+                # current segment and block until every outstanding check
+                # has committed clean before letting the write proceed.
+                if self._segment.instruction_count > 0:
+                    self._close_segment(SegmentCloseReason.EXTERNAL)
+                if self._drain_blocking():
+                    segment_target = self.length_controller.target
+                    continue  # a detection rolled us back; retry
+                self._external_verified = True
+            try:
+                info = self.executor.step()
+            except SegmentFull:
+                self._close_segment(SegmentCloseReason.LOG_CAPACITY)
+                segment_target = self.length_controller.target
+                continue
+            except UncheckedConflictStall as stall:
+                self._handle_conflict(stall.address)
+                segment_target = self.length_controller.target
+                continue
+            except HaltTrap:  # pragma: no cover - defensive
+                break
+            except SimTrap as trap:
+                self._handle_main_trap(trap)
+                segment_target = self.length_controller.target
+                continue
+
+            self._executed_total += 1
+            self.timing.commit(info)
+            unit_name = info.instruction.unit.value
+            self._unit_mix[unit_name] = self._unit_mix.get(unit_name, 0) + 1
+            segment = self._segment
+            segment.record_instruction(
+                info.instruction.unit, writes_register=info.dest is not None
+            )
+            if self._external_verified:
+                # The external write just executed, *buffered*.  It is
+                # released to the outside world only once its own segment
+                # checks clean; a detection instead rolls back to before
+                # the write, which was never released — no duplication.
+                self._external_verified = False
+                pending_text = state.output[-1][1] if state.output else ""
+                self._close_segment(SegmentCloseReason.EXTERNAL)
+                if self._drain_blocking():
+                    segment_target = self.length_controller.target
+                    continue
+                self.external_flushes.append((self.wall_ns, pending_text))
+                if self.timeline is not None:
+                    self.timeline.record(
+                        self.wall_ns, EventKind.EXTERNAL_FLUSH, detail=pending_text
+                    )
+                segment_target = self.length_controller.target
+                continue
+            if self.injector is not None and self.injector.target == "main":
+                self.injector.after_instruction(state, info, segment.instruction_count)
+
+            # Detections interrupt execution as soon as the main core's
+            # wall clock passes the detection point.
+            detection = self._next_detection()
+            if detection is not None and detection.end_ns <= self.wall_ns:
+                self._handle_detection(detection)
+                segment_target = self.length_controller.target
+                continue
+
+            if state.halted:
+                break
+            if segment.instruction_count >= segment_target:
+                self._close_segment(SegmentCloseReason.TARGET_LENGTH)
+                segment_target = self.length_controller.target
+
+    def _handle_conflict(self, address: int) -> None:
+        """An unchecked-line conflict: drain checkers until the write fits."""
+        segment = self._segment
+        if segment.instruction_count > 0:
+            self._close_segment(SegmentCloseReason.EVICTION_CONFLICT)
+        # Wait for commits (in order) until the set has a free way.
+        while self.tracker.would_conflict(address):
+            detection = self._next_detection()
+            if self._pending:
+                head = self._pending[0]
+                head_effective = max(head.end_ns, self._last_commit_ns)
+            else:
+                head_effective = None
+            if detection is not None and (
+                head_effective is None or detection.end_ns <= head_effective
+            ):
+                self._stall_to_wall(detection.end_ns, "conflict")
+                self._handle_detection(detection)
+                return  # state rolled back; the conflicting store may not recur
+            if head_effective is None:
+                raise RuntimeError(
+                    f"unresolvable unchecked-line conflict at {address:#x}"
+                )
+            self._stall_to_wall(head_effective, "conflict")
+            self._process_commits(head_effective)
+
+    def _next_is_external(self) -> bool:
+        """Is the next instruction a syscall that updates external state?"""
+        pc = self.state.pc
+        if not 0 <= pc < len(self.program.instructions):
+            return False
+        instruction = self.program.instructions[pc]
+        return (
+            instruction.opcode is Opcode.SYSCALL
+            and instruction.imm in EXTERNAL_SYSCALLS
+        )
+
+    def _drain_blocking(self) -> bool:
+        """Stall the main core until all checks commit; True on rollback.
+
+        Unlike the end-of-run :meth:`_drain`, the main core here is *not*
+        finished — it is blocked on an external operation — so waiting
+        for clean commits costs real wall time (checker-wait stalls).
+        """
+        while self._pending:
+            detection = self._next_detection()
+            head = self._pending[0]
+            head_effective = max(head.end_ns, self._last_commit_ns)
+            if detection is not None and detection.end_ns <= head_effective:
+                self._stall_to_wall(detection.end_ns, "checker")
+                self._handle_detection(detection)
+                return True
+            self._stall_to_wall(head_effective, "checker")
+            self._process_commits(head_effective)
+        return False
+
+    def _drain(self) -> bool:
+        """Resolve all outstanding checks; True if a rollback re-opened work.
+
+        Clean commits do not stall the (already finished) main core: the
+        application completed at ``main_done_ns`` and checking merely
+        lags.  Only a detection re-engages the main core, extending the
+        run with recovery and re-execution.
+        """
+        while self._pending:
+            detection = self._next_detection()
+            head = self._pending[0]
+            head_effective = max(head.end_ns, self._last_commit_ns)
+            if detection is not None and detection.end_ns <= head_effective:
+                self._stall_to_wall(detection.end_ns, "drain")
+                self._handle_detection(detection)
+                return True
+            self._last_commit_ns = head_effective
+            self.tracker.release_through(head.segment.seq)
+            self._pending.pop(0)
+            self._segment_start_wall.pop(head.segment.seq, None)
+            if self.timeline is not None:
+                self.timeline.record(
+                    head_effective, EventKind.COMMIT, head.segment.seq
+                )
+        return False

@@ -1,0 +1,176 @@
+"""Tournament branch predictor (Table I, "Tournament Branch Pred.").
+
+A faithful functional model of the classic Alpha-21264-style tournament
+predictor the paper configures under gem5:
+
+* a *local* predictor: 2048-entry local-history table feeding 2-bit
+  saturating counters;
+* a *global* predictor: gshare over 13 bits of global history into an
+  8192-entry counter table;
+* a 2048-entry *chooser* of 2-bit counters selecting between them;
+* a 2048-entry branch target buffer (direct targets);
+* a 16-entry return address stack for call/return pairs.
+
+The timing model charges the mispredict penalty whenever the predicted
+direction or target disagrees with the resolved branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import BranchPredictorConfig
+from ..isa import Instruction, Opcode
+
+
+def _saturate(counter: int, taken: bool) -> int:
+    """Advance a 2-bit saturating counter."""
+    if taken:
+        return min(3, counter + 1)
+    return max(0, counter - 1)
+
+
+@dataclass
+class BranchStats:
+    """Prediction accuracy counters."""
+
+    branches: int = 0
+    mispredicts: int = 0
+    btb_misses: int = 0
+    ras_mispredicts: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def reset(self) -> None:
+        self.branches = self.mispredicts = 0
+        self.btb_misses = self.ras_mispredicts = 0
+
+
+class TournamentPredictor:
+    """Local/global tournament predictor with BTB and RAS."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        c = self.config
+        self._local_history: List[int] = [0] * c.local_entries
+        self._local_counters: List[int] = [2] * c.local_entries
+        self._global_counters: List[int] = [2] * c.global_entries
+        self._chooser: List[int] = [2] * c.chooser_entries  # >=2 favours global
+        self._global_history = 0
+        self._btb: List[Optional[int]] = [None] * c.btb_entries
+        self._btb_tags: List[Optional[int]] = [None] * c.btb_entries
+        self._ras: List[int] = []
+        self.stats = BranchStats()
+
+    # -- direction prediction --------------------------------------------------
+    def _local_index(self, pc: int) -> int:
+        return pc % self.config.local_entries
+
+    def _predict_direction(self, pc: int) -> "tuple[bool, bool, bool]":
+        """Return (prediction, local_prediction, global_prediction)."""
+        c = self.config
+        local_idx = self._local_index(pc)
+        history = self._local_history[local_idx]
+        local_counter_idx = (history ^ pc) % c.local_entries
+        local_pred = self._local_counters[local_counter_idx] >= 2
+        global_idx = (self._global_history ^ pc) % c.global_entries
+        global_pred = self._global_counters[global_idx] >= 2
+        chooser_idx = self._global_history % c.chooser_entries
+        use_global = self._chooser[chooser_idx] >= 2
+        return (global_pred if use_global else local_pred), local_pred, global_pred
+
+    # -- the full access -----------------------------------------------------------
+    def access(self, pc: int, instruction: Instruction, taken: bool, target: int) -> bool:
+        """Predict and train on one resolved branch; return True on mispredict."""
+        self.stats.branches += 1
+        opcode = instruction.opcode
+        mispredicted = False
+
+        if opcode is Opcode.JAL:
+            # Calls: direction always taken, target known at decode; push RAS.
+            self._push_ras(pc + 1)
+            predicted_target = self._btb_lookup(pc)
+            if predicted_target != target:
+                self._btb_update(pc, target)
+                self.stats.btb_misses += 1
+                mispredicted = True
+        elif opcode is Opcode.JALR:
+            # Returns/indirect: predict via RAS.
+            predicted_target = self._pop_ras()
+            if predicted_target != target:
+                self.stats.ras_mispredicts += 1
+                mispredicted = True
+        elif opcode is Opcode.B:
+            predicted_target = self._btb_lookup(pc)
+            if predicted_target != target:
+                self._btb_update(pc, target)
+                self.stats.btb_misses += 1
+                mispredicted = True
+        else:
+            prediction, local_pred, global_pred = self._predict_direction(pc)
+            if prediction != taken:
+                mispredicted = True
+            if taken and self._btb_lookup(pc) != target:
+                self._btb_update(pc, target)
+                if not mispredicted:
+                    self.stats.btb_misses += 1
+                    mispredicted = True
+            self._train_direction(pc, taken, local_pred, global_pred)
+
+        if mispredicted:
+            self.stats.mispredicts += 1
+        return mispredicted
+
+    def _train_direction(
+        self, pc: int, taken: bool, local_pred: bool, global_pred: bool
+    ) -> None:
+        c = self.config
+        local_idx = self._local_index(pc)
+        history = self._local_history[local_idx]
+        local_counter_idx = (history ^ pc) % c.local_entries
+        global_idx = (self._global_history ^ pc) % c.global_entries
+        chooser_idx = self._global_history % c.chooser_entries
+        # Chooser trains towards whichever component was right.
+        if local_pred != global_pred:
+            self._chooser[chooser_idx] = _saturate(
+                self._chooser[chooser_idx], global_pred == taken
+            )
+        self._local_counters[local_counter_idx] = _saturate(
+            self._local_counters[local_counter_idx], taken
+        )
+        self._global_counters[global_idx] = _saturate(
+            self._global_counters[global_idx], taken
+        )
+        # Histories.
+        mask_local = (1 << c.local_history_bits) - 1
+        self._local_history[local_idx] = ((history << 1) | int(taken)) & mask_local
+        mask_global = (1 << c.global_history_bits) - 1
+        self._global_history = ((self._global_history << 1) | int(taken)) & mask_global
+
+    # -- BTB ----------------------------------------------------------------------------
+    def _btb_lookup(self, pc: int) -> Optional[int]:
+        index = pc % self.config.btb_entries
+        if self._btb_tags[index] == pc:
+            return self._btb[index]
+        return None
+
+    def _btb_update(self, pc: int, target: int) -> None:
+        index = pc % self.config.btb_entries
+        self._btb_tags[index] = pc
+        self._btb[index] = target
+
+    # -- RAS ------------------------------------------------------------------------------
+    def _push_ras(self, return_pc: int) -> None:
+        self._ras.append(return_pc)
+        if len(self._ras) > self.config.ras_entries:
+            self._ras.pop(0)
+
+    def _pop_ras(self) -> Optional[int]:
+        return self._ras.pop() if self._ras else None
+
+    def reset(self) -> None:
+        """Forget all state (used between independent runs)."""
+        self.__init__(self.config)

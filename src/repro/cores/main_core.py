@@ -1,0 +1,159 @@
+"""Main-core timing model: a cycle-approximate 3-wide out-of-order core.
+
+A greedy scoreboard over the committed instruction stream, the standard
+"interval" style of OoO approximation: each retiring instruction issues as
+soon as its source registers are ready (register dependencies), subject to
+the ROB window (an instruction cannot issue until the instruction
+``rob_entries`` older has committed), front-end availability (I-cache
+latency and branch-mispredict redirects) and per-functional-unit
+latencies; commit retires at most ``commit_width`` instructions per cycle
+in order.
+
+This reproduces the first-order behaviour that matters to ParaDox:
+dependence-limited IPC for compute loops, miss-latency exposure for
+memory-bound code, mispredict penalties, and the 16-cycle commit block at
+each register checkpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..config import MAIN_FU_LATENCY, MainCoreConfig
+from ..isa import StepInfo
+from ..memory.cache import MemoryHierarchy
+from .branch_predictor import TournamentPredictor
+
+
+@dataclass
+class MainCoreStats:
+    """Aggregate timing statistics for the main core."""
+
+    instructions: int = 0
+    checkpoint_blocks: int = 0
+    stall_cycles: float = 0.0  # cycles spent waiting for checkers / conflicts
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.checkpoint_blocks = 0
+        self.stall_cycles = 0.0
+
+
+class MainCoreTiming:
+    """Commit-time calculator for the out-of-order main core.
+
+    All times are in *main-core cycles* as floats; the engine converts to
+    wall-clock using the (DVFS-scaled) frequency of the current interval.
+    """
+
+    def __init__(
+        self,
+        config: MainCoreConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: TournamentPredictor,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self._latency = {unit: MAIN_FU_LATENCY[unit.value] for unit in _ALL_UNITS}
+        #: Completion cycle per register tag.
+        self._reg_ready: Dict[Tuple[str, int], float] = {}
+        #: Commit cycles of the youngest ``rob_entries`` instructions.
+        self._rob: Deque[float] = deque(maxlen=config.rob_entries)
+        #: Earliest cycle the front end can supply the next instruction.
+        self._fetch_ready: float = 0.0
+        #: Commit cursor: cycle of the most recent commit.
+        self.now: float = 0.0
+        self._commit_slot = 1.0 / config.commit_width
+        self._last_fetch_line: Optional[int] = None
+        self.stats = MainCoreStats()
+
+    # -- main entry point -------------------------------------------------------------
+    def commit(self, info: StepInfo) -> float:
+        """Account one retired instruction; return its commit cycle."""
+        config = self.config
+        fetch_ready = self._fetch_cost(info.pc_before)
+
+        ready = fetch_ready
+        for tag in info.reads:
+            when = self._reg_ready.get(tag)
+            if when is not None and when > ready:
+                ready = when
+        if len(self._rob) == config.rob_entries and self._rob[0] > ready:
+            ready = self._rob[0]  # ROB full: wait for the oldest to commit
+
+        instruction = info.instruction
+        latency = float(self._latency[instruction.unit])
+        if info.address is not None:
+            access = self.hierarchy.data_access(info.address, pc=info.pc_before)
+            if instruction.is_load:
+                latency = float(access.latency_cycles)
+            # Stores retire into the store queue; their miss latency is
+            # hidden, only occupancy matters (not modelled per-slot).
+        complete = ready + latency
+
+        commit = complete
+        floor = self.now + self._commit_slot
+        if commit < floor:
+            commit = floor
+        self._rob.append(commit)
+        self.now = commit
+        if info.dest is not None:
+            self._reg_ready[info.dest] = complete
+        if instruction.is_branch:
+            mispredicted = self.predictor.access(
+                info.pc_before, instruction, bool(info.taken), info.pc_after
+            )
+            if mispredicted:
+                redirect = complete + self.predictor.config.mispredict_penalty_cycles
+                if redirect > self._fetch_ready:
+                    self._fetch_ready = redirect
+        self.stats.instructions += 1
+        return commit
+
+    def _fetch_cost(self, pc: int) -> float:
+        """Front-end availability for the instruction at ``pc``."""
+        line = (pc * 4) >> 6  # 16 instructions per 64-byte line
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            latency = self.hierarchy.fetch_access(pc * 4)
+            if latency > 1:
+                # A miss delays the front end from now.
+                stall_until = self.now + latency
+                if stall_until > self._fetch_ready:
+                    self._fetch_ready = stall_until
+        return self._fetch_ready
+
+    # -- engine hooks --------------------------------------------------------------------
+    def block_commit(self, cycles: float) -> None:
+        """Block commit for ``cycles`` (register checkpointing, 16 cycles)."""
+        self.now += cycles
+        self._fetch_ready = max(self._fetch_ready, self.now)
+        self.stats.checkpoint_blocks += 1
+
+    def stall_until(self, cycle: float) -> float:
+        """Stall the core until ``cycle`` (checker busy / L1 conflict).
+
+        Returns the stall length in cycles (0 if already past it).
+        """
+        if cycle > self.now:
+            stalled = cycle - self.now
+            self.stats.stall_cycles += stalled
+            self.now = cycle
+            self._fetch_ready = max(self._fetch_ready, self.now)
+            return stalled
+        return 0.0
+
+    def discard_inflight(self) -> None:
+        """Squash speculative scoreboard state (used on rollback)."""
+        self._reg_ready.clear()
+        self._rob.clear()
+        self._fetch_ready = max(self._fetch_ready, self.now)
+        self._last_fetch_line = None
+
+
+from ..isa import FunctionalUnit as _FU  # noqa: E402  (constant table below)
+
+_ALL_UNITS = tuple(_FU)

@@ -1,0 +1,27 @@
+"""Coverage analysis (section IV-E): what ParaDox does and doesn't catch."""
+
+from .common_mode import Corruption, inject_common_mode, inject_independent
+from .model import (
+    CoveragePoint,
+    MARGINED_RESIDUAL_RATE,
+    UNMASKED_FRACTION,
+    checker_undervolt_tradeoff,
+    common_mode_match_probability,
+    coverage_sweep,
+    margined_sdc_rate,
+    paradox_sdc_rate,
+)
+
+__all__ = [
+    "Corruption",
+    "CoveragePoint",
+    "MARGINED_RESIDUAL_RATE",
+    "UNMASKED_FRACTION",
+    "checker_undervolt_tradeoff",
+    "common_mode_match_probability",
+    "coverage_sweep",
+    "inject_common_mode",
+    "inject_independent",
+    "margined_sdc_rate",
+    "paradox_sdc_rate",
+]

@@ -1,0 +1,5 @@
+"""Dynamic voltage and frequency scaling (section IV-B)."""
+
+from .controller import DvfsStats, VoltageController
+
+__all__ = ["DvfsStats", "VoltageController"]

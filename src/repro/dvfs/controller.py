@@ -1,0 +1,147 @@
+"""Dynamic voltage adaptation (section IV-B).
+
+The controller drives the main core's supply voltage *below* the margined
+safe point, deliberately into error-seeking territory, and relies on the
+fault-tolerance machinery to mop up the consequences:
+
+* AIMD on the *difference* ``safe_voltage - target``: each error-free
+  checkpoint widens the difference by a small step (lower voltage); an
+  observed error multiplies the difference by 0.875 (raising voltage —
+  the paper rejects plain halving as it "would spend a significant
+  amount of time using more power than is strictly necessary").
+* A *tide mark* records the highest voltage at which an error has been
+  seen; below it the voltage decrease slows by 8x, keeping the system
+  hovering in the productive region.  The tide mark resets every 100
+  errors so a phase change back to a more tolerant region is found.
+* The AIMD value is only a *target*: the regulator slews the actual
+  voltage towards it at a bounded rate, avoiding self-inflicted voltage
+  spikes.  While the actual voltage is below target, clock frequency
+  scales as ``f = f_target * (v - v_th) / (v_target - v_th)`` so timing
+  stays safe during the transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..config import DvfsConfig
+
+
+@dataclass
+class DvfsStats:
+    """Aggregates for the voltage trace analysis (figure 11)."""
+
+    errors_observed: int = 0
+    tide_resets: int = 0
+    #: (time_ns, actual_voltage) samples, one per checkpoint.
+    trace: List[Tuple[float, float]] = field(default_factory=list)
+    #: Highest voltage at which any error was ever seen (never reset).
+    highest_error_voltage: float = 0.0
+
+    def mean_voltage(self, from_ns: float = 0.0) -> float:
+        """Time-weighted mean of the recorded voltage trace."""
+        samples = [(t, v) for t, v in self.trace if t >= from_ns]
+        if len(samples) < 2:
+            return samples[0][1] if samples else 0.0
+        total = 0.0
+        duration = samples[-1][0] - samples[0][0]
+        if duration <= 0:
+            return samples[-1][1]
+        for (t0, v0), (t1, _v1) in zip(samples, samples[1:]):
+            total += v0 * (t1 - t0)
+        return total / duration
+
+
+class VoltageController:
+    """AIMD voltage targetting with tide-mark slowdown and slewed output."""
+
+    def __init__(
+        self,
+        config: DvfsConfig,
+        target_frequency_hz: float,
+        dynamic_decrease: bool = True,
+    ) -> None:
+        self.config = config
+        self.target_frequency_hz = target_frequency_hz
+        #: When False, the decrease rate is constant (the "Constant
+        #: Decrease" comparator of figure 11).
+        self.dynamic_decrease = dynamic_decrease
+        self._difference = config.initial_difference  # safe_voltage - target
+        self._actual = max(
+            config.safe_voltage - config.initial_difference, config.min_voltage
+        )
+        self._tide_mark: float = 0.0  # highest voltage of a recent error
+        self._errors_since_reset = 0
+        self._last_advance_ns = 0.0
+        self.stats = DvfsStats()
+
+    # -- voltage state ----------------------------------------------------------
+    @property
+    def target_voltage(self) -> float:
+        return max(self.config.safe_voltage - self._difference, self.config.min_voltage)
+
+    @property
+    def voltage(self) -> float:
+        """Actual (slewed) supply voltage."""
+        return self._actual
+
+    @property
+    def tide_mark(self) -> float:
+        return self._tide_mark
+
+    # -- frequency ---------------------------------------------------------------
+    @property
+    def frequency_hz(self) -> float:
+        """Current clock: scaled down while actual voltage trails target.
+
+        ``f = f_target * (v - v_th) / (v_target - v_th)`` (section IV-B),
+        clamped to the target frequency when the regulator has caught up
+        or overshoots upward.
+        """
+        v_th = self.config.threshold_voltage
+        target = self.target_voltage
+        if self._actual >= target or target <= v_th:
+            return self.target_frequency_hz
+        return self.target_frequency_hz * (self._actual - v_th) / (target - v_th)
+
+    # -- events ---------------------------------------------------------------------
+    def on_checkpoint(self, error_observed: bool, now_ns: float) -> None:
+        """Advance the AIMD law at a checkpoint boundary."""
+        self.advance_to(now_ns)
+        config = self.config
+        if error_observed:
+            self.stats.errors_observed += 1
+            self._errors_since_reset += 1
+            if self._actual > self._tide_mark:
+                self._tide_mark = self._actual
+            if self._actual > self.stats.highest_error_voltage:
+                self.stats.highest_error_voltage = self._actual
+            # Multiplicative recovery towards the safe voltage.
+            self._difference *= config.recovery_factor
+            if self._errors_since_reset >= config.tide_reset_errors:
+                self._tide_mark = 0.0
+                self._errors_since_reset = 0
+                self.stats.tide_resets += 1
+        else:
+            step = config.step_volts
+            if self.dynamic_decrease and self.target_voltage <= self._tide_mark:
+                step /= config.tide_slowdown
+            self._difference += step
+        max_difference = config.safe_voltage - config.min_voltage
+        if self._difference > max_difference:
+            self._difference = max_difference
+        self.stats.trace.append((now_ns, self._actual))
+
+    def advance_to(self, now_ns: float) -> None:
+        """Slew the actual voltage towards the target."""
+        elapsed_us = (now_ns - self._last_advance_ns) / 1000.0
+        if elapsed_us <= 0:
+            return
+        self._last_advance_ns = now_ns
+        max_delta = self.config.slew_volts_per_us * elapsed_us
+        target = self.target_voltage
+        if self._actual < target:
+            self._actual = min(self._actual + max_delta, target)
+        elif self._actual > target:
+            self._actual = max(self._actual - max_delta, target)

@@ -1,0 +1,47 @@
+"""Experiment harnesses: one module per figure of the paper.
+
+Run any figure directly::
+
+    python -m repro.experiments.fig08
+    python -m repro.experiments.fig09
+    python -m repro.experiments.fig10
+    python -m repro.experiments.fig11
+    python -m repro.experiments.fig12
+    python -m repro.experiments.fig13
+    python -m repro.experiments.sec6e
+
+or everything (reduced sizes) via ``python -m repro.experiments``.
+"""
+
+from . import (
+    ext_coverage,
+    ext_design_space,
+    ext_sharing,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sec6e,
+)
+from .common import format_table, per_instruction_slowdown, steady_state_dvfs_config
+from .spec_runs import SpecSuiteRuns, run_spec_suite
+
+__all__ = [
+    "SpecSuiteRuns",
+    "ext_coverage",
+    "ext_design_space",
+    "ext_sharing",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "format_table",
+    "per_instruction_slowdown",
+    "run_spec_suite",
+    "sec6e",
+    "steady_state_dvfs_config",
+]

@@ -1,0 +1,40 @@
+"""Run every experiment at reduced size: ``python -m repro.experiments``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ext_coverage, ext_sharing, fig08, fig09, fig10, fig11, fig12, fig13, sec6e
+from .spec_runs import run_spec_suite
+
+
+def main() -> int:
+    start = time.time()
+
+    print(fig08.run(rates=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2)).table())
+    print()
+    print(fig09.run(rates=(1e-5, 1e-4, 1e-3), seeds=(11, 22)).table())
+    print()
+
+    # Figures 10, 12 and 13 share one suite of runs.
+    runs = run_spec_suite(iterations=20)
+    print(fig10.from_runs(runs).table())
+    print()
+    print(fig12.from_runs(runs).table())
+    print()
+    print(fig13.from_runs(runs).table())
+    print()
+    print(fig11.run().table())
+    print()
+    print(sec6e.run().table())
+    print()
+    print(ext_coverage.run().table())
+    print()
+    print(ext_sharing.run(iterations=8).table())
+    print(f"\ntotal: {time.time() - start:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

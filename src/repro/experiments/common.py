@@ -1,0 +1,74 @@
+"""Shared utilities for the experiment harnesses.
+
+Each ``figNN`` module regenerates the corresponding figure of the paper:
+it runs the necessary simulations and returns structured rows, and its
+``main()`` prints them as a text table in the same orientation the paper
+plots.  Absolute numbers are in this simulator's timebase; EXPERIMENTS.md
+compares shapes and ratios against the published figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from ..config import SystemConfig, table1_config
+from ..stats import RunResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def per_instruction_slowdown(result: RunResult, reference: RunResult) -> float:
+    """Wall time per useful instruction, relative to a reference run.
+
+    Robust to truncated (livelocked) runs, which complete fewer useful
+    instructions than the budget.
+    """
+    if result.instructions == 0 or reference.instructions == 0:
+        raise ValueError("cannot compute slowdown of an empty run")
+    mine = result.wall_ns / result.instructions
+    theirs = reference.wall_ns / reference.instructions
+    return mine / theirs
+
+
+def steady_state_dvfs_config(
+    base: Optional[SystemConfig] = None,
+    initial_difference: float = 0.13,
+    step_volts: float = 1e-4,
+) -> SystemConfig:
+    """Config for steady-state DVS studies (figures 10, 12, 13).
+
+    Warm-starts the voltage controller near its equilibrium (just above
+    the error cliff) with fine steps, so a 1e5-1e6-instruction simulation
+    window measures steady-state behaviour instead of the initial descent
+    (which figure 11 studies separately, cold-started).
+    """
+    config = base if base is not None else table1_config()
+    return replace(
+        config,
+        dvfs=replace(
+            config.dvfs,
+            initial_difference=initial_difference,
+            step_volts=step_volts,
+        ),
+    )

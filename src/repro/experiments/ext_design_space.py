@@ -1,0 +1,125 @@
+"""Extension: design-space exploration around Table I.
+
+Sweeps the two sizing decisions Table I fixes — the number of checker
+cores (16) and the log SRAM per checker (6 KiB / 5,000 instructions) —
+and measures the slowdown of ParaDox on a compute-bound and a
+memory-bound workload.  The published design point should sit at the
+knee: fewer checkers start to stall the main core, smaller logs force
+shorter checkpoints on memory-bound code; growing either past Table I
+buys little (the paper's figure 12 already shows half the checkers idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..config import table1_config
+from ..core import BaselineSystem, ParaDoxSystem
+from ..workloads import Workload, build_bitcount, build_stream
+from .common import format_table
+
+DEFAULT_CHECKER_COUNTS: Sequence[int] = (2, 4, 8, 16, 32)
+DEFAULT_LOG_SIZES: Sequence[int] = (1536, 3072, 6144, 12288)
+
+
+@dataclass
+class DesignPoint:
+    workload: str
+    checker_count: int
+    log_bytes: int
+    slowdown: float
+    mean_checkpoint_length: float
+    checker_wait_us: float
+
+
+@dataclass
+class DesignSpaceResult:
+    checker_sweep: List[DesignPoint]
+    log_sweep: List[DesignPoint]
+
+    def table(self) -> str:
+        def rows(points: List[DesignPoint]):
+            return [
+                (
+                    p.workload,
+                    p.checker_count,
+                    p.log_bytes,
+                    f"{p.slowdown:.3f}",
+                    f"{p.mean_checkpoint_length:.0f}",
+                    f"{p.checker_wait_us:.2f}",
+                )
+                for p in points
+            ]
+
+        header = ["workload", "checkers", "log B", "slowdown", "ckpt len", "wait us"]
+        return (
+            format_table(header, rows(self.checker_sweep),
+                         title="Design space: checker-core count")
+            + "\n\n"
+            + format_table(header, rows(self.log_sweep),
+                           title="Design space: log SRAM per checker")
+        )
+
+    def points_for(self, workload: str, sweep: str = "checker") -> List[DesignPoint]:
+        source = self.checker_sweep if sweep == "checker" else self.log_sweep
+        return [p for p in source if p.workload == workload]
+
+
+def _run_point(
+    workload: Workload,
+    checker_count: int,
+    log_bytes: int,
+    baseline_wall: float,
+    seed: int,
+) -> DesignPoint:
+    config = table1_config()
+    config = replace(
+        config,
+        checker=replace(
+            config.checker, count=checker_count, log_bytes_per_core=log_bytes
+        ),
+    )
+    result = ParaDoxSystem(config=config).run(workload, seed=seed)
+    return DesignPoint(
+        workload=workload.name,
+        checker_count=checker_count,
+        log_bytes=log_bytes,
+        slowdown=result.wall_ns / baseline_wall,
+        mean_checkpoint_length=result.mean_checkpoint_length,
+        checker_wait_us=result.stalls.checker_wait_ns / 1e3,
+    )
+
+
+def run(
+    workloads: Optional[Sequence[Workload]] = None,
+    checker_counts: Sequence[int] = DEFAULT_CHECKER_COUNTS,
+    log_sizes: Sequence[int] = DEFAULT_LOG_SIZES,
+    seed: int = 12345,
+) -> DesignSpaceResult:
+    if workloads is None:
+        workloads = [
+            build_bitcount(values=120),
+            build_stream(elements=256, passes=3),
+        ]
+    checker_sweep: List[DesignPoint] = []
+    log_sweep: List[DesignPoint] = []
+    for workload in workloads:
+        baseline = BaselineSystem().run(workload, seed=seed)
+        for count in checker_counts:
+            checker_sweep.append(
+                _run_point(workload, count, 6144, baseline.wall_ns, seed)
+            )
+        for log_bytes in log_sizes:
+            log_sweep.append(
+                _run_point(workload, 16, log_bytes, baseline.wall_ns, seed)
+            )
+    return DesignSpaceResult(checker_sweep=checker_sweep, log_sweep=log_sweep)
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

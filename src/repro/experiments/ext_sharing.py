@@ -1,0 +1,78 @@
+"""Extension: shared checker pools (figure 12's halving suggestion).
+
+The paper closes figure 12's analysis with: the checker-core area "could
+be reduced by half through sharing checker cores between multiple main
+cores, without affecting performance".  This harness evaluates the claim
+trace-driven: dispatch traces from two independent single-core ParaDox
+runs are replayed against shared pools of decreasing size, reporting the
+fraction of dispatches that would have stalled a main core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import ParaDoxSystem
+from ..scheduling import SharedPoolReport, minimum_adequate_pool, sharing_study
+from ..workloads import build_spec_workload
+from .common import format_table
+
+#: A demanding pairing: gobmk peaks wide; lbm is store-heavy.
+DEFAULT_PAIR: Sequence[str] = ("gobmk", "lbm")
+
+
+@dataclass
+class SharingResult:
+    workloads: List[str]
+    reports: List[SharedPoolReport]
+    minimum_pool: int
+
+    def table(self) -> str:
+        rows = [
+            (
+                report.pool_size,
+                report.dispatches,
+                report.blocked_dispatches,
+                f"{report.blocked_fraction * 100:.2f}%",
+                f"{report.mean_added_delay_ns:.1f}",
+                f"{sum(report.wake_rates):.2f}",
+            )
+            for report in self.reports
+        ]
+        table = format_table(
+            ["pool", "dispatches", "blocked", "blocked %", "mean delay ns", "cores awake"],
+            rows,
+            title=(
+                f"Figure 12 extension: sharing one pool between "
+                f"{' + '.join(self.workloads)}"
+            ),
+        )
+        return table + f"\n\nminimum adequate pool (<1% blocked): {self.minimum_pool}"
+
+
+def run(
+    names: Sequence[str] = DEFAULT_PAIR,
+    iterations: int = 12,
+    seed: int = 12345,
+    pool_sizes: Sequence[int] = (32, 16, 12, 8, 6, 4),
+) -> SharingResult:
+    traces = []
+    for name in names:
+        workload = build_spec_workload(name, iterations=iterations, seed=seed)
+        result = ParaDoxSystem().run(workload, seed=seed)
+        traces.append(result.dispatch_trace)
+    reports = sharing_study(traces, pool_sizes=pool_sizes)
+    return SharingResult(
+        workloads=list(names),
+        reports=reports,
+        minimum_pool=minimum_adequate_pool(traces),
+    )
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

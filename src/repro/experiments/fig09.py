@@ -1,0 +1,143 @@
+"""Figure 9: average re-execution and rollback overheads per recovery.
+
+The paper decomposes recovery cost into *memory rollback* (walking the
+log restoring old values) and *wasted execution* (work since the start of
+the faulty segment that must be redone), for compute-bound bitcount and
+memory-bound stream at low and high error rates.  Published shape:
+
+* wasted execution dominates rollback by one to two orders of magnitude
+  (both designs tolerate check latency by construction);
+* ParaDox's rollback is ~10x cheaper than ParaMedic's (one line copy per
+  checkpoint instead of one old word per store);
+* at high error rates ParaDox's wasted execution drops by an order of
+  magnitude (AIMD shrinks checkpoints), most visibly for bitcount whose
+  checkpoints are otherwise long; stream's are log-capacity-limited and
+  already short.
+
+Multiple seeds are aggregated per point so means are over enough
+recovery events; error bars in the paper are ranges, reported here as
+min/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import table1_config
+from ..core import ParaDoxSystem, ParaMedicSystem
+from ..stats import RecoveryEvent
+from ..workloads import Workload, build_bitcount, build_stream
+from .common import format_table
+
+DEFAULT_RATES: Sequence[float] = (1e-5, 1e-4, 1e-3)
+
+
+@dataclass
+class RecoveryBreakdown:
+    """Aggregated recovery costs for one (workload, system, rate) point."""
+
+    workload: str
+    system: str
+    error_rate: float
+    events: int
+    mean_wasted_ns: float
+    min_wasted_ns: float
+    max_wasted_ns: float
+    mean_rollback_ns: float
+    min_rollback_ns: float
+    max_rollback_ns: float
+
+
+@dataclass
+class Fig9Result:
+    rows: List[RecoveryBreakdown]
+
+    def table(self) -> str:
+        return format_table(
+            [
+                "workload", "system", "rate", "events",
+                "wasted mean(ns)", "wasted range",
+                "rollback mean(ns)", "rollback range",
+            ],
+            [
+                (
+                    r.workload,
+                    r.system,
+                    f"{r.error_rate:.0e}",
+                    r.events,
+                    f"{r.mean_wasted_ns:.0f}",
+                    f"[{r.min_wasted_ns:.0f}, {r.max_wasted_ns:.0f}]",
+                    f"{r.mean_rollback_ns:.0f}",
+                    f"[{r.min_rollback_ns:.0f}, {r.max_rollback_ns:.0f}]",
+                )
+                for r in self.rows
+            ],
+            title="Figure 9: recovery-cost breakdown (wasted execution vs rollback)",
+        )
+
+    def point(self, workload: str, system: str, rate: float) -> RecoveryBreakdown:
+        for row in self.rows:
+            if (
+                row.workload == workload
+                and row.system == system
+                and row.error_rate == rate
+            ):
+                return row
+        raise KeyError((workload, system, rate))
+
+
+def _aggregate(
+    workload: str, system: str, rate: float, events: List[RecoveryEvent]
+) -> RecoveryBreakdown:
+    wasted = [e.wasted_execution_ns for e in events] or [0.0]
+    rollback = [e.rollback_ns for e in events] or [0.0]
+    return RecoveryBreakdown(
+        workload=workload,
+        system=system,
+        error_rate=rate,
+        events=len(events),
+        mean_wasted_ns=sum(wasted) / len(wasted),
+        min_wasted_ns=min(wasted),
+        max_wasted_ns=max(wasted),
+        mean_rollback_ns=sum(rollback) / len(rollback),
+        min_rollback_ns=min(rollback),
+        max_rollback_ns=max(rollback),
+    )
+
+
+def run(
+    workloads: Optional[Sequence[Workload]] = None,
+    rates: Sequence[float] = DEFAULT_RATES,
+    seeds: Sequence[int] = (11, 22, 33),
+    max_instructions: Optional[int] = None,
+) -> Fig9Result:
+    """Regenerate figure 9's four panels as rows."""
+    if workloads is None:
+        workloads = [
+            build_bitcount(values=150),
+            build_stream(elements=256, passes=3),
+        ]
+    systems = [("ParaMedic", ParaMedicSystem), ("ParaDox", ParaDoxSystem)]
+    rows: List[RecoveryBreakdown] = []
+    for workload in workloads:
+        budget = max_instructions or workload.max_instructions
+        for system_name, cls in systems:
+            for rate in rates:
+                events: List[RecoveryEvent] = []
+                for seed in seeds:
+                    config = table1_config().with_error_rate(rate, seed=seed)
+                    engine = cls(config=config).engine(workload, seed=seed)
+                    engine.options.livelock_factor = 24.0
+                    result = engine.run(budget)
+                    events.extend(result.recoveries)
+                rows.append(_aggregate(workload.name, system_name, rate, events))
+    return Fig9Result(rows)
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Figure 10: per-SPEC slowdown of detection-only, ParaMedic, ParaDox-DVS.
+
+All three systems are normalised to an unprotected baseline.  Published
+shape: overheads between 1.00 and ~1.14; code-footprint-heavy workloads
+(gobmk, povray, h264ref, omnetpp, xalancbmk) pay for checker I-cache
+misses even with detection only; store-heavy FP codes (milc, cactusADM)
+pay checkpointing costs; conflict/locality-challenged workloads (bwaves,
+sjeng, astar) only suffer once rollback buffering is enabled; and a few
+(bwaves, mcf, GemsFDTD) run *faster* under ParaDox than ParaMedic thanks
+to line-granularity rollback and the adaptive checkpoint strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .common import format_table
+from .spec_runs import SpecSuiteRuns, run_spec_suite
+
+
+@dataclass
+class Fig10Row:
+    workload: str
+    detection_only: float
+    paramedic: float
+    paradox_dvs: float
+    paradox_errors: int
+    paradox_mean_voltage: float
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]
+
+    def geomeans(self) -> "tuple[float, float, float]":
+        def gmean(values: List[float]) -> float:
+            product = 1.0
+            for value in values:
+                product *= value
+            return product ** (1.0 / len(values))
+
+        return (
+            gmean([r.detection_only for r in self.rows]),
+            gmean([r.paramedic for r in self.rows]),
+            gmean([r.paradox_dvs for r in self.rows]),
+        )
+
+    def table(self) -> str:
+        body = [
+            (
+                r.workload,
+                f"{r.detection_only:.3f}",
+                f"{r.paramedic:.3f}",
+                f"{r.paradox_dvs:.3f}",
+                r.paradox_errors,
+                f"{r.paradox_mean_voltage:.3f}",
+            )
+            for r in self.rows
+        ]
+        det, pm, pd = self.geomeans()
+        body.append(("gmean", f"{det:.3f}", f"{pm:.3f}", f"{pd:.3f}", "", ""))
+        return format_table(
+            ["workload", "detection", "paramedic", "paradox-dvs", "PD errors", "PD meanV"],
+            body,
+            title="Figure 10: normalized slowdown vs unprotected baseline",
+        )
+
+
+def from_runs(runs: SpecSuiteRuns) -> Fig10Result:
+    """Assemble the figure from precomputed suite runs."""
+    rows: List[Fig10Row] = []
+    for name in runs.names():
+        base = runs.baseline[name]
+        rows.append(
+            Fig10Row(
+                workload=name,
+                detection_only=runs.detection[name].slowdown_vs(base),
+                paramedic=runs.paramedic[name].slowdown_vs(base),
+                paradox_dvs=runs.paradox[name].slowdown_vs(base),
+                paradox_errors=runs.paradox[name].errors_detected,
+                paradox_mean_voltage=runs.paradox[name].mean_voltage,
+            )
+        )
+    return Fig10Result(rows)
+
+
+def run(
+    iterations: int = 30,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 12345,
+) -> Fig10Result:
+    return from_runs(run_spec_suite(iterations=iterations, names=names, seed=seed))
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

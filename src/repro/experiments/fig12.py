@@ -1,0 +1,91 @@
+"""Figure 12: checker-core wake rates under aggressive gating.
+
+With ParaDox's lowest-free-ID scheduling, checking concentrates on the
+low-numbered cores so the rest can be power gated.  The paper reports
+(a) the per-core wake rate for each of the sixteen checkers per workload
+and (b) the average wake rate; gobmk, sjeng and h264ref touch all sixteen
+cores at peak demand, but no workload keeps more than eight busy on
+average — suggesting the pool could be halved/shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .common import format_table
+from .spec_runs import SpecSuiteRuns, run_spec_suite
+
+
+@dataclass
+class Fig12Row:
+    workload: str
+    #: Wake rate (fraction of wall time awake) per physical core ID.
+    wake_rates: List[float]
+    peak_concurrency: int
+
+    @property
+    def average_wake(self) -> float:
+        """Mean cores awake, i.e. the sum of per-core wake rates."""
+        return sum(self.wake_rates)
+
+    @property
+    def cores_used(self) -> int:
+        return sum(1 for rate in self.wake_rates if rate > 0)
+
+
+@dataclass
+class Fig12Result:
+    rows: List[Fig12Row]
+
+    def table(self) -> str:
+        return format_table(
+            ["workload", "avg cores awake", "peak", "cores touched", "top-4 rates"],
+            [
+                (
+                    r.workload,
+                    f"{r.average_wake:.2f}",
+                    r.peak_concurrency,
+                    r.cores_used,
+                    " ".join(
+                        f"{rate:.2f}"
+                        for rate in sorted(r.wake_rates, reverse=True)[:4]
+                    ),
+                )
+                for r in self.rows
+            ],
+            title="Figure 12: checker wake rates with aggressive gating",
+        )
+
+
+def from_runs(runs: SpecSuiteRuns) -> Fig12Result:
+    rows: List[Fig12Row] = []
+    for name in runs.names():
+        result = runs.paradox[name]
+        rows.append(
+            Fig12Row(
+                workload=name,
+                wake_rates=list(result.checker_wake_rates),
+                peak_concurrency=result.checker_peak_concurrency,
+            )
+        )
+    return Fig12Result(rows)
+
+
+def run(
+    iterations: int = 30,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 12345,
+) -> Fig12Result:
+    runs = run_spec_suite(
+        iterations=iterations, names=names, seed=seed, systems=("baseline", "paradox")
+    )
+    return from_runs(runs)
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

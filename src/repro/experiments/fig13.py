@@ -1,0 +1,107 @@
+"""Figure 13: power, slowdown and EDP on an undervolted ParaDox system.
+
+Combines the per-workload undervolting points (X-Gene 3 substitute
+table), the simulated ParaDox-DVS slowdown and the gated checker-pool
+power into the three normalised series the paper plots.  Published
+headline numbers: 22% mean power reduction, ~4.5% typical slowdown, 15%
+mean EDP reduction; astar's conflict misses make it the EDP loser; and
+ParaMedic (which cannot undervolt) lands at ~1.08x baseline EDP, ~1.27x
+worse than ParaDox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..power import EnergyRow, EnergySummary, energy_row, paramedic_edp_ratio, summarise
+from .common import format_table
+from .spec_runs import SpecSuiteRuns, run_spec_suite
+
+
+@dataclass
+class Fig13Result:
+    rows: List[EnergyRow]
+    summary: EnergySummary
+    paramedic_edp_vs_paradox: float
+
+    def table(self) -> str:
+        body = [
+            (
+                r.workload,
+                f"{r.power:.3f}",
+                f"{r.slowdown:.3f}",
+                f"{r.edp:.3f}",
+                f"{r.undervolt_voltage:.3f}",
+                f"{r.checker_power:.3f}",
+            )
+            for r in self.rows
+        ]
+        body.append(
+            (
+                "gmean",
+                f"{self.summary.mean_power:.3f}",
+                f"{self.summary.mean_slowdown:.3f}",
+                f"{self.summary.mean_edp:.3f}",
+                "",
+                "",
+            )
+        )
+        lines = [
+            format_table(
+                ["workload", "power", "slowdown", "EDP", "V_uv", "checker P"],
+                body,
+                title="Figure 13: power / slowdown / EDP vs margined baseline",
+            ),
+            "",
+            f"power reduction: {self.summary.power_reduction_percent:.1f}%  "
+            f"slowdown: {self.summary.slowdown_percent:.1f}%  "
+            f"EDP reduction: {self.summary.edp_reduction_percent:.1f}%",
+            f"ParaMedic EDP vs ParaDox: {self.paramedic_edp_vs_paradox:.2f}x",
+        ]
+        return "\n".join(lines)
+
+
+def from_runs(runs: SpecSuiteRuns) -> Fig13Result:
+    rows: List[EnergyRow] = []
+    paramedic_slowdowns: List[float] = []
+    for name in runs.names():
+        base = runs.baseline[name]
+        rows.append(energy_row(name, runs.paradox[name], base))
+        if name in runs.paramedic:
+            paramedic_slowdowns.append(runs.paramedic[name].slowdown_vs(base))
+    summary = summarise(rows)
+    if paramedic_slowdowns:
+        mean_pm = 1.0
+        for s in paramedic_slowdowns:
+            mean_pm *= s
+        mean_pm **= 1.0 / len(paramedic_slowdowns)
+    else:
+        mean_pm = 1.08
+    return Fig13Result(
+        rows=rows,
+        summary=summary,
+        paramedic_edp_vs_paradox=paramedic_edp_ratio(mean_pm, summary.mean_edp),
+    )
+
+
+def run(
+    iterations: int = 30,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 12345,
+) -> Fig13Result:
+    runs = run_spec_suite(
+        iterations=iterations,
+        names=names,
+        seed=seed,
+        systems=("baseline", "paramedic", "paradox"),
+    )
+    return from_runs(runs)
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Section VI-E: the overclocking / voltage trade-off scenarios.
+
+Analytic (no simulation): reproduces the two operating points the paper
+derives from ``P proportional to V^2 f`` and ``f proportional to V - V_th``:
+
+* restore-performance: +4.5% clock at +0.019 V, +9% power vs the slow
+  undervolted point, roughly -15% vs the margined baseline;
+* boost-performance: +0.06 V from the undervolted point buys ~+13% clock
+  (~3.6 GHz) at the baseline's power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power import OverclockScenario, boost_performance, restore_performance
+from .common import format_table
+
+
+@dataclass
+class Sec6EResult:
+    restore: OverclockScenario
+    boost: OverclockScenario
+
+    def table(self) -> str:
+        rows = []
+        for s in (self.restore, self.boost):
+            rows.append(
+                (
+                    s.name,
+                    f"{s.voltage:.3f}",
+                    f"+{s.voltage_increase:.3f}",
+                    f"{s.frequency_hz / 1e9:.2f} GHz",
+                    f"{s.frequency_increase_percent:+.1f}%",
+                    f"{(s.power_vs_undervolted - 1) * 100:+.1f}%",
+                    f"{(s.power_vs_margined - 1) * 100:+.1f}%",
+                    f"{s.performance:.3f}",
+                )
+            )
+        return format_table(
+            [
+                "scenario", "V", "dV", "clock", "df",
+                "P vs undervolted", "P vs margined", "perf",
+            ],
+            rows,
+            title="Section VI-E: overclocking trade-offs",
+        )
+
+
+def run(slowdown: float = 1.045) -> Sec6EResult:
+    return Sec6EResult(
+        restore=restore_performance(slowdown),
+        boost=boost_performance(0.06, slowdown),
+    )
+
+
+def main() -> None:
+    print(run().table())
+
+
+if __name__ == "__main__":
+    main()

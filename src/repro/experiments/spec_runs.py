@@ -1,0 +1,63 @@
+"""Shared SPEC-suite simulation runs for figures 10, 12 and 13.
+
+All three figures sweep the same nineteen SPEC CPU2006 proxies; this
+module runs each proxy on the systems they need and caches the results in
+a :class:`SpecSuiteRuns` so the figure harnesses (and benchmarks) don't
+re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import BaselineSystem, DetectionOnlySystem, ParaDoxSystem, ParaMedicSystem
+from ..stats import RunResult
+from ..workloads import SPEC_ORDER, Workload, build_spec_workload
+from .common import steady_state_dvfs_config
+
+
+@dataclass
+class SpecSuiteRuns:
+    """Per-workload results for every system the figures compare."""
+
+    iterations: int
+    workloads: Dict[str, Workload] = field(default_factory=dict)
+    baseline: Dict[str, RunResult] = field(default_factory=dict)
+    detection: Dict[str, RunResult] = field(default_factory=dict)
+    paramedic: Dict[str, RunResult] = field(default_factory=dict)
+    paradox: Dict[str, RunResult] = field(default_factory=dict)
+
+    def names(self) -> List[str]:
+        return [name for name in SPEC_ORDER if name in self.baseline]
+
+
+def run_spec_suite(
+    iterations: int = 30,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 12345,
+    systems: Sequence[str] = ("baseline", "detection", "paramedic", "paradox"),
+) -> SpecSuiteRuns:
+    """Simulate the SPEC proxies on the requested systems.
+
+    ``paradox`` here is the figure-10/13 configuration: dynamic voltage
+    scaling warm-started near its steady state, so induced errors are
+    present but rare (see :func:`common.steady_state_dvfs_config`).
+    """
+    names = list(names) if names is not None else list(SPEC_ORDER)
+    runs = SpecSuiteRuns(iterations=iterations)
+    dvs_config = steady_state_dvfs_config()
+    for name in names:
+        workload = build_spec_workload(name, iterations=iterations, seed=seed)
+        runs.workloads[name] = workload
+        if "baseline" in systems:
+            runs.baseline[name] = BaselineSystem().run(workload, seed=seed)
+        if "detection" in systems:
+            runs.detection[name] = DetectionOnlySystem().run(workload, seed=seed)
+        if "paramedic" in systems:
+            runs.paramedic[name] = ParaMedicSystem().run(workload, seed=seed)
+        if "paradox" in systems:
+            runs.paradox[name] = ParaDoxSystem(config=dvs_config, dvs=True).run(
+                workload, seed=seed
+            )
+    return runs

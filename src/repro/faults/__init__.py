@@ -1,0 +1,26 @@
+"""Error-injection framework (section V-A of the paper)."""
+
+from .arrival import GeometricArrival, MIN_RATE
+from .injector import FaultInjector, InjectionStats, default_injector
+from .models import (
+    FaultDomain,
+    FaultModel,
+    FunctionalUnitFaultModel,
+    MemoryFaultModel,
+    RegisterFaultModel,
+)
+from .voltage_model import VoltageErrorModel
+
+__all__ = [
+    "FaultDomain",
+    "FaultInjector",
+    "FaultModel",
+    "FunctionalUnitFaultModel",
+    "GeometricArrival",
+    "InjectionStats",
+    "MIN_RATE",
+    "MemoryFaultModel",
+    "RegisterFaultModel",
+    "VoltageErrorModel",
+    "default_injector",
+]

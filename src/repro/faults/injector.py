@@ -1,0 +1,151 @@
+"""The fault injector: drives fault models against checker execution.
+
+One :class:`FaultInjector` owns a list of fault models sharing one RNG
+and applies them to the stream of checked segments, in dispatch order.
+It implements the :class:`~repro.cores.checker_core.SegmentFaultHook`
+protocol directly, so it can be handed to
+:meth:`CheckerCore.check_segment`.
+
+The engine's fast path asks :meth:`fires_within_segment` before replaying
+a segment; when no model can fire within the segment's operation counts
+the injector *consumes* those counts (:meth:`skip_segment`) and the
+replay is skipped — statistically identical to replaying it, since a
+correct checker replaying a correct segment cannot fail.
+
+Injection can target the checker cores (the paper's setup: "we choose to
+restrict error injection to the checker cores only", which is sound
+because "error detection is symmetrical") or the main core, used by the
+property tests to demonstrate end-to-end recovery of genuinely corrupted
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..isa import StepInfo
+from ..isa.state import ArchState
+from ..lslog.segment import LogSegment
+from .models import FaultDomain, FaultModel
+
+
+@dataclass
+class InjectionStats:
+    """How many faults each mechanism injected."""
+
+    instruction_faults: int = 0
+    load_faults: int = 0
+    store_faults: int = 0
+    segments_skipped: int = 0
+    segments_replayed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.instruction_faults + self.load_faults + self.store_faults
+
+
+class FaultInjector:
+    """Applies a set of fault models to checked (or main) execution."""
+
+    def __init__(
+        self,
+        models: Sequence[FaultModel],
+        target: str = "checker",
+    ) -> None:
+        if target not in ("checker", "main"):
+            raise ValueError(f"target must be 'checker' or 'main', got {target!r}")
+        self.models: List[FaultModel] = list(models)
+        self.target = target
+        self.stats = InjectionStats()
+
+    # -- configuration ---------------------------------------------------------------
+    def set_rate(self, rate: float) -> None:
+        """Update every model's per-operation fault probability."""
+        for model in self.models:
+            model.set_rate(rate)
+
+    @property
+    def enabled(self) -> bool:
+        return any(model.rate > 0 for model in self.models)
+
+    # -- fast-path support --------------------------------------------------------------
+    def _domain_count(self, model: FaultModel, segment: LogSegment) -> int:
+        if model.domain is FaultDomain.INSTRUCTIONS:
+            return segment.instruction_count
+        if model.domain is FaultDomain.LOADS:
+            return segment.load_count
+        if model.domain is FaultDomain.STORES:
+            return segment.store_count
+        # UNIT_INSTRUCTIONS: only instructions of the unit that write a
+        # register count (a no-effect instruction injects nothing).
+        return segment.unit_dest_histogram.get(model.unit, 0)  # type: ignore[attr-defined]
+
+    def fires_within_segment(self, segment: LogSegment) -> bool:
+        """Could any model fire while checking ``segment``?  Non-consuming."""
+        return any(
+            model.arrival.fires_within(self._domain_count(model, segment))
+            for model in self.models
+        )
+
+    def skip_segment(self, segment: LogSegment) -> None:
+        """Consume a segment's operations without replaying it.
+
+        Only valid when :meth:`fires_within_segment` returned False.
+        """
+        for model in self.models:
+            fired = model.arrival.advance(self._domain_count(model, segment))
+            if fired is not None:  # pragma: no cover - guarded by caller
+                raise RuntimeError("skip_segment consumed a firing arrival")
+        self.stats.segments_skipped += 1
+
+    def note_replay(self) -> None:
+        self.stats.segments_replayed += 1
+
+    # -- SegmentFaultHook protocol ----------------------------------------------------------
+    def before_instruction(self, state: ArchState, index: int) -> None:
+        """No model currently fires before execution; hook kept for API."""
+
+    def after_instruction(self, state: ArchState, info: StepInfo, index: int) -> None:
+        for model in self.models:
+            if model.on_instruction(state, info):
+                self.stats.instruction_faults += 1
+
+    def corrupt_load(self, op_index: int, value: int) -> int:
+        for model in self.models:
+            value, fired = model.on_load(value)
+            if fired:
+                self.stats.load_faults += 1
+        return value
+
+    def corrupt_store(self, op_index: int, value: int) -> int:
+        for model in self.models:
+            value, fired = model.on_store(value)
+            if fired:
+                self.stats.store_faults += 1
+        return value
+
+
+def default_injector(
+    rate: float,
+    seed: int = 12345,
+    target: str = "checker",
+) -> FaultInjector:
+    """The paper's composite setup: one model of each kind, equal rates.
+
+    Register faults over all categories, a defective integer multiplier as
+    the combinational-fault representative, and load-data log faults as
+    the memory representative.
+    """
+    from ..isa import FunctionalUnit
+    from .models import FunctionalUnitFaultModel, MemoryFaultModel, RegisterFaultModel
+
+    rng = np.random.default_rng(seed)
+    models: List[FaultModel] = [
+        RegisterFaultModel(rate, rng),
+        FunctionalUnitFaultModel(rate, rng, FunctionalUnit.INT_MUL),
+        MemoryFaultModel(rate, rng, target="load"),
+    ]
+    return FaultInjector(models, target=target)

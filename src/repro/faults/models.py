@@ -1,0 +1,169 @@
+"""Fault models (section V-A).
+
+The paper injects errors "in three ways, to approximate the wide variety
+of possible faults that can happen in hardware":
+
+* **Memory faults** — flip one bit of the data carried by a memory
+  operation in the load-store log; gaps count targeted operations
+  (either only loads or only stores).
+* **Combinational (functional-unit) faults** — a defective unit corrupts
+  the registers modified by instructions that use it; instructions that
+  touch no register inject nothing.
+* **Register faults** of unknown origin — flip a single random bit in a
+  random register of a targeted category (integers, floats, flags, or
+  miscellaneous); gaps count executed instructions.
+
+Each model owns a :class:`~repro.faults.arrival.GeometricArrival` in its
+domain and knows how to corrupt checker state when it fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..isa import FunctionalUnit, StepInfo
+from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, RegisterCategory
+from ..isa.state import ArchState
+from .arrival import GeometricArrival
+
+
+class FaultDomain(enum.Enum):
+    """What the geometric gap counts."""
+
+    INSTRUCTIONS = "instructions"
+    UNIT_INSTRUCTIONS = "unit instructions"
+    LOADS = "loads"
+    STORES = "stores"
+
+
+class FaultModel:
+    """Base class: a geometric arrival plus a corruption action."""
+
+    domain: FaultDomain
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.arrival = GeometricArrival(rate, rng)
+
+    @property
+    def rate(self) -> float:
+        return self.arrival.rate
+
+    def set_rate(self, rate: float) -> None:
+        self.arrival.set_rate(rate)
+
+    # Subclasses implement the hooks relevant to their domain; the rest
+    # stay no-ops so an injector can drive a heterogeneous model list.
+    def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
+        """Called after each executed instruction; True if a fault fired."""
+        return False
+
+    def on_load(self, value: int) -> "tuple[int, bool]":
+        """Map a replayed load value; True if corrupted."""
+        return value, False
+
+    def on_store(self, value: int) -> "tuple[int, bool]":
+        """Map a replayed store reference value; True if corrupted."""
+        return value, False
+
+
+class RegisterFaultModel(FaultModel):
+    """Random single-bit flip in a register of the targeted category."""
+
+    domain = FaultDomain.INSTRUCTIONS
+
+    #: Candidate categories when none is pinned, weighted roughly by the
+    #: amount of state in each.
+    _CATEGORIES: Sequence[RegisterCategory] = (
+        RegisterCategory.INT,
+        RegisterCategory.FLOAT,
+        RegisterCategory.FLAGS,
+        RegisterCategory.MISC,
+    )
+    _WEIGHTS = np.array([NUM_INT_REGS * 64, NUM_FP_REGS * 64, 4, 16], dtype=float)
+
+    def __init__(
+        self,
+        rate: float,
+        rng: np.random.Generator,
+        category: Optional[RegisterCategory] = None,
+    ) -> None:
+        super().__init__(rate, rng)
+        self.category = category
+
+    def _pick_category(self) -> RegisterCategory:
+        if self.category is not None:
+            return self.category
+        weights = self._WEIGHTS / self._WEIGHTS.sum()
+        return self._CATEGORIES[int(self.rng.choice(len(self._CATEGORIES), p=weights))]
+
+    def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
+        if not self.arrival.step():
+            return False
+        category = self._pick_category()
+        if category is RegisterCategory.INT:
+            index = int(self.rng.integers(NUM_INT_REGS))
+        elif category is RegisterCategory.FLOAT:
+            index = int(self.rng.integers(NUM_FP_REGS))
+        else:
+            index = 0
+        bit = int(self.rng.integers(64))
+        state.flip_bit(category, index, bit)
+        return True
+
+
+class FunctionalUnitFaultModel(FaultModel):
+    """A defective functional unit corrupts its destination registers."""
+
+    domain = FaultDomain.UNIT_INSTRUCTIONS
+
+    def __init__(
+        self, rate: float, rng: np.random.Generator, unit: FunctionalUnit
+    ) -> None:
+        super().__init__(rate, rng)
+        self.unit = unit
+
+    def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
+        if info.instruction.unit is not self.unit:
+            return False
+        if info.dest is None:
+            # "An instruction that has no effect is indistinguishable from
+            # a discarded instruction: no error is injected."
+            return False
+        if not self.arrival.step():
+            return False
+        reg_file, index = info.dest
+        bit = int(self.rng.integers(64))
+        if reg_file == "x":
+            state.regs.flip_bit(RegisterCategory.INT, index, bit)
+        elif reg_file == "f":
+            state.regs.flip_bit(RegisterCategory.FLOAT, index, bit)
+        else:
+            state.regs.flip_bit(RegisterCategory.FLAGS, 0, bit)
+        return True
+
+
+class MemoryFaultModel(FaultModel):
+    """Single-bit flip in the data carried by a logged memory operation."""
+
+    def __init__(
+        self, rate: float, rng: np.random.Generator, target: str = "load"
+    ) -> None:
+        if target not in ("load", "store"):
+            raise ValueError(f"target must be 'load' or 'store', got {target!r}")
+        super().__init__(rate, rng)
+        self.target = target
+        self.domain = FaultDomain.LOADS if target == "load" else FaultDomain.STORES
+
+    def on_load(self, value: int) -> "tuple[int, bool]":
+        if self.target != "load" or not self.arrival.step():
+            return value, False
+        return value ^ (1 << int(self.rng.integers(64))), True
+
+    def on_store(self, value: int) -> "tuple[int, bool]":
+        if self.target != "store" or not self.arrival.step():
+            return value, False
+        return value ^ (1 << int(self.rng.integers(64))), True

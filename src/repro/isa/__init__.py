@@ -1,0 +1,87 @@
+"""Instruction-set architecture: the functional substrate.
+
+Defines the 64-bit RISC ISA shared by main and checker cores, the sparse
+data-memory image, architectural state (the unit of checkpointing), the
+functional executor, a program builder and a small text assembler.
+"""
+
+from .assembler import AssemblerError, assemble
+from .errors import (
+    ExecutionLimitExceeded,
+    HaltTrap,
+    InvalidInstructionTrap,
+    InvalidPcTrap,
+    MemoryAlignmentTrap,
+    MemoryBoundsTrap,
+    SimTrap,
+)
+from .executor import DataPort, Executor, StepInfo
+from .instructions import (
+    BRANCH_OPCODES,
+    FunctionalUnit,
+    Instruction,
+    MEMORY_OPCODES,
+    Opcode,
+    Syscall,
+)
+from .memory_image import LINE_BYTES, MemoryImage, WORD_BYTES, WORDS_PER_LINE, line_address
+from .program import Program, ProgramBuilder, concatenate
+from .registers import (
+    MASK64,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_LINK,
+    REG_STACK,
+    REG_ZERO,
+    Flag,
+    RegisterCategory,
+    RegisterFile,
+    bits_to_float,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+from .state import ArchState
+
+__all__ = [
+    "AssemblerError",
+    "ArchState",
+    "BRANCH_OPCODES",
+    "DataPort",
+    "ExecutionLimitExceeded",
+    "Executor",
+    "Flag",
+    "FunctionalUnit",
+    "HaltTrap",
+    "Instruction",
+    "InvalidInstructionTrap",
+    "InvalidPcTrap",
+    "LINE_BYTES",
+    "MASK64",
+    "MEMORY_OPCODES",
+    "MemoryAlignmentTrap",
+    "MemoryBoundsTrap",
+    "MemoryImage",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "REG_LINK",
+    "REG_STACK",
+    "REG_ZERO",
+    "RegisterCategory",
+    "RegisterFile",
+    "SimTrap",
+    "StepInfo",
+    "Syscall",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "assemble",
+    "bits_to_float",
+    "concatenate",
+    "float_to_bits",
+    "line_address",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,246 @@
+"""A small text assembler.
+
+Provided for the examples and tests; the workload generators use
+:class:`~repro.isa.program.ProgramBuilder` directly.  Syntax::
+
+    ; comments with ';' or '#'
+    loop:
+        movi x1, 10
+        addi x2, x2, 1
+        fmovi f0, 1.5
+        ldr  x3, [x4, 8]
+        str  x3, [x4]
+        cmp  x2, x1
+        blt  loop
+        halt
+
+Registers are ``x0``..``x31`` and ``f0``..``f15``.  Immediates may be
+decimal, hex (``0x..``) or, for ``fmovi``, floating point.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .instructions import Instruction, Opcode
+from .program import Program, ProgramBuilder
+from .registers import NUM_FP_REGS, NUM_INT_REGS
+
+_MNEMONICS = {op.mnemonic: op for op in Opcode}
+# 'str' is a Python builtin; the assembly mnemonic is plain 'str'.
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_MEM_RE = re.compile(r"^\[\s*(x\d+)\s*(?:,\s*(-?(?:0x[0-9a-fA-F]+|\d+))\s*)?\]$")
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_int_reg(token: str, line: int) -> int:
+    if token.startswith("x") and token[1:].isdigit():
+        index = int(token[1:])
+        if index < NUM_INT_REGS:
+            return index
+    raise AssemblerError(line, f"expected integer register, got {token!r}")
+
+
+def _parse_fp_reg(token: str, line: int) -> int:
+    if token.startswith("f") and token[1:].isdigit():
+        index = int(token[1:])
+        if index < NUM_FP_REGS:
+            return index
+    raise AssemblerError(line, f"expected fp register, got {token!r}")
+
+
+def _parse_imm(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(line, f"expected immediate, got {token!r}") from None
+
+
+def _parse_fimm(token: str, line: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise AssemblerError(line, f"expected float immediate, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split the operand field on commas not inside brackets."""
+    operands, depth, current = [], 0, []
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    builder = ProgramBuilder(name)
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                builder.label(label_match.group(1))
+            except ValueError as exc:
+                raise AssemblerError(line_number, str(exc)) from None
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(line_number, f"unknown mnemonic {mnemonic!r}")
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        builder.emit(_encode(opcode, operands, line_number))
+    try:
+        return builder.build()
+    except ValueError as exc:
+        raise AssemblerError(0, str(exc)) from None
+
+
+def _encode(opcode: Opcode, ops: List[str], line: int) -> Instruction:
+    """Encode one instruction from its operand strings."""
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                line, f"{opcode.mnemonic} expects {count} operands, got {len(ops)}"
+            )
+
+    def mem_operand(token: str) -> "tuple[int, int]":
+        match = _MEM_RE.match(token)
+        if not match:
+            raise AssemblerError(line, f"expected memory operand, got {token!r}")
+        base = _parse_int_reg(match.group(1), line)
+        offset = int(match.group(2), 0) if match.group(2) else 0
+        return base, offset
+
+    three_reg = {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR, Opcode.EOR,
+        Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    }
+    three_freg = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+    two_reg_imm = {
+        Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORRI, Opcode.EORI,
+        Opcode.LSLI, Opcode.LSRI, Opcode.ASRI,
+    }
+    flag_branches = {
+        Opcode.B, Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+        Opcode.BGE, Opcode.BGT, Opcode.BLE,
+    }
+
+    if opcode in three_reg:
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_int_reg(ops[0], line),
+            rs1=_parse_int_reg(ops[1], line),
+            rs2=_parse_int_reg(ops[2], line),
+        )
+    if opcode in three_freg:
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_fp_reg(ops[0], line),
+            rs1=_parse_fp_reg(ops[1], line),
+            rs2=_parse_fp_reg(ops[2], line),
+        )
+    if opcode in two_reg_imm:
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_int_reg(ops[0], line),
+            rs1=_parse_int_reg(ops[1], line),
+            imm=_parse_imm(ops[2], line),
+        )
+    if opcode is Opcode.MOV:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_int_reg(ops[0], line), rs1=_parse_int_reg(ops[1], line)
+        )
+    if opcode is Opcode.MOVI:
+        need(2)
+        return Instruction(opcode, rd=_parse_int_reg(ops[0], line), imm=_parse_imm(ops[1], line))
+    if opcode is Opcode.FMOV:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_fp_reg(ops[0], line), rs1=_parse_fp_reg(ops[1], line)
+        )
+    if opcode is Opcode.FMOVI:
+        need(2)
+        return Instruction(opcode, rd=_parse_fp_reg(ops[0], line), fimm=_parse_fimm(ops[1], line))
+    if opcode is Opcode.FCVT:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_fp_reg(ops[0], line), rs1=_parse_int_reg(ops[1], line)
+        )
+    if opcode is Opcode.FCVTI:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_int_reg(ops[0], line), rs1=_parse_fp_reg(ops[1], line)
+        )
+    if opcode is Opcode.CMP:
+        need(2)
+        return Instruction(
+            opcode, rs1=_parse_int_reg(ops[0], line), rs2=_parse_int_reg(ops[1], line)
+        )
+    if opcode is Opcode.CMPI:
+        need(2)
+        return Instruction(opcode, rs1=_parse_int_reg(ops[0], line), imm=_parse_imm(ops[1], line))
+    if opcode is Opcode.FCMP:
+        need(2)
+        return Instruction(
+            opcode, rs1=_parse_fp_reg(ops[0], line), rs2=_parse_fp_reg(ops[1], line)
+        )
+    if opcode in (Opcode.LDR, Opcode.FLDR):
+        need(2)
+        parse = _parse_int_reg if opcode is Opcode.LDR else _parse_fp_reg
+        base, offset = mem_operand(ops[1])
+        return Instruction(opcode, rd=parse(ops[0], line), rs1=base, imm=offset)
+    if opcode in (Opcode.STR, Opcode.FSTR):
+        need(2)
+        parse = _parse_int_reg if opcode is Opcode.STR else _parse_fp_reg
+        base, offset = mem_operand(ops[1])
+        return Instruction(opcode, rs2=parse(ops[0], line), rs1=base, imm=offset)
+    if opcode in flag_branches:
+        need(1)
+        return Instruction(opcode, label=ops[0])
+    if opcode in (Opcode.CBZ, Opcode.CBNZ):
+        need(2)
+        return Instruction(opcode, rs1=_parse_int_reg(ops[0], line), label=ops[1])
+    if opcode is Opcode.JAL:
+        need(2)
+        return Instruction(opcode, rd=_parse_int_reg(ops[0], line), label=ops[1])
+    if opcode is Opcode.JALR:
+        if len(ops) == 1:
+            return Instruction(opcode, rs1=_parse_int_reg(ops[0], line))
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_int_reg(ops[0], line), rs1=_parse_int_reg(ops[1], line)
+        )
+    if opcode is Opcode.SYSCALL:
+        need(1)
+        return Instruction(opcode, imm=_parse_imm(ops[0], line))
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        need(0)
+        return Instruction(opcode)
+    raise AssemblerError(line, f"unhandled opcode {opcode}")  # pragma: no cover

@@ -1,0 +1,61 @@
+"""Trap and error types raised during functional execution.
+
+The functional executor signals all exceptional control flow with
+:class:`SimTrap` subclasses.  On a *main* core most traps are fatal
+programming errors (the workload generators never produce them); on a
+*checker* core they are one of the paper's detection channels: an injected
+fault that sends the checker into an invalid state ("an exception or an
+invalid checker core behavior", fig. 7) surfaces as one of these traps and
+is converted into an error detection by the checker model.
+"""
+
+from __future__ import annotations
+
+
+class SimTrap(Exception):
+    """Base class for all execution traps."""
+
+
+class HaltTrap(SimTrap):
+    """The program executed ``HALT`` (or ``SYSCALL exit``)."""
+
+
+class InvalidPcTrap(SimTrap):
+    """The program counter left the program's text section.
+
+    Typically the consequence of a bit flip in the PC or the link
+    register on a checker core.
+    """
+
+    def __init__(self, pc: int) -> None:
+        super().__init__(f"pc {pc} outside program text")
+        self.pc = pc
+
+
+class InvalidInstructionTrap(SimTrap):
+    """An instruction could not be decoded or had malformed operands."""
+
+
+class MemoryAlignmentTrap(SimTrap):
+    """A load or store used a non word-aligned effective address."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"unaligned access at {address:#x}")
+        self.address = address
+
+
+class MemoryBoundsTrap(SimTrap):
+    """A load or store fell outside the mapped data segment."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"access outside data segment at {address:#x}")
+        self.address = address
+
+
+class ExecutionLimitExceeded(SimTrap):
+    """A run exceeded its instruction budget.
+
+    Used both as a safety net for runaway workloads and as the checker
+    timeout detection channel ("any full lockup of a core is detected via
+    timeout", section II-B).
+    """

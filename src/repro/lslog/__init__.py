@@ -1,0 +1,61 @@
+"""The load-store log: segments, replay ports, detection, rollback."""
+
+from .detection import (
+    CheckerException,
+    CheckerTimeout,
+    DetectionChannel,
+    ErrorDetected,
+    FinalStateMismatch,
+    LoadAddressMismatch,
+    LogExhausted,
+    StoreAddressMismatch,
+    StoreMismatch,
+)
+from .ports import CheckerReplayPort, MainMemoryPort, UncheckedConflictStall
+from .rollback import (
+    LINE_ROLLBACK_CYCLES,
+    ROLLBACK_BASE_CYCLES,
+    RollbackResult,
+    WORD_ROLLBACK_CYCLES,
+    rollback_cost_cycles,
+    rollback_memory,
+)
+from .segment import (
+    LINE_ENTRY_BYTES,
+    LOAD_ENTRY_BYTES,
+    LogSegment,
+    RollbackGranularity,
+    STORE_DETECT_BYTES,
+    STORE_OLD_WORD_BYTES,
+    SegmentCloseReason,
+    SegmentFull,
+)
+
+__all__ = [
+    "CheckerException",
+    "CheckerReplayPort",
+    "CheckerTimeout",
+    "DetectionChannel",
+    "ErrorDetected",
+    "FinalStateMismatch",
+    "LINE_ENTRY_BYTES",
+    "LINE_ROLLBACK_CYCLES",
+    "LOAD_ENTRY_BYTES",
+    "LoadAddressMismatch",
+    "LogExhausted",
+    "LogSegment",
+    "MainMemoryPort",
+    "ROLLBACK_BASE_CYCLES",
+    "RollbackGranularity",
+    "RollbackResult",
+    "STORE_DETECT_BYTES",
+    "STORE_OLD_WORD_BYTES",
+    "SegmentCloseReason",
+    "SegmentFull",
+    "StoreAddressMismatch",
+    "StoreMismatch",
+    "UncheckedConflictStall",
+    "WORD_ROLLBACK_CYCLES",
+    "rollback_cost_cycles",
+    "rollback_memory",
+]

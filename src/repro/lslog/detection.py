@@ -1,0 +1,88 @@
+"""Error-detection outcomes.
+
+The paper's figure 7 enumerates how an injected error surfaces: "at store
+comparison, during the final architectural state check, or because of an
+exception or an invalid checker core behavior" — or it may remain
+undetected (a masked fault whose effects never reach architectural
+state).  Full core lockups are caught by timeout (section II-B).
+
+Detections are raised as exceptions from the checker's replay port or
+from the checker run loop, and carry where in the segment they occurred
+so the engine can account wasted execution precisely (figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class DetectionChannel(enum.Enum):
+    """Where a divergence became visible."""
+
+    STORE_COMPARISON = "store comparison"
+    STORE_ADDRESS = "store address comparison"
+    LOAD_ADDRESS = "load address divergence"
+    LOG_EXHAUSTED = "load-store log over/under-run"
+    FINAL_STATE = "final architectural state check"
+    EXCEPTION = "checker exception / invalid behavior"
+    TIMEOUT = "checker timeout"
+    MAIN_TRAP = "main-core exception (suspected transient fault)"
+
+
+class ErrorDetected(Exception):
+    """An error was detected while checking a segment."""
+
+    channel: DetectionChannel = DetectionChannel.EXCEPTION
+
+    def __init__(
+        self,
+        message: str,
+        instruction_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        #: Index within the segment of the checker instruction at which the
+        #: divergence surfaced (None if only known at segment end).
+        self.instruction_index = instruction_index
+
+
+class StoreMismatch(ErrorDetected):
+    """The checker's store value differed from the logged value."""
+
+    channel = DetectionChannel.STORE_COMPARISON
+
+
+class StoreAddressMismatch(ErrorDetected):
+    """The checker's store address differed from the logged address."""
+
+    channel = DetectionChannel.STORE_ADDRESS
+
+
+class LoadAddressMismatch(ErrorDetected):
+    """The checker's load address differed from the logged address."""
+
+    channel = DetectionChannel.LOAD_ADDRESS
+
+
+class LogExhausted(ErrorDetected):
+    """The checker issued more memory operations than were logged."""
+
+    channel = DetectionChannel.LOG_EXHAUSTED
+
+
+class FinalStateMismatch(ErrorDetected):
+    """The checker finished the segment in a different architectural state."""
+
+    channel = DetectionChannel.FINAL_STATE
+
+
+class CheckerException(ErrorDetected):
+    """The checker trapped (invalid PC, alignment...): invalid behaviour."""
+
+    channel = DetectionChannel.EXCEPTION
+
+
+class CheckerTimeout(ErrorDetected):
+    """The checker failed to finish within its instruction/time budget."""
+
+    channel = DetectionChannel.TIMEOUT

@@ -1,0 +1,95 @@
+"""Memory rollback (section II-B recovery, optimised in section IV-D).
+
+On error detection "all the stores that happened between the beginning of
+the faulty segment and the current state — which are all kept in the
+load-store log — are reverted".  Rollback walks the *newest* segment
+first, back to the faulty one, so that where both an older and a newer
+copy of a location exist, the older value lands last.
+
+* Word granularity (ParaMedic): undo every store in reverse order.
+* Line granularity (ParaDox): restore each first-touch line copy, one
+  entry per (line, checkpoint) instead of one per store.
+
+The per-entry cycle costs below feed the recovery-time accounting of
+figure 9: a word undo is a log read plus a word write into the L1; a line
+restore moves a whole 64-byte line but amortises the lookup/ECC handling
+across it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..isa.memory_image import MemoryImage
+from .segment import LogSegment, RollbackGranularity
+
+#: Main-core cycles to undo one logged word (read log entry, write word).
+WORD_ROLLBACK_CYCLES = 4
+#: Main-core cycles to restore one 64-byte line (burst SRAM read, line fill).
+LINE_ROLLBACK_CYCLES = 8
+#: Fixed cost of initiating a rollback (drain pipeline, walk segment list).
+ROLLBACK_BASE_CYCLES = 32
+
+
+@dataclass(frozen=True)
+class RollbackResult:
+    """Outcome and cost accounting for one rollback."""
+
+    segments_walked: int
+    entries_restored: int
+    cycles: int
+    granularity: RollbackGranularity
+
+
+def rollback_memory(
+    memory: MemoryImage, segments_newest_first: Sequence[LogSegment]
+) -> RollbackResult:
+    """Revert all stores recorded in the given segments.
+
+    ``segments_newest_first`` must be ordered newest to oldest and all
+    share one granularity; the caller passes every unchecked segment from
+    the current one back to (and including) the faulty one.
+    """
+    if not segments_newest_first:
+        return RollbackResult(0, 0, ROLLBACK_BASE_CYCLES, RollbackGranularity.WORD)
+    granularity = segments_newest_first[0].granularity
+    if granularity is RollbackGranularity.NONE:
+        raise ValueError(
+            "detection-only segments carry no rollback data; recovery is "
+            "impossible (this is the [8] design point, not ParaMedic/ParaDox)"
+        )
+    entries = 0
+    for segment in segments_newest_first:
+        if segment.granularity is not granularity:
+            raise ValueError("mixed rollback granularities in one walk")
+        if granularity is RollbackGranularity.WORD:
+            for index in range(len(segment.store_addrs) - 1, -1, -1):
+                memory.store(segment.store_addrs[index], segment.store_olds[index])
+                entries += 1
+        else:
+            for line_addr, words in segment.lines:
+                memory.write_line(line_addr, words)
+                entries += 1
+    per_entry = (
+        WORD_ROLLBACK_CYCLES
+        if granularity is RollbackGranularity.WORD
+        else LINE_ROLLBACK_CYCLES
+    )
+    cycles = ROLLBACK_BASE_CYCLES + entries * per_entry
+    return RollbackResult(len(segments_newest_first), entries, cycles, granularity)
+
+
+def rollback_cost_cycles(segments_newest_first: Iterable[LogSegment]) -> int:
+    """Cost of a rollback without performing it (for what-if analysis)."""
+    segments: List[LogSegment] = list(segments_newest_first)
+    if not segments:
+        return ROLLBACK_BASE_CYCLES
+    per_entry = (
+        WORD_ROLLBACK_CYCLES
+        if segments[0].granularity is RollbackGranularity.WORD
+        else LINE_ROLLBACK_CYCLES
+    )
+    return ROLLBACK_BASE_CYCLES + per_entry * sum(
+        s.rollback_entry_count for s in segments
+    )

@@ -1,0 +1,147 @@
+"""SECDED error-correcting code for 64-bit words.
+
+The paper assumes memory and caches are protected by SECDED ECC
+("reliable systems usually cover memory using ECC bits, where we assume
+SECDED protection", section IV-E), so ParaDox's redundancy only needs to
+cover compute.  This module implements the classic Hamming(72,64) +
+overall-parity code: 64 data bits, 7 Hamming check bits and one overall
+parity bit give single-error correction and double-error detection.
+
+Layout: the 72-bit codeword places Hamming check bit *i* at (1-based)
+position ``2**i`` and data bits in the remaining positions, with the
+overall parity bit appended at position 72.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+DATA_BITS = 64
+HAMMING_BITS = 7  # positions 1,2,4,...,64 cover up to 71 positions
+CODE_BITS = DATA_BITS + HAMMING_BITS + 1  # 72
+
+#: 1-based codeword positions that hold data bits (not powers of two).
+_DATA_POSITIONS: List[int] = [
+    pos for pos in range(1, DATA_BITS + HAMMING_BITS + 1) if pos & (pos - 1)
+]
+assert len(_DATA_POSITIONS) == DATA_BITS
+_PARITY_POSITION = CODE_BITS  # overall parity, 1-based position 72
+
+
+class EccStatus(enum.Enum):
+    """Outcome of a decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected single-bit error"
+    DOUBLE_ERROR = "detected uncorrectable double-bit error"
+
+
+@dataclass(frozen=True)
+class EccResult:
+    """Decoded data word plus what the decoder had to do."""
+
+    data: int
+    status: EccStatus
+    corrected_position: int = 0  # 1-based codeword position, 0 if none
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SECDED codeword."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ValueError("data must be an unsigned 64-bit value")
+    # Place data bits.
+    codeword = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (data >> i) & 1:
+            codeword |= 1 << (pos - 1)
+    # Hamming check bits: check bit i covers positions with bit i set.
+    for i in range(HAMMING_BITS):
+        check_pos = 1 << i
+        parity = 0
+        for pos in _DATA_POSITIONS:
+            if pos & check_pos and (codeword >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << (check_pos - 1)
+    # Overall parity over the first 71 bits.
+    if _parity(codeword):
+        codeword |= 1 << (_PARITY_POSITION - 1)
+    return codeword
+
+
+def decode(codeword: int) -> EccResult:
+    """Decode a 72-bit codeword, correcting a single flipped bit."""
+    if not 0 <= codeword < (1 << CODE_BITS):
+        raise ValueError("codeword must be an unsigned 72-bit value")
+    syndrome = 0
+    for i in range(HAMMING_BITS):
+        check_pos = 1 << i
+        parity = 0
+        for pos in range(1, DATA_BITS + HAMMING_BITS + 1):
+            if pos & check_pos and (codeword >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= check_pos
+    overall = _parity(codeword)
+
+    if syndrome == 0 and overall == 0:
+        return EccResult(extract_data(codeword), EccStatus.CLEAN)
+    if overall == 1:
+        # Odd number of flipped bits: correct the single error.  A
+        # syndrome of zero means the overall parity bit itself flipped.
+        corrected = codeword
+        position = syndrome if syndrome else _PARITY_POSITION
+        corrected ^= 1 << (position - 1)
+        return EccResult(extract_data(corrected), EccStatus.CORRECTED, position)
+    # Even number of errors with a non-zero syndrome: uncorrectable.
+    return EccResult(extract_data(codeword), EccStatus.DOUBLE_ERROR)
+
+
+def extract_data(codeword: int) -> int:
+    """Strip check bits, returning the 64 data bits."""
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (codeword >> (pos - 1)) & 1:
+            data |= 1 << i
+    return data
+
+
+def flip_bits(codeword: int, positions: Tuple[int, ...]) -> int:
+    """Return ``codeword`` with the given 1-based bit positions flipped."""
+    for pos in positions:
+        if not 1 <= pos <= CODE_BITS:
+            raise ValueError(f"bit position {pos} outside 1..{CODE_BITS}")
+        codeword ^= 1 << (pos - 1)
+    return codeword
+
+
+class EccProtectedWord:
+    """A single 64-bit storage cell with SECDED protection.
+
+    A convenience wrapper used by tests and by the coverage example to
+    demonstrate that memory-side upsets are absorbed by ECC while compute
+    errors need ParaDox's redundant execution.
+    """
+
+    def __init__(self, data: int = 0) -> None:
+        self._codeword = encode(data)
+
+    def write(self, data: int) -> None:
+        self._codeword = encode(data)
+
+    def read(self) -> EccResult:
+        result = decode(self._codeword)
+        if result.status is EccStatus.CORRECTED:
+            # Scrub on read.
+            self._codeword = encode(result.data)
+        return result
+
+    def upset(self, *positions: int) -> None:
+        """Inject bit flips at the given 1-based codeword positions."""
+        self._codeword = flip_bits(self._codeword, tuple(positions))

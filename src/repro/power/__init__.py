@@ -1,0 +1,59 @@
+"""Power, energy and voltage/frequency trade-off models (section VI-E)."""
+
+from .activity import ActivityReport, activity_report, mix_energy, recovery_energy_overhead
+from .model import (
+    CHECKER_POOL_FULL_POWER,
+    DYNAMIC_FRACTION,
+    OperatingPoint,
+    checker_pool_power,
+    energy_delay_product,
+    frequency_for_voltage,
+    main_core_power,
+    voltage_for_frequency,
+)
+from .overclocking import (
+    OverclockScenario,
+    PARADOX_BASE_VOLTAGE,
+    THRESHOLD_VOLTAGE,
+    boost_performance,
+    paramedic_edp_ratio,
+    restore_performance,
+)
+from .report import EnergyRow, EnergySummary, energy_row, summarise
+from .xgene import (
+    UndervoltPoint,
+    XGENE3_NOMINAL_FREQUENCY_HZ,
+    XGENE3_NOMINAL_VOLTAGE,
+    XGENE3_UNDERVOLT,
+    undervolt_point,
+)
+
+__all__ = [
+    "ActivityReport",
+    "CHECKER_POOL_FULL_POWER",
+    "activity_report",
+    "mix_energy",
+    "recovery_energy_overhead",
+    "DYNAMIC_FRACTION",
+    "EnergyRow",
+    "EnergySummary",
+    "OperatingPoint",
+    "OverclockScenario",
+    "PARADOX_BASE_VOLTAGE",
+    "THRESHOLD_VOLTAGE",
+    "UndervoltPoint",
+    "XGENE3_NOMINAL_FREQUENCY_HZ",
+    "XGENE3_NOMINAL_VOLTAGE",
+    "XGENE3_UNDERVOLT",
+    "boost_performance",
+    "checker_pool_power",
+    "energy_delay_product",
+    "energy_row",
+    "frequency_for_voltage",
+    "main_core_power",
+    "paramedic_edp_ratio",
+    "restore_performance",
+    "summarise",
+    "undervolt_point",
+    "voltage_for_frequency",
+]

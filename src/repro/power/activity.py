@@ -1,0 +1,113 @@
+"""Activity-based energy accounting.
+
+The figure 13 analysis scales whole-core power with voltage and
+frequency; this module complements it with a McPAT-flavoured
+*activity* model: dynamic energy proportional to the executed
+instruction mix, with per-unit-class weights
+(:data:`repro.config.ENERGY_PER_INSTRUCTION`).  The paper notes McPAT
+"would be more fine-grained, but lack[s] the level of accuracy needed"
+for heterogeneous core comparisons — the same caveat applies here, so
+this model feeds *relative* comparisons only:
+
+* the energy cost of wasted re-execution (recovery runs the same
+  instructions again, so its energy is visible in the executed-vs-useful
+  mix difference);
+* per-workload dynamic-energy intensity (FP-heavy vs ALU-heavy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..config import ENERGY_PER_INSTRUCTION
+from ..stats import RunResult
+
+
+@dataclass(frozen=True)
+class ActivityReport:
+    """Relative dynamic-energy accounting for one run."""
+
+    workload: str
+    system: str
+    #: Energy units (1.0 = one main-core ALU op) actually spent.
+    executed_energy: float
+    #: Energy that useful (committed-and-kept) instructions required.
+    useful_energy: float
+    instructions_executed: int
+    instructions_useful: int
+
+    @property
+    def wasted_energy(self) -> float:
+        """Energy burnt on execution that was later rolled back."""
+        return max(self.executed_energy - self.useful_energy, 0.0)
+
+    @property
+    def waste_fraction(self) -> float:
+        if self.executed_energy == 0:
+            return 0.0
+        return self.wasted_energy / self.executed_energy
+
+    @property
+    def energy_per_instruction(self) -> float:
+        if self.instructions_executed == 0:
+            return 0.0
+        return self.executed_energy / self.instructions_executed
+
+
+def mix_energy(unit_mix: Mapping[str, int]) -> float:
+    """Total relative dynamic energy of an instruction mix."""
+    total = 0.0
+    for unit, count in unit_mix.items():
+        try:
+            weight = ENERGY_PER_INSTRUCTION[unit]
+        except KeyError:
+            raise KeyError(f"no energy weight for unit class {unit!r}") from None
+        total += weight * count
+    return total
+
+
+def activity_report(result: RunResult) -> ActivityReport:
+    """Energy accounting for one run.
+
+    The useful-energy estimate scales the executed mix down by the
+    useful/executed instruction ratio — exact when re-executed code has
+    the same mix as first-time code, which re-running the same program
+    region guarantees in expectation.
+    """
+    executed = mix_energy(result.unit_mix)
+    if result.instructions_executed:
+        useful = executed * result.instructions / result.instructions_executed
+    else:
+        useful = 0.0
+    return ActivityReport(
+        workload=result.workload,
+        system=result.system,
+        executed_energy=executed,
+        useful_energy=useful,
+        instructions_executed=result.instructions_executed,
+        instructions_useful=result.instructions,
+    )
+
+
+def recovery_energy_overhead(
+    faulty: RunResult, clean: RunResult
+) -> Dict[str, float]:
+    """Compare a run under errors against its error-free twin.
+
+    Returns the relative extra dynamic energy recovery cost, decomposed
+    into re-execution (instruction count growth) and intensity change.
+    """
+    faulty_report = activity_report(faulty)
+    clean_report = activity_report(clean)
+    if clean_report.executed_energy == 0:
+        raise ValueError("clean run executed nothing")
+    return {
+        "energy_ratio": faulty_report.executed_energy / clean_report.executed_energy,
+        "reexecution_ratio": (
+            faulty.instructions_executed / clean.instructions_executed
+            if clean.instructions_executed
+            else 0.0
+        ),
+        "waste_fraction": faulty_report.waste_fraction,
+    }

@@ -1,0 +1,106 @@
+"""Power and energy model.
+
+Follows the paper's section VI-E assumptions: dynamic power proportional
+to ``V^2 f`` with attainable frequency proportional to ``V - V_th``
+(Borkar & Chien [21]), a small static component proportional to ``V``,
+and checker-core power bounded by the Rocket-core-derived constant "never
+more than 5% in addition" for all sixteen checkers, scaled by the
+per-core wake rates that aggressive gating produces (figure 12).
+
+All powers are *relative*: 1.0 is the margined baseline main core at
+nominal voltage and frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Fraction of main-core power that is dynamic (V^2 f); the rest is
+#: static leakage (proportional to V).
+DYNAMIC_FRACTION = 0.85
+#: All sixteen checker cores at full utilisation add this fraction of the
+#: main core's power ("never more than 5%", section VI-E, derived from
+#: public RISC-V Rocket data scaled to the X-Gene 3's 16 nm process).
+CHECKER_POOL_FULL_POWER = 0.05
+#: A power-gated checker core and its log SRAM consume effectively zero;
+#: an awake-but-idle one still leaks this fraction of its active power.
+CHECKER_IDLE_LEAKAGE = 0.10
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (voltage, frequency) pair, relative to the nominal point."""
+
+    voltage: float
+    frequency_hz: float
+
+
+def main_core_power(
+    point: OperatingPoint,
+    nominal: OperatingPoint,
+) -> float:
+    """Main-core power relative to the nominal operating point."""
+    v_ratio = point.voltage / nominal.voltage
+    f_ratio = point.frequency_hz / nominal.frequency_hz
+    dynamic = DYNAMIC_FRACTION * v_ratio * v_ratio * f_ratio
+    static = (1.0 - DYNAMIC_FRACTION) * v_ratio
+    return dynamic + static
+
+
+def checker_pool_power(wake_rates: Sequence[float], gated: bool = True) -> float:
+    """Checker-pool power relative to the nominal main core.
+
+    With gating (ParaDox), a core contributes its active power times its
+    wake rate; without gating (ParaMedic's round-robin keeps all cores and
+    their logs powered), every core that was ever used leaks at idle and
+    burns active power while awake.
+    """
+    if not wake_rates:
+        return 0.0
+    per_core = CHECKER_POOL_FULL_POWER / len(wake_rates)
+    total = 0.0
+    for rate in wake_rates:
+        active = per_core * min(rate, 1.0)
+        if gated:
+            total += active
+        else:
+            idle = per_core * CHECKER_IDLE_LEAKAGE * (1.0 - min(rate, 1.0))
+            total += active + idle
+    if not gated:
+        # Ungated pools additionally keep unused cores powered.
+        pass
+    return total
+
+
+def energy_delay_product(power: float, slowdown: float) -> float:
+    """Relative EDP: ``E * t = (P * t) * t`` with baseline slowdown 1."""
+    return power * slowdown * slowdown
+
+
+def frequency_for_voltage(
+    voltage: float,
+    reference_voltage: float,
+    reference_frequency_hz: float,
+    threshold_voltage: float = 0.45,
+) -> float:
+    """Attainable frequency at ``voltage``: ``f proportional to V - V_th`` [21]."""
+    if voltage <= threshold_voltage:
+        raise ValueError(f"voltage {voltage} at or below threshold {threshold_voltage}")
+    return (
+        reference_frequency_hz
+        * (voltage - threshold_voltage)
+        / (reference_voltage - threshold_voltage)
+    )
+
+
+def voltage_for_frequency(
+    frequency_hz: float,
+    reference_voltage: float,
+    reference_frequency_hz: float,
+    threshold_voltage: float = 0.45,
+) -> float:
+    """Inverse of :func:`frequency_for_voltage`."""
+    return threshold_voltage + (reference_voltage - threshold_voltage) * (
+        frequency_hz / reference_frequency_hz
+    )

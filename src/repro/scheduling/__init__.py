@@ -1,0 +1,21 @@
+"""Checker-core scheduling policies and power-gating accounting."""
+
+from .pool import CheckerPool, DispatchRecord, SchedulingPolicy
+from .sharing import (
+    SharedPoolReport,
+    merge_traces,
+    minimum_adequate_pool,
+    replay_shared_pool,
+    sharing_study,
+)
+
+__all__ = [
+    "CheckerPool",
+    "DispatchRecord",
+    "SchedulingPolicy",
+    "SharedPoolReport",
+    "merge_traces",
+    "minimum_adequate_pool",
+    "replay_shared_pool",
+    "sharing_study",
+]

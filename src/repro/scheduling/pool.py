@@ -1,0 +1,147 @@
+"""Checker-core scheduling and power gating (section IV-C, figure 5).
+
+ParaMedic allocates checker cores round-robin, which spreads work across
+all sixteen cores and keeps them (and their log SRAM) powered.  ParaDox
+instead allocates "the lowest-indexed free checker core", concentrating
+work on low IDs so the high-ID cores and their log segments can be power
+gated; "to avoid uneven ageing, ID 0 is chosen at random at boot time"
+(a rotation applied to the ID ordering).
+
+The pool tracks per-core busy intervals, from which figure 12's wake
+rates and the power model's gating savings are derived.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cores.checker_core import CheckerCore
+
+
+class SchedulingPolicy(enum.Enum):
+    """How the next checker core is chosen."""
+
+    ROUND_ROBIN = "round-robin"  # ParaMedic
+    LOWEST_FREE_ID = "lowest-free-id"  # ParaDox
+
+
+@dataclass
+class DispatchRecord:
+    """One segment's stay on a checker core."""
+
+    core_id: int
+    segment_seq: int
+    start_ns: float
+    end_ns: float
+
+
+class CheckerPool:
+    """The sixteen checker cores of one main core."""
+
+    def __init__(
+        self,
+        cores: Sequence[CheckerCore],
+        policy: SchedulingPolicy,
+        boot_offset: int = 0,
+    ) -> None:
+        if not cores:
+            raise ValueError("a checker pool needs at least one core")
+        self.cores: List[CheckerCore] = list(cores)
+        self.policy = policy
+        #: Random rotation of core IDs applied at boot (anti-ageing).
+        self.boot_offset = boot_offset % len(self.cores)
+        self._rr_pointer = 0
+        self.dispatches: List[DispatchRecord] = []
+        #: ID (physical index) of the previously allocated core, stored at
+        #: the end of each log segment for continuity (figure 5).
+        self.last_core_id: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    # -- selection -------------------------------------------------------------
+    def _logical_order(self) -> List[int]:
+        n = len(self.cores)
+        return [(self.boot_offset + i) % n for i in range(n)]
+
+    def earliest_free_ns(self) -> float:
+        """Wall time at which at least one core is free."""
+        return min(core.busy_until_ns for core in self.cores)
+
+    def select(self, now_ns: float) -> Tuple[CheckerCore, float]:
+        """Pick a core per policy; returns ``(core, start_ns)``.
+
+        ``start_ns`` is ``now_ns`` if the chosen core is free, otherwise
+        the time the main core must wait for ("if all checkers are busy
+        ... the main core has to wait for a checker to finish").
+        """
+        if self.policy is SchedulingPolicy.ROUND_ROBIN:
+            return self._select_round_robin(now_ns)
+        return self._select_lowest_free(now_ns)
+
+    def _select_round_robin(self, now_ns: float) -> Tuple[CheckerCore, float]:
+        n = len(self.cores)
+        for probe in range(n):
+            core = self.cores[(self._rr_pointer + probe) % n]
+            if core.busy_until_ns <= now_ns:
+                self._rr_pointer = (core.core_id + 1) % n
+                return core, now_ns
+        core = min(self.cores, key=lambda c: c.busy_until_ns)
+        self._rr_pointer = (core.core_id + 1) % n
+        return core, core.busy_until_ns
+
+    def _select_lowest_free(self, now_ns: float) -> Tuple[CheckerCore, float]:
+        for core_id in self._logical_order():
+            core = self.cores[core_id]
+            if core.busy_until_ns <= now_ns:
+                return core, now_ns
+        core = min(self.cores, key=lambda c: c.busy_until_ns)
+        return core, core.busy_until_ns
+
+    # -- dispatch ------------------------------------------------------------------
+    def dispatch(
+        self, core: CheckerCore, segment_seq: int, start_ns: float, duration_ns: float
+    ) -> DispatchRecord:
+        """Occupy ``core`` with a segment for ``duration_ns`` from ``start_ns``."""
+        end_ns = start_ns + duration_ns
+        core.busy_until_ns = end_ns
+        core.busy_ns_total += duration_ns
+        record = DispatchRecord(core.core_id, segment_seq, start_ns, end_ns)
+        self.dispatches.append(record)
+        self.last_core_id = core.core_id
+        return record
+
+    def abort(self, record: DispatchRecord, at_ns: float) -> None:
+        """Squash an in-flight check at ``at_ns`` (rollback of its segment)."""
+        core = self.cores[record.core_id]
+        if record.end_ns > at_ns:
+            reclaimed = record.end_ns - max(at_ns, record.start_ns)
+            core.busy_ns_total -= reclaimed
+            core.busy_until_ns = min(core.busy_until_ns, at_ns)
+            record.end_ns = max(at_ns, record.start_ns)
+
+    # -- gating statistics -------------------------------------------------------------
+    def wake_rates(self, total_ns: float) -> List[float]:
+        """Fraction of wall time each physical core spent awake (fig. 12)."""
+        if total_ns <= 0:
+            return [0.0] * len(self.cores)
+        return [min(core.busy_ns_total / total_ns, 1.0) for core in self.cores]
+
+    def cores_ever_used(self) -> int:
+        return sum(1 for core in self.cores if core.busy_ns_total > 0)
+
+    def peak_concurrency(self) -> int:
+        """Maximum number of simultaneously busy cores over the run."""
+        events: List[Tuple[float, int]] = []
+        for record in self.dispatches:
+            if record.end_ns > record.start_ns:
+                events.append((record.start_ns, 1))
+                events.append((record.end_ns, -1))
+        events.sort()
+        peak = current = 0
+        for _time, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak

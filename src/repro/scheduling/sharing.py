@@ -1,0 +1,130 @@
+"""Shared checker pools between multiple main cores.
+
+Figure 12's conclusion: since no workload keeps more than eight of its
+sixteen checkers busy on average, "this suggests that this could be
+reduced by half through sharing checker cores between multiple main
+cores, without affecting performance".
+
+This module evaluates that claim trace-driven: take the checker dispatch
+traces (arrival time, checking duration) recorded by independent
+single-core simulations, replay the merged arrival stream against one
+shared pool of a chosen size with lowest-free-ID allocation, and measure
+how much extra queueing delay sharing introduces relative to each core
+having had its private sixteen.
+
+A delayed *start* does not slow the main core down directly (checking is
+asynchronous); it matters when the main core would have had to wait for
+a free checker, so we report both the added start delay and the
+probability that a dispatch found no checker free — the condition that
+stalls a main core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+Trace = Sequence[Tuple[float, float]]  # (arrival_ns, duration_ns)
+
+
+@dataclass
+class SharedPoolReport:
+    """Outcome of replaying merged traces on one shared pool."""
+
+    pool_size: int
+    dispatches: int
+    #: Dispatches that found no free checker (would stall a main core).
+    blocked_dispatches: int
+    total_added_delay_ns: float
+    max_added_delay_ns: float
+    #: Per-core wake rates of the shared pool.
+    wake_rates: List[float] = field(default_factory=list)
+
+    @property
+    def blocked_fraction(self) -> float:
+        return self.blocked_dispatches / self.dispatches if self.dispatches else 0.0
+
+    @property
+    def mean_added_delay_ns(self) -> float:
+        return self.total_added_delay_ns / self.dispatches if self.dispatches else 0.0
+
+
+def merge_traces(traces: Sequence[Trace]) -> List[Tuple[float, float]]:
+    """Merge per-core dispatch traces into one arrival-ordered stream."""
+    merged: List[Tuple[float, float]] = []
+    for trace in traces:
+        merged.extend(trace)
+    merged.sort(key=lambda item: item[0])
+    return merged
+
+
+def replay_shared_pool(
+    traces: Sequence[Trace], pool_size: int
+) -> SharedPoolReport:
+    """Replay merged traces against ``pool_size`` shared checkers.
+
+    Allocation is lowest-free-ID (ParaDox's gating-friendly policy).  A
+    dispatch that arrives with no checker free is *blocked*: it starts
+    when the earliest checker frees, and the difference is its added
+    delay.
+    """
+    if pool_size <= 0:
+        raise ValueError("pool size must be positive")
+    merged = merge_traces(traces)
+    free_at = [0.0] * pool_size
+    busy_total = [0.0] * pool_size
+    blocked = 0
+    total_delay = 0.0
+    max_delay = 0.0
+    for arrival, duration in merged:
+        # Lowest-free-ID: first core already free at the arrival time.
+        chosen = None
+        for core_id in range(pool_size):
+            if free_at[core_id] <= arrival:
+                chosen = core_id
+                start = arrival
+                break
+        if chosen is None:
+            blocked += 1
+            chosen = min(range(pool_size), key=free_at.__getitem__)
+            start = free_at[chosen]
+            delay = start - arrival
+            total_delay += delay
+            max_delay = max(max_delay, delay)
+        free_at[chosen] = start + duration
+        busy_total[chosen] += duration
+    horizon = max(free_at) if merged else 0.0
+    wake_rates = [busy / horizon if horizon else 0.0 for busy in busy_total]
+    return SharedPoolReport(
+        pool_size=pool_size,
+        dispatches=len(merged),
+        blocked_dispatches=blocked,
+        total_added_delay_ns=total_delay,
+        max_added_delay_ns=max_delay,
+        wake_rates=wake_rates,
+    )
+
+
+def sharing_study(
+    traces: Sequence[Trace],
+    pool_sizes: Sequence[int] = (32, 16, 12, 8, 6, 4),
+) -> List[SharedPoolReport]:
+    """Sweep shared-pool sizes over the merged traces.
+
+    With two main cores, 32 is the unshared total; 16 is the paper's
+    halved suggestion.  The claim holds when the 16-core report shows a
+    (near-)zero blocked fraction.
+    """
+    return [replay_shared_pool(traces, size) for size in pool_sizes]
+
+
+def minimum_adequate_pool(
+    traces: Sequence[Trace],
+    max_blocked_fraction: float = 0.01,
+    ceiling: int = 64,
+) -> int:
+    """Smallest pool keeping the blocked fraction under the threshold."""
+    for size in range(1, ceiling + 1):
+        if replay_shared_pool(traces, size).blocked_fraction <= max_blocked_fraction:
+            return size
+    raise ValueError(f"no pool up to {ceiling} meets the threshold")

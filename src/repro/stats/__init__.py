@@ -1,0 +1,21 @@
+"""Statistics records shared by the simulation engine and experiments."""
+
+from .run_stats import RecoveryEvent, RunResult, StallBreakdown
+from .timeline import (
+    EventKind,
+    Timeline,
+    TimelineEvent,
+    render_checker_gantt,
+    render_timeline,
+)
+
+__all__ = [
+    "EventKind",
+    "RecoveryEvent",
+    "RunResult",
+    "StallBreakdown",
+    "Timeline",
+    "TimelineEvent",
+    "render_checker_gantt",
+    "render_timeline",
+]

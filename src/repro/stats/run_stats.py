@@ -1,0 +1,158 @@
+"""Run-level statistics and result records.
+
+A :class:`RunResult` is what every system's ``run()`` returns: enough to
+regenerate each of the paper's figures without re-simulating — per-event
+recovery costs (figure 9), segment/stall accounting (figure 10), the
+voltage trace (figure 11), checker wake rates (figure 12), and the inputs
+the power model needs (figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..lslog.detection import DetectionChannel
+from ..lslog.segment import SegmentCloseReason
+
+
+@dataclass
+class RecoveryEvent:
+    """One detected error and its recovery cost (figure 4's anatomy)."""
+
+    segment_seq: int
+    channel: DetectionChannel
+    #: Wall-clock time of detection.
+    detect_ns: float
+    #: Execution since the start of the faulty segment that must be redone
+    #: ("Re-run" in figure 4): wasted work attributable to this error.
+    wasted_execution_ns: float
+    #: Time spent walking the log restoring old values.
+    rollback_ns: float
+    #: Log entries restored (words for ParaMedic, lines for ParaDox).
+    rollback_entries: int
+    #: Segments rolled back (faulty segment through newest).
+    segments_rolled_back: int
+
+    @property
+    def total_recovery_ns(self) -> float:
+        return self.wasted_execution_ns + self.rollback_ns
+
+
+@dataclass
+class StallBreakdown:
+    """Where the main core lost time, in wall nanoseconds."""
+
+    checker_wait_ns: float = 0.0  # all checkers busy at a checkpoint
+    conflict_ns: float = 0.0  # unchecked-line eviction conflicts
+    checkpoint_ns: float = 0.0  # 16-cycle register checkpoint blocks
+    rollback_ns: float = 0.0  # walking the log on recovery
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.checker_wait_ns
+            + self.conflict_ns
+            + self.checkpoint_ns
+            + self.rollback_ns
+        )
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of simulating one workload on one system."""
+
+    system: str
+    workload: str
+    #: Total wall-clock time, including all recovery.
+    wall_ns: float
+    #: Committed (useful) instructions — re-runs excluded.
+    instructions: int
+    #: Total instructions executed by the main core including wasted re-runs.
+    instructions_executed: int
+    segments: int
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    close_reasons: Dict[SegmentCloseReason, int] = field(default_factory=dict)
+    #: Per-checker-core wake rate (fraction of wall time awake).
+    checker_wake_rates: List[float] = field(default_factory=list)
+    checker_peak_concurrency: int = 0
+    #: (time_ns, voltage) checkpoint-granularity trace (empty without DVS).
+    voltage_trace: List["tuple[float, float]"] = field(default_factory=list)
+    #: Time-weighted mean supply voltage over the run (nominal if no DVS).
+    mean_voltage: float = 0.0
+    highest_error_voltage: float = 0.0
+    #: Faults actually injected.
+    faults_injected: int = 0
+    #: Output the program produced (verified against the golden run).
+    program_output: List["tuple[int, str]"] = field(default_factory=list)
+    #: Mean checkpoint length in instructions.
+    mean_checkpoint_length: float = 0.0
+    final_checkpoint_target: int = 0
+    #: True when the run was abandoned because recovery stopped making
+    #: progress (executed instructions exceeded the livelock budget).
+    livelocked: bool = False
+    #: Externally visible writes (WRITE_EXTERNAL syscalls) performed,
+    #: each after draining all outstanding checks: (wall_ns, text).
+    external_flushes: List["tuple[float, str]"] = field(default_factory=list)
+    #: Checker dispatch trace: (start_ns, duration_ns) per checked
+    #: segment, in dispatch order — input to the pool-sharing study.
+    dispatch_trace: List["tuple[float, float]"] = field(default_factory=list)
+    #: Executed instructions per functional-unit class (including wasted
+    #: re-execution) — input to activity-based energy accounting.
+    unit_mix: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived metrics ------------------------------------------------------------
+    @property
+    def errors_detected(self) -> int:
+        return len(self.recoveries)
+
+    @property
+    def ipc_aggregate(self) -> float:
+        """Useful instructions per wall nanosecond (not per cycle)."""
+        return self.instructions / self.wall_ns if self.wall_ns else 0.0
+
+    @property
+    def wasted_execution_ns(self) -> float:
+        return sum(event.wasted_execution_ns for event in self.recoveries)
+
+    @property
+    def rollback_ns(self) -> float:
+        return sum(event.rollback_ns for event in self.recoveries)
+
+    def mean_wasted_execution_ns(self) -> Optional[float]:
+        if not self.recoveries:
+            return None
+        return self.wasted_execution_ns / len(self.recoveries)
+
+    def mean_rollback_ns(self) -> Optional[float]:
+        if not self.recoveries:
+            return None
+        return self.rollback_ns / len(self.recoveries)
+
+    def slowdown_vs(self, baseline: "RunResult") -> float:
+        """Wall-time ratio against a baseline run of the same workload."""
+        if baseline.wall_ns <= 0:
+            raise ValueError("baseline has no wall time")
+        return self.wall_ns / baseline.wall_ns
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"{self.system} / {self.workload}: {self.instructions} instructions "
+            f"in {self.wall_ns / 1e6:.3f} ms ({self.segments} segments)",
+            f"  errors detected: {self.errors_detected}, faults injected: "
+            f"{self.faults_injected}",
+            f"  stalls: checker-wait {self.stalls.checker_wait_ns / 1e3:.1f} us, "
+            f"conflict {self.stalls.conflict_ns / 1e3:.1f} us, "
+            f"checkpoint {self.stalls.checkpoint_ns / 1e3:.1f} us, "
+            f"rollback {self.stalls.rollback_ns / 1e3:.1f} us",
+        ]
+        if self.recoveries:
+            lines.append(
+                f"  mean recovery: wasted {self.mean_wasted_execution_ns() / 1e3:.2f} us"
+                f" + rollback {self.mean_rollback_ns() / 1e3:.2f} us"
+            )
+        if self.voltage_trace:
+            lines.append(f"  mean voltage: {self.mean_voltage:.3f} V")
+        return "\n".join(lines)

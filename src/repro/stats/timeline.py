@@ -1,0 +1,156 @@
+"""Execution timeline recording and rendering.
+
+When enabled (``EngineOptions.record_timeline``), the engine emits one
+:class:`TimelineEvent` for each interesting transition — segments
+opening/closing, checker dispatches, commits, detections, rollbacks and
+external flushes — in wall-clock order.  The timeline is the substrate
+for debugging recovery behaviour and for the documentation's worked
+examples; :func:`render_timeline` prints it human-readably and
+:func:`render_checker_gantt` draws checker occupancy as ASCII.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class EventKind(enum.Enum):
+    SEGMENT_OPEN = "open"
+    SEGMENT_CLOSE = "close"
+    DISPATCH = "dispatch"
+    COMMIT = "commit"
+    DETECTION = "detect"
+    ROLLBACK = "rollback"
+    EXTERNAL_FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One transition at one wall-clock instant."""
+
+    time_ns: float
+    kind: EventKind
+    #: Segment sequence number the event concerns (0 when N/A).
+    segment: int = 0
+    #: Checker core involved (-1 when N/A).
+    core: int = -1
+    detail: str = ""
+
+
+@dataclass
+class Timeline:
+    """Ordered event log for one simulation run."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time_ns: float,
+        kind: EventKind,
+        segment: int = 0,
+        core: int = -1,
+        detail: str = "",
+    ) -> None:
+        self.events.append(TimelineEvent(time_ns, kind, segment, core, detail))
+
+    def of_kind(self, kind: EventKind) -> List[TimelineEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def in_time_order(self) -> List[TimelineEvent]:
+        """Events sorted by wall time.
+
+        The raw list is in *recording* order, which can differ: commit
+        events are processed lazily and carry their (earlier) effective
+        commit timestamps.
+        """
+        return sorted(self.events, key=lambda event: event.time_ns)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def span_ns(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.events[-1].time_ns - self.events[0].time_ns
+
+    def validate_ordering(self) -> None:
+        """Raise if per-segment events violate the lifecycle order.
+
+        Lifecycle: open -> close -> dispatch -> (commit | detect).  Used
+        by tests as an internal-consistency oracle for the engine.
+        """
+        RANK = {
+            EventKind.SEGMENT_OPEN: 0,
+            EventKind.SEGMENT_CLOSE: 1,
+            EventKind.DISPATCH: 2,
+            EventKind.COMMIT: 3,
+            EventKind.DETECTION: 3,
+        }
+        last_rank: dict = {}
+        for event in self.in_time_order():
+            if event.kind not in RANK or event.segment == 0:
+                continue
+            rank = RANK[event.kind]
+            previous = last_rank.get(event.segment)
+            if previous is not None and rank < previous and rank != 0:
+                raise AssertionError(
+                    f"segment {event.segment}: {event.kind.value} after "
+                    f"rank-{previous} event"
+                )
+            last_rank[event.segment] = rank
+
+
+def render_timeline(
+    timeline: Timeline, limit: Optional[int] = None
+) -> str:
+    """One line per event: ``time | kind | segment | core | detail``."""
+    lines = []
+    ordered = timeline.in_time_order()
+    events = ordered[:limit] if limit else ordered
+    for event in events:
+        core = f"c{event.core}" if event.core >= 0 else "  "
+        segment = f"s{event.segment}" if event.segment else "  "
+        lines.append(
+            f"{event.time_ns:12.1f} ns  {event.kind.value:8s} {segment:>6s} "
+            f"{core:>4s}  {event.detail}"
+        )
+    if limit and len(timeline.events) > limit:
+        lines.append(f"... {len(timeline.events) - limit} more events")
+    return "\n".join(lines)
+
+
+def render_checker_gantt(
+    timeline: Timeline, cores: int = 16, width: int = 72
+) -> str:
+    """ASCII occupancy chart: one row per checker core.
+
+    Built from DISPATCH events (which carry the busy interval in their
+    detail as ``start..end``); '#' marks busy columns.
+    """
+    intervals: List["tuple[int, float, float]"] = []
+    for event in timeline.of_kind(EventKind.DISPATCH):
+        try:
+            start_text, end_text = event.detail.split("..")
+            intervals.append((event.core, float(start_text), float(end_text)))
+        except (ValueError, AttributeError):
+            continue
+    if not intervals:
+        return "(no dispatches)"
+    t_min = min(start for _, start, _ in intervals)
+    t_max = max(end for _, _, end in intervals)
+    span = (t_max - t_min) or 1.0
+    rows = []
+    for core in range(cores):
+        cells = [" "] * width
+        for owner, start, end in intervals:
+            if owner != core:
+                continue
+            left = int((start - t_min) / span * (width - 1))
+            right = max(int((end - t_min) / span * (width - 1)), left)
+            for x in range(left, right + 1):
+                cells[x] = "#"
+        rows.append(f"c{core:02d} |{''.join(cells)}|")
+    rows.append(f"     {t_min:.0f} ns {'':{max(width - 24, 1)}} {t_max:.0f} ns")
+    return "\n".join(rows)

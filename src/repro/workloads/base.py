@@ -1,0 +1,60 @@
+"""Workload abstraction.
+
+A :class:`Workload` couples a program with its initial memory image and a
+default useful-instruction budget.  ``create_memory()`` returns a *fresh*
+image per run, so repeated simulations are independent.
+
+:func:`golden_run` executes a workload functionally (no timing, no
+checking, no faults) and returns the reference final state — the oracle
+for every correctness test: whatever the fault schedule, a ParaMedic or
+ParaDox run must end in exactly this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..isa import ArchState, Executor, MemoryImage, Program
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark: program + initial data + budget."""
+
+    name: str
+    program: Program
+    #: Initial memory contents, word address -> 64-bit value.
+    initial_words: Dict[int, int] = field(default_factory=dict)
+    #: Default cap on useful (committed) instructions per run.
+    max_instructions: int = 1_000_000
+    #: "compute", "memory", or "mixed" — documentation only.
+    category: str = "mixed"
+    #: Free-form description shown by the experiment harnesses.
+    description: str = ""
+
+    def create_memory(self) -> MemoryImage:
+        memory = MemoryImage()
+        for address, value in self.initial_words.items():
+            memory.store(address, value)
+        return memory
+
+
+@dataclass
+class GoldenResult:
+    """Reference outcome of a functional run."""
+
+    state: ArchState
+    memory: MemoryImage
+    instructions: int
+    output: List[Tuple[int, str]]
+
+
+def golden_run(workload: Workload, max_instructions: int = 0) -> GoldenResult:
+    """Run ``workload`` functionally to completion; the correctness oracle."""
+    budget = max_instructions or workload.max_instructions
+    memory = workload.create_memory()
+    state = ArchState()
+    executor = Executor(workload.program, state, memory)
+    retired = executor.run(budget)
+    return GoldenResult(state, memory, retired, list(state.output))

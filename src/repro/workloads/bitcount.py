@@ -1,0 +1,141 @@
+"""The bitcount workload (MiBench [30]).
+
+The paper's design-space explorations use "compute-bound bitcount" as the
+worst case for overly large checkpoints: long dependent ALU chains with
+very few memory operations, so segments reach the 5,000-instruction cap
+long before the log fills, and an error late in a segment wastes a lot of
+execution.
+
+Like the MiBench original, several bit-counting strategies run over the
+same input array and their totals are accumulated:
+
+* iterated shift-and-mask ("1 bit at a time"),
+* Kernighan's ``n &= n - 1`` trick (data-dependent iteration count),
+* parallel SWAR reduction (constant instruction count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import ProgramBuilder, Syscall
+from .base import Workload
+
+#: Where the input array lives.
+DATA_BASE = 0x10000
+#: Where the three per-method totals are stored.
+RESULT_BASE = 0x8000
+#: Per-element counts array (like MiBench's per-iteration results).
+COUNTS_BASE = 0xA000
+
+
+def build_bitcount(values: int = 64, seed: int = 7) -> Workload:
+    """Construct bitcount over ``values`` pseudo-random 64-bit words."""
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(0, 2**63, size=values, dtype=np.int64)]
+
+    b = ProgramBuilder("bitcount")
+    # Register plan:
+    #   x10 element index     x11 element count   x12 current value
+    #   x13 shift-method total  x14 kernighan total  x15 swar total
+    #   x1..x5 scratch
+    b.movi(10, 0)
+    b.movi(11, values)
+    b.movi(13, 0)
+    b.movi(14, 0)
+    b.movi(15, 0)
+    b.movi(16, DATA_BASE)
+
+    b.label("outer")
+    b.lsli(1, 10, 3)  # byte offset
+    b.add(1, 16, 1)
+    b.ldr(12, 1, 0)  # x12 = data[i]
+
+    # Method 1: shift and mask, 64 fixed iterations.
+    b.mov(2, 12)
+    b.movi(3, 0)  # per-element count
+    b.movi(4, 64)  # loop counter
+    b.label("shift_loop")
+    b.andi(5, 2, 1)
+    b.add(3, 3, 5)
+    b.lsri(2, 2, 1)
+    b.subi(4, 4, 1)
+    b.cbnz(4, "shift_loop")
+    b.add(13, 13, 3)
+
+    # Method 2: Kernighan — iterations depend on popcount (data-dependent
+    # branches: the branchy, hard-to-predict part of the workload).
+    b.mov(2, 12)
+    b.movi(3, 0)
+    b.label("kern_loop")
+    b.cbz(2, "kern_done")
+    b.subi(5, 2, 1)
+    b.and_(2, 2, 5)
+    b.addi(3, 3, 1)
+    b.b("kern_loop")
+    b.label("kern_done")
+    b.add(14, 14, 3)
+    # Store the per-element count (MiBench records per-iteration results).
+    b.movi(5, COUNTS_BASE)
+    b.lsli(4, 10, 3)
+    b.add(5, 5, 4)
+    b.str_(3, 5, 0)
+
+    # Method 3: SWAR parallel reduction (long dependent ALU chain).
+    b.mov(2, 12)
+    b.movi(5, 0x5555555555555555)
+    b.lsri(3, 2, 1)
+    b.and_(3, 3, 5)
+    b.sub(2, 2, 3)
+    b.movi(5, 0x3333333333333333)
+    b.and_(3, 2, 5)
+    b.lsri(2, 2, 2)
+    b.and_(2, 2, 5)
+    b.add(2, 2, 3)
+    b.movi(5, 0x0F0F0F0F0F0F0F0F)
+    b.lsri(3, 2, 4)
+    b.add(2, 2, 3)
+    b.and_(2, 2, 5)
+    b.movi(5, 0x0101010101010101)
+    b.mul(2, 2, 5)
+    b.lsri(2, 2, 56)
+    b.add(15, 15, 2)
+
+    b.addi(10, 10, 1)
+    b.cmp(10, 11)
+    b.blt("outer")
+
+    # Store the three totals and print the cross-check sum.
+    b.movi(1, RESULT_BASE)
+    b.str_(13, 1, 0)
+    b.str_(14, 1, 8)
+    b.str_(15, 1, 16)
+    b.add(1, 13, 14)
+    b.add(1, 1, 15)
+    b.syscall(Syscall.PRINT_INT)
+    b.halt()
+
+    initial: Dict[int, int] = {
+        DATA_BASE + i * 8: value for i, value in enumerate(data)
+    }
+    # ~500 instructions per element across the three methods (the fixed
+    # 64-iteration shift loop dominates), plus prologue/epilogue.
+    budget = 520 * values + 1000
+    return Workload(
+        name="bitcount",
+        program=b.build(),
+        initial_words=initial,
+        max_instructions=budget,
+        category="compute",
+        description=(
+            f"MiBench bitcount over {values} words; compute-bound, "
+            "few memory ops, data-dependent branches"
+        ),
+    )
+
+
+def expected_popcount_total(workload: Workload) -> int:
+    """Reference total popcount of the input array (for tests)."""
+    return sum(bin(v).count("1") for v in workload.initial_words.values())

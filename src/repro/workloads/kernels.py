@@ -1,0 +1,269 @@
+"""Additional self-checking kernels.
+
+Beyond the paper's bitcount/stream/SPEC-proxy set, three classic kernels
+with independently verifiable results, used by tests and examples to
+exercise corners the others miss:
+
+* :func:`build_matmul` — dense double-precision matrix multiply:
+  FP-multiply-add dominated, blocked access patterns, long dependency
+  chains through the accumulator.
+* :func:`build_quicksort` — in-place integer quicksort: data-dependent
+  branches everywhere, recursion through an explicit stack in memory,
+  heavy pointer arithmetic (a torture test for rollback, since nearly
+  every store overwrites live data).
+* :func:`build_crc32` — bitwise CRC-32 over a buffer: serial
+  shift/xor/conditional chains, one long dependency string.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..isa import ProgramBuilder, Syscall, float_to_bits
+from .base import Workload
+
+MATRIX_A = 0x30000
+MATRIX_B = 0x50000
+MATRIX_C = 0x70000
+SORT_BASE = 0x90000
+SORT_STACK = 0xB0000
+CRC_BASE = 0xD0000
+
+
+def build_matmul(n: int = 12, seed: int = 21) -> Workload:
+    """C = A x B over n x n doubles (row-major)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    b_mat = rng.uniform(-1.0, 1.0, size=(n, n))
+
+    b = ProgramBuilder("matmul")
+    # x10=i x11=j x12=k x13=n; x1..x5 scratch; f1..f3 scratch
+    b.movi(13, n)
+    b.movi(20, MATRIX_A)
+    b.movi(21, MATRIX_B)
+    b.movi(22, MATRIX_C)
+    b.movi(10, 0)
+    b.label("i_loop")
+    b.movi(11, 0)
+    b.label("j_loop")
+    b.fmovi(1, 0.0)  # accumulator
+    b.movi(12, 0)
+    b.label("k_loop")
+    # f2 = A[i][k]
+    b.mul(1, 10, 13)
+    b.add(1, 1, 12)
+    b.lsli(1, 1, 3)
+    b.add(1, 20, 1)
+    b.fldr(2, 1, 0)
+    # f3 = B[k][j]
+    b.mul(2, 12, 13)
+    b.add(2, 2, 11)
+    b.lsli(2, 2, 3)
+    b.add(2, 21, 2)
+    b.fldr(3, 2, 0)
+    b.fmul(2, 2, 3)
+    b.fadd(1, 1, 2)
+    b.addi(12, 12, 1)
+    b.cmp(12, 13)
+    b.blt("k_loop")
+    # C[i][j] = accumulator
+    b.mul(1, 10, 13)
+    b.add(1, 1, 11)
+    b.lsli(1, 1, 3)
+    b.add(1, 22, 1)
+    b.fstr(1, 1, 0)
+    b.addi(11, 11, 1)
+    b.cmp(11, 13)
+    b.blt("j_loop")
+    b.addi(10, 10, 1)
+    b.cmp(10, 13)
+    b.blt("i_loop")
+    # Print C[0][0].
+    b.movi(2, MATRIX_C)
+    b.fldr(1, 2, 0)
+    b.syscall(Syscall.PRINT_FLOAT)
+    b.halt()
+
+    initial: Dict[int, int] = {}
+    for i in range(n):
+        for j in range(n):
+            initial[MATRIX_A + (i * n + j) * 8] = float_to_bits(float(a[i, j]))
+            initial[MATRIX_B + (i * n + j) * 8] = float_to_bits(float(b_mat[i, j]))
+    budget = 24 * n * n * n + 64 * n * n + 1000
+    return Workload(
+        name="matmul",
+        program=b.build(),
+        initial_words=initial,
+        max_instructions=budget,
+        category="compute",
+        description=f"dense {n}x{n} double matrix multiply",
+    )
+
+
+def matmul_reference(n: int = 12, seed: int = 21) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    b = rng.uniform(-1.0, 1.0, size=(n, n))
+    return a @ b
+
+
+def build_quicksort(elements: int = 64, seed: int = 23) -> Workload:
+    """In-place iterative quicksort (Lomuto) over 64-bit integers."""
+    rng = np.random.default_rng(seed)
+    data: List[int] = [int(x) for x in rng.integers(0, 1 << 40, size=elements)]
+
+    b = ProgramBuilder("quicksort")
+    # Explicit work stack of (lo, hi) pairs at SORT_STACK; x15 = stack ptr.
+    # x10=lo x11=hi x12=i x13=j x1..x6 scratch; x20=array base
+    b.movi(20, SORT_BASE)
+    b.movi(15, SORT_STACK)
+    # push (0, elements-1)
+    b.movi(1, 0)
+    b.str_(1, 15, 0)
+    b.movi(1, elements - 1)
+    b.str_(1, 15, 8)
+    b.addi(15, 15, 16)
+
+    b.label("pop")
+    b.movi(1, SORT_STACK)
+    b.cmp(15, 1)
+    b.ble("done")
+    b.subi(15, 15, 16)
+    b.ldr(10, 15, 0)  # lo
+    b.ldr(11, 15, 8)  # hi
+    b.cmp(10, 11)
+    b.bge("pop")
+
+    # Lomuto partition with pivot = arr[hi].
+    b.lsli(1, 11, 3)
+    b.add(1, 20, 1)
+    b.ldr(6, 1, 0)  # pivot value in x6
+    b.mov(12, 10)  # i = lo (store index)
+    b.mov(13, 10)  # j = lo (scan index)
+    b.label("scan")
+    b.cmp(13, 11)
+    b.bge("place_pivot")
+    b.lsli(1, 13, 3)
+    b.add(1, 20, 1)
+    b.ldr(2, 1, 0)  # arr[j]
+    b.cmp(2, 6)
+    b.bge("no_swap")
+    # swap arr[i], arr[j]
+    b.lsli(3, 12, 3)
+    b.add(3, 20, 3)
+    b.ldr(4, 3, 0)
+    b.str_(2, 3, 0)
+    b.str_(4, 1, 0)
+    b.addi(12, 12, 1)
+    b.label("no_swap")
+    b.addi(13, 13, 1)
+    b.b("scan")
+
+    b.label("place_pivot")
+    # swap arr[i], arr[hi]
+    b.lsli(1, 12, 3)
+    b.add(1, 20, 1)
+    b.ldr(2, 1, 0)
+    b.lsli(3, 11, 3)
+    b.add(3, 20, 3)
+    b.ldr(4, 3, 0)
+    b.str_(4, 1, 0)
+    b.str_(2, 3, 0)
+    # push (lo, i-1) and (i+1, hi)
+    b.subi(1, 12, 1)
+    b.str_(10, 15, 0)
+    b.str_(1, 15, 8)
+    b.addi(15, 15, 16)
+    b.addi(1, 12, 1)
+    b.str_(1, 15, 0)
+    b.str_(11, 15, 8)
+    b.addi(15, 15, 16)
+    b.b("pop")
+
+    b.label("done")
+    b.movi(1, SORT_BASE)
+    b.ldr(1, 1, 0)  # smallest element
+    b.syscall(Syscall.PRINT_INT)
+    b.halt()
+
+    initial = {SORT_BASE + i * 8: value for i, value in enumerate(data)}
+    budget = 80 * elements * max(elements.bit_length(), 1) + 40 * elements + 2000
+    return Workload(
+        name="quicksort",
+        program=b.build(),
+        initial_words=initial,
+        max_instructions=budget,
+        category="int",
+        description=f"iterative quicksort of {elements} integers",
+    )
+
+
+def quicksort_reference(elements: int = 64, seed: int = 23) -> List[int]:
+    rng = np.random.default_rng(seed)
+    return sorted(int(x) for x in rng.integers(0, 1 << 40, size=elements))
+
+
+CRC32_POLY = 0xEDB88320
+
+
+def build_crc32(length_words: int = 32, seed: int = 29) -> Workload:
+    """Bitwise (table-free) CRC-32 over ``length_words`` 64-bit words."""
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(0, 1 << 63, size=length_words)]
+
+    b = ProgramBuilder("crc32")
+    # x1=crc x2=word x3=bit counter x4=word index x5/x6 scratch
+    b.movi(1, 0xFFFFFFFF)
+    b.movi(4, 0)
+    b.movi(10, length_words)
+    b.movi(20, CRC_BASE)
+    b.movi(21, CRC32_POLY)
+    b.label("word_loop")
+    b.lsli(5, 4, 3)
+    b.add(5, 20, 5)
+    b.ldr(2, 5, 0)
+    b.movi(3, 64)
+    b.label("bit_loop")
+    b.eor(5, 1, 2)
+    b.andi(5, 5, 1)
+    b.lsri(1, 1, 1)
+    b.cbz(5, "no_poly")
+    b.eor(1, 1, 21)
+    b.label("no_poly")
+    b.lsri(2, 2, 1)
+    b.subi(3, 3, 1)
+    b.cbnz(3, "bit_loop")
+    b.addi(4, 4, 1)
+    b.cmp(4, 10)
+    b.blt("word_loop")
+    b.movi(5, 0xFFFFFFFF)
+    b.eor(1, 1, 5)
+    b.syscall(Syscall.PRINT_INT)
+    b.halt()
+
+    initial = {CRC_BASE + i * 8: value for i, value in enumerate(data)}
+    budget = 600 * length_words + 1000
+    return Workload(
+        name="crc32",
+        program=b.build(),
+        initial_words=initial,
+        max_instructions=budget,
+        category="compute",
+        description=f"bitwise CRC-32 over {length_words} words",
+    )
+
+
+def crc32_reference(length_words: int = 32, seed: int = 29) -> int:
+    """Reference CRC computed independently in Python."""
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(0, 1 << 63, size=length_words)]
+    crc = 0xFFFFFFFF
+    for word in data:
+        for bit in range(64):
+            feed = (crc ^ (word >> bit)) & 1
+            crc >>= 1
+            if feed:
+                crc ^= CRC32_POLY
+    return crc ^ 0xFFFFFFFF

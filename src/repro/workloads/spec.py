@@ -1,0 +1,237 @@
+"""SPEC CPU2006 proxy workloads.
+
+One synthetic profile per SPEC workload in figures 10, 12 and 13,
+calibrated against the paper's own per-workload characterisation
+(section VI-C/D/E):
+
+* gobmk, povray, h264ref, omnetpp, xalancbmk "suffer from frequent misses
+  in the checker cores' private instruction caches" — large code
+  footprints (> 8 KiB of text).
+* milc and cactusADM "suffer some overhead as a result of the
+  checkpointing process" — store-heavy streaming that fills the log and
+  closes checkpoints frequently.
+* bwaves, sjeng and astar "only suffer significant overheads once
+  ParaMedic and ParaDox's rollback buffering techniques come into play,
+  due to a combination of conflict misses affecting the amount of state
+  that can be buffered in the L1, and lack of storage space in the
+  partitioned load-store logs for old cache-line data" — store streams
+  biased into one L1 set, poor locality.
+* bwaves, mcf and GemsFDTD "overcome the induced errors and have higher
+  performance than ParaMedic, due to the locality from line-granularity
+  rollback".
+* gobmk, sjeng and h264ref "make use of all 16 checker cores in times of
+  peak demand"; no workload averages more than eight.
+* astar's conflict misses give it the worst EDP in figure 13.
+
+The proxies are *behavioural* stand-ins, not SPEC semantics; they exist
+so the figure harnesses can sweep the same 19-point x-axis with the same
+qualitative spread.  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .synthetic import WorkloadProfile, build_synthetic
+
+#: x-axis order of figures 10, 12 and 13.
+SPEC_ORDER: List[str] = [
+    "bzip2",
+    "bwaves",
+    "gcc",
+    "mcf",
+    "milc",
+    "cactusADM",
+    "leslie3d",
+    "namd",
+    "gobmk",
+    "povray",
+    "calculix",
+    "sjeng",
+    "GemsFDTD",
+    "h264ref",
+    "tonto",
+    "lbm",
+    "omnetpp",
+    "astar",
+    "xalancbmk",
+]
+
+
+def _p(name: str, **kwargs) -> WorkloadProfile:
+    return WorkloadProfile(name=name, **kwargs)
+
+
+#: The calibration table.  ``code_blocks * block_ops * ~2.4 * 4`` bytes
+#: approximates the text footprint; 8 KiB of L0 I-cache holds ~850 slots.
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in [
+        _p(
+            "bzip2",
+            alu=7, mul=0.4, load=2.2, store=1.2, random_branch=0.10,
+            working_set_kib=256, sequential_fraction=0.75,
+            code_blocks=6, block_ops=36, category="int",
+            description="integer compression: mixed ALU with moderate stores",
+        ),
+        _p(
+            "bwaves",
+            alu=3, fp_alu=4, fp_mul=2.5, load=3.0, store=1.6,
+            random_branch=0.02, working_set_kib=2048,
+            sequential_fraction=0.88, conflict_store_fraction=0.008,
+            code_blocks=6, block_ops=40, category="fp",
+            description="FP streaming with set-conflicting store bursts",
+        ),
+        _p(
+            "gcc",
+            alu=7, mul=0.5, load=2.5, store=1.4, random_branch=0.14,
+            working_set_kib=512, sequential_fraction=0.6,
+            code_blocks=10, block_ops=36, category="int",
+            description="pointer-rich integer code, moderate footprint",
+        ),
+        _p(
+            "mcf",
+            alu=4, load=4.0, store=0.8, random_branch=0.12,
+            working_set_kib=4096, sequential_fraction=0.12,
+            code_blocks=4, block_ops=32, category="int",
+            description="pointer chasing over a huge working set (DRAM-bound)",
+        ),
+        _p(
+            "milc",
+            alu=2.5, fp_alu=3.5, fp_mul=3.0, load=2.8, store=2.4,
+            random_branch=0.02, working_set_kib=1024,
+            sequential_fraction=0.85,
+            code_blocks=5, block_ops=36, category="fp",
+            description="lattice QCD proxy: store-heavy, checkpoint-bound",
+        ),
+        _p(
+            "cactusADM",
+            alu=2.5, fp_alu=4.0, fp_mul=2.5, load=2.6, store=2.6,
+            random_branch=0.02, working_set_kib=1024,
+            sequential_fraction=0.9,
+            code_blocks=5, block_ops=40, category="fp",
+            description="stencil proxy: store-heavy, checkpoint-bound",
+        ),
+        _p(
+            "leslie3d",
+            alu=3, fp_alu=4, fp_mul=2, load=2.6, store=1.4,
+            random_branch=0.03, working_set_kib=1024,
+            sequential_fraction=0.85,
+            code_blocks=6, block_ops=36, category="fp",
+            description="FP streaming, moderate stores",
+        ),
+        _p(
+            "namd",
+            alu=3, fp_alu=5, fp_mul=3, fp_div=0.15, load=2.0, store=0.8,
+            random_branch=0.03, working_set_kib=128,
+            sequential_fraction=0.7,
+            code_blocks=6, block_ops=36, category="fp",
+            description="molecular dynamics proxy: compute-bound FP",
+        ),
+        _p(
+            "gobmk",
+            alu=6, mul=0.5, div=0.1, load=2.4, store=1.0, random_branch=0.20,
+            working_set_kib=256, sequential_fraction=0.5,
+            code_blocks=26, block_ops=44, category="int",
+            description="game tree proxy: big code footprint, branchy",
+        ),
+        _p(
+            "povray",
+            alu=3, fp_alu=4, fp_mul=2.5, fp_div=0.2, load=2.2, store=0.9,
+            random_branch=0.10, working_set_kib=128,
+            sequential_fraction=0.55,
+            code_blocks=26, block_ops=44, category="fp",
+            description="ray tracing proxy: big code footprint, FP divides",
+        ),
+        _p(
+            "calculix",
+            alu=3.5, fp_alu=4, fp_mul=2, load=2.4, store=1.2,
+            random_branch=0.05, working_set_kib=512,
+            sequential_fraction=0.75,
+            code_blocks=8, block_ops=36, category="fp",
+            description="FEM proxy: mixed FP/int",
+        ),
+        _p(
+            "sjeng",
+            alu=6.5, mul=0.4, div=0.08, load=2.4, store=1.2, random_branch=0.18,
+            working_set_kib=512, sequential_fraction=0.4,
+            conflict_store_fraction=0.03,
+            code_blocks=16, block_ops=40, category="int",
+            description="chess proxy: branchy, conflict-prone stores",
+        ),
+        _p(
+            "GemsFDTD",
+            alu=2.5, fp_alu=4.5, fp_mul=2.5, load=3.0, store=1.8,
+            random_branch=0.02, working_set_kib=2048,
+            sequential_fraction=0.9,
+            code_blocks=6, block_ops=40, category="fp",
+            description="FDTD proxy: FP streaming, high locality",
+        ),
+        _p(
+            "h264ref",
+            alu=6, mul=1.2, load=2.6, store=1.4, random_branch=0.12,
+            working_set_kib=256, sequential_fraction=0.7,
+            code_blocks=22, block_ops=44, category="int",
+            description="video encoder proxy: big code footprint, MAC-heavy",
+        ),
+        _p(
+            "tonto",
+            alu=3, fp_alu=4, fp_mul=2.5, load=2.2, store=1.0,
+            random_branch=0.04, working_set_kib=256,
+            sequential_fraction=0.7,
+            code_blocks=8, block_ops=36, category="fp",
+            description="quantum chemistry proxy",
+        ),
+        _p(
+            "lbm",
+            alu=2, fp_alu=4, fp_mul=2.5, load=3.0, store=2.4,
+            random_branch=0.01, working_set_kib=2048,
+            sequential_fraction=0.95,
+            code_blocks=4, block_ops=40, category="fp",
+            description="lattice Boltzmann proxy: pure streaming, store-heavy",
+        ),
+        _p(
+            "omnetpp",
+            alu=6, mul=0.4, load=2.8, store=1.2, random_branch=0.15,
+            working_set_kib=1024, sequential_fraction=0.3,
+            code_blocks=18, block_ops=42, category="int",
+            description="discrete-event proxy: big footprint, random access",
+        ),
+        _p(
+            "astar",
+            alu=5, load=3.2, store=1.6, random_branch=0.14,
+            working_set_kib=1024, sequential_fraction=0.25,
+            conflict_store_fraction=0.03,
+            code_blocks=6, block_ops=36, category="int",
+            description="path-finding proxy: conflict-missing buffered stores",
+        ),
+        _p(
+            "xalancbmk",
+            alu=6.5, mul=0.3, load=2.8, store=1.1, random_branch=0.16,
+            working_set_kib=512, sequential_fraction=0.45,
+            code_blocks=24, block_ops=42, category="int",
+            description="XSLT proxy: biggest code footprint, branchy",
+        ),
+    ]
+}
+
+assert list(SPEC_PROFILES) == SPEC_ORDER, "profile table must match figure order"
+
+
+def build_spec_workload(
+    name: str, iterations: int = 20, seed: int = 1
+) -> Workload:
+    """Build the proxy for one SPEC workload by name."""
+    try:
+        profile = SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC workload {name!r}; choose from {SPEC_ORDER}"
+        ) from None
+    return build_synthetic(profile, iterations=iterations, seed=seed)
+
+
+def build_spec_suite(iterations: int = 20, seed: int = 1) -> "list[Workload]":
+    """All nineteen proxies in figure order."""
+    return [build_spec_workload(name, iterations, seed) for name in SPEC_ORDER]

@@ -1,0 +1,133 @@
+"""The STREAM workload (HPC Challenge [44]).
+
+The paper's memory-bound extreme: long vector kernels whose loads and
+stores fill the load-store log quickly, so checkpoints are short and
+capacity-limited regardless of the AIMD target ("stream, which, due to
+being memory-bound, fills the load-store log quickly, and so has smaller
+checkpoints in general", section VI-B).
+
+All four canonical kernels run once per pass:
+
+* COPY:   c[i] = a[i]
+* SCALE:  b[i] = s * c[i]
+* ADD:    c[i] = a[i] + b[i]
+* TRIAD:  a[i] = b[i] + s * c[i]
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import ProgramBuilder, Syscall, float_to_bits
+from .base import Workload
+
+A_BASE = 0x20000
+B_BASE = 0x40000
+C_BASE = 0x60000
+SCALAR = 3.0
+
+
+def build_stream(elements: int = 256, passes: int = 1, seed: int = 11) -> Workload:
+    """Construct STREAM over ``elements`` doubles, ``passes`` repetitions."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(1.0, 2.0, size=elements)
+
+    b = ProgramBuilder("stream")
+    # x10 index, x11 count, x20/x21/x22 array bases, x9 pass counter
+    # f0 scalar, f1..f3 scratch
+    b.movi(11, elements)
+    b.movi(20, A_BASE)
+    b.movi(21, B_BASE)
+    b.movi(22, C_BASE)
+    b.fmovi(0, SCALAR)
+    b.movi(9, passes)
+
+    b.label("pass_loop")
+
+    def vector_loop(tag: str, body) -> None:
+        b.movi(10, 0)
+        b.label(f"{tag}_loop")
+        b.lsli(1, 10, 3)
+        body()
+        b.addi(10, 10, 1)
+        b.cmp(10, 11)
+        b.blt(f"{tag}_loop")
+
+    def copy_body() -> None:  # c[i] = a[i]
+        b.add(2, 20, 1)
+        b.fldr(1, 2, 0)
+        b.add(2, 22, 1)
+        b.fstr(1, 2, 0)
+
+    def scale_body() -> None:  # b[i] = s * c[i]
+        b.add(2, 22, 1)
+        b.fldr(1, 2, 0)
+        b.fmul(1, 0, 1)
+        b.add(2, 21, 1)
+        b.fstr(1, 2, 0)
+
+    def add_body() -> None:  # c[i] = a[i] + b[i]
+        b.add(2, 20, 1)
+        b.fldr(1, 2, 0)
+        b.add(2, 21, 1)
+        b.fldr(2, 2, 0)
+        b.fadd(1, 1, 2)
+        b.add(2, 22, 1)
+        b.fstr(1, 2, 0)
+
+    def triad_body() -> None:  # a[i] = b[i] + s * c[i]
+        b.add(2, 22, 1)
+        b.fldr(1, 2, 0)
+        b.fmul(1, 0, 1)
+        b.add(2, 21, 1)
+        b.fldr(2, 2, 0)
+        b.fadd(1, 1, 2)
+        b.add(2, 20, 1)
+        b.fstr(1, 2, 0)
+
+    vector_loop("copy", copy_body)
+    vector_loop("scale", scale_body)
+    vector_loop("add", add_body)
+    vector_loop("triad", triad_body)
+
+    b.subi(9, 9, 1)
+    b.cbnz(9, "pass_loop")
+
+    # Checksum a[0] to the output stream.
+    b.movi(2, A_BASE)
+    b.fldr(1, 2, 0)
+    b.syscall(Syscall.PRINT_FLOAT)
+    b.halt()
+
+    initial: Dict[int, int] = {
+        A_BASE + i * 8: float_to_bits(float(v)) for i, v in enumerate(a)
+    }
+    # ~40 instructions per element per pass across the four kernels.
+    budget = max(80 * elements * passes, 20_000)
+    return Workload(
+        name="stream",
+        program=b.build(),
+        initial_words=initial,
+        max_instructions=budget,
+        category="memory",
+        description=(
+            f"STREAM copy/scale/add/triad over {elements} doubles x "
+            f"{passes} passes; memory-bound, log-capacity-limited checkpoints"
+        ),
+    )
+
+
+def expected_stream(elements: int = 256, passes: int = 1, seed: int = 11):
+    """Reference final arrays computed with numpy (for tests)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(1.0, 2.0, size=elements)
+    b = np.zeros(elements)
+    c = np.zeros(elements)
+    for _ in range(passes):
+        c = a.copy()
+        b = SCALAR * c
+        c = a + b
+        a = b + SCALAR * c
+    return a, b, c

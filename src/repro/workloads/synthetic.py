@@ -1,0 +1,275 @@
+"""Parameterised synthetic workload generator.
+
+SPEC CPU2006 cannot ship with an offline reproduction, so each SPEC
+workload in the evaluation is represented by a *proxy*: a generated
+program whose instruction mix, working-set size, memory-access pattern,
+branch predictability and code footprint are tuned to the behaviour the
+paper itself reports for that workload (see :mod:`repro.workloads.spec`
+for the per-workload calibration table).  The proxies exercise exactly
+the same simulator code paths — segment filling, log capacity, checker
+I-cache pressure, unchecked-line conflicts — that drive figures 10-13.
+
+A profile generates a program of this shape::
+
+    init registers
+    main_loop:
+        call block_0; call block_1; ...; call block_{B-1}
+        decrement iteration counter, loop
+    store checksums, print, halt
+    block_i: <block_ops weighted-random operations> ret
+
+The number of distinct blocks times their size sets the text footprint
+(checker I-cache behaviour); the per-slot operation weights set the mix;
+loads/stores walk the working set sequentially, pseudo-randomly (an LCG
+in registers), or — for store-conflict workloads — at a stride that maps
+every store to the same L1 set, forcing unchecked-line conflicts.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..isa import ProgramBuilder, Syscall
+from .base import Workload
+
+DATA_BASE = 0x100000
+RESULT_BASE = 0x8000
+
+#: Scratch register pools used inside generated blocks.
+INT_SCRATCH = (1, 2, 3, 4, 5, 6, 7)
+FP_SCRATCH = (1, 2, 3, 4, 5, 6, 7)
+
+# Dedicated registers (never scratch):
+R_LCG = 8  # pseudo-random state
+R_ITER = 9  # main-loop counter
+R_SEQ = 23  # sequential offset
+R_CONFLICT = 24  # conflict-stride offset
+R_BASE = 20  # data base address
+R_MASK = 21  # working-set byte mask
+R_ADDR = 25  # computed address
+R_CHECK = 13  # integer checksum accumulator
+
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Tunable characteristics of one synthetic workload."""
+
+    name: str
+    #: Relative operation weights within a block.
+    alu: float = 6.0
+    mul: float = 0.5
+    div: float = 0.0
+    fp_alu: float = 0.0
+    fp_mul: float = 0.0
+    fp_div: float = 0.0
+    load: float = 2.0
+    store: float = 1.0
+    #: Probability that a generated slot is a data-dependent (random)
+    #: conditional branch over the next couple of ops.
+    random_branch: float = 0.05
+    #: Working set (must be a power of two KiB).
+    working_set_kib: int = 256
+    #: Fraction of accesses that walk sequentially (rest use the LCG).
+    sequential_fraction: float = 0.7
+    #: When set, stores additionally cycle at this byte stride, mapping
+    #: into one L1 set (conflict-miss behaviour of astar/bwaves/sjeng).
+    conflict_store_fraction: float = 0.0
+    #: Distinct block subroutines (text footprint driver).
+    code_blocks: int = 8
+    #: Operation slots per block.
+    block_ops: int = 32
+    category: str = "mixed"
+    description: str = ""
+
+    def weights(self) -> Dict[str, float]:
+        return {
+            "alu": self.alu,
+            "mul": self.mul,
+            "div": self.div,
+            "fp_alu": self.fp_alu,
+            "fp_mul": self.fp_mul,
+            "fp_div": self.fp_div,
+            "load": self.load,
+            "store": self.store,
+        }
+
+
+@dataclass
+class _BlockEmitter:
+    """Emits one weighted-random operation slot at a time."""
+
+    builder: ProgramBuilder
+    profile: WorkloadProfile
+    rng: random.Random
+    label_prefix: str
+    _label_counter: int = 0
+    emitted: int = field(default=0)
+
+    def _fresh_label(self) -> str:
+        self._label_counter += 1
+        return f".{self.label_prefix}_{self._label_counter}"
+
+    def _pick2(self, pool) -> "tuple[int, int]":
+        return self.rng.choice(pool), self.rng.choice(pool)
+
+    def emit_address(self, for_store: bool) -> None:
+        """Leave a valid working-set address in R_ADDR."""
+        b = self.builder
+        p = self.profile
+        if for_store and self.rng.random() < p.conflict_store_fraction:
+            # Stride through one cache set: 8 KiB stride = 128 sets x 64 B.
+            b.addi(R_CONFLICT, R_CONFLICT, 8192)
+            b.and_(R_CONFLICT, R_CONFLICT, R_MASK)
+            b.add(R_ADDR, R_BASE, R_CONFLICT)
+            return
+        if self.rng.random() < p.sequential_fraction:
+            b.addi(R_SEQ, R_SEQ, 8)
+            b.and_(R_SEQ, R_SEQ, R_MASK)
+            b.add(R_ADDR, R_BASE, R_SEQ)
+        else:
+            b.movi(R_ADDR, LCG_MUL)
+            b.mul(R_LCG, R_LCG, R_ADDR)
+            b.addi(R_LCG, R_LCG, LCG_ADD & 0x7FFFFFFF)
+            b.lsri(R_ADDR, R_LCG, 17)
+            b.lsli(R_ADDR, R_ADDR, 3)
+            b.and_(R_ADDR, R_ADDR, R_MASK)
+            b.add(R_ADDR, R_BASE, R_ADDR)
+
+    def emit_slot(self) -> None:
+        b = self.builder
+        p = self.profile
+        if self.rng.random() < p.random_branch:
+            # Data-dependent branch: parity of a scratch register.
+            src = self.rng.choice(INT_SCRATCH)
+            skip = self._fresh_label()
+            b.andi(R_ADDR, src, 1)
+            b.cbnz(R_ADDR, skip)
+            d, s = self._pick2(INT_SCRATCH)
+            b.eor(d, d, s)
+            b.label(skip)
+            self.emitted += 1
+            return
+        kinds, weights = zip(*p.weights().items())
+        kind = self.rng.choices(kinds, weights=weights)[0]
+        if kind == "alu":
+            d, s = self._pick2(INT_SCRATCH)
+            op = self.rng.choice(("add", "sub", "eor", "orr"))
+            getattr(b, {"add": "add", "sub": "sub", "eor": "eor", "orr": "orr"}[op])(
+                d, d, s
+            )
+        elif kind == "mul":
+            d, s = self._pick2(INT_SCRATCH)
+            b.mul(d, d, s)
+        elif kind == "div":
+            d, s = self._pick2(INT_SCRATCH)
+            b.orri(s, s, 1)  # force a non-zero divisor
+            b.div(d, d, s)
+        elif kind == "fp_alu":
+            d, s = self._pick2(FP_SCRATCH)
+            if self.rng.random() < 0.5:
+                b.fadd(d, d, s)
+            else:
+                b.fsub(d, d, s)
+        elif kind == "fp_mul":
+            d, s = self._pick2(FP_SCRATCH)
+            b.fmul(d, d, s)
+        elif kind == "fp_div":
+            d, s = self._pick2(FP_SCRATCH)
+            b.fdiv(d, d, s)
+        elif kind == "load":
+            self.emit_address(for_store=False)
+            if p.fp_alu + p.fp_mul + p.fp_div > 0 and self.rng.random() < 0.5:
+                b.fldr(self.rng.choice(FP_SCRATCH), R_ADDR, 0)
+            else:
+                b.ldr(self.rng.choice(INT_SCRATCH), R_ADDR, 0)
+        elif kind == "store":
+            self.emit_address(for_store=True)
+            src = self.rng.choice(INT_SCRATCH)
+            b.add(R_CHECK, R_CHECK, src)
+            b.str_(src, R_ADDR, 0)
+        self.emitted += 1
+
+
+def build_synthetic(
+    profile: WorkloadProfile,
+    iterations: int = 20,
+    seed: int = 1,
+) -> Workload:
+    """Generate a :class:`Workload` from ``profile``."""
+    ws_bytes = profile.working_set_kib * 1024
+    if ws_bytes & (ws_bytes - 1):
+        raise ValueError("working_set_kib must be a power of two")
+    # zlib.crc32, not hash(): str hashing is randomised per process and
+    # would make generated programs differ between runs.
+    name_hash = zlib.crc32(profile.name.encode()) & 0xFFFF
+    gen = random.Random((seed << 16) ^ name_hash)
+    b = ProgramBuilder(profile.name)
+
+    # -- init ------------------------------------------------------------------
+    b.movi(R_BASE, DATA_BASE)
+    b.movi(R_MASK, ws_bytes - 1)
+    b.movi(R_LCG, seed * 2654435761 + 1)
+    b.movi(R_SEQ, 0)
+    b.movi(R_CONFLICT, 0)
+    b.movi(R_CHECK, 0)
+    b.movi(R_ITER, iterations)
+    for reg in INT_SCRATCH:
+        b.movi(reg, gen.randrange(1, 1 << 31))
+    for reg in FP_SCRATCH:
+        b.fmovi(reg, gen.uniform(0.5, 2.0))
+
+    # -- main loop ----------------------------------------------------------------
+    b.label("main_loop")
+    for block in range(profile.code_blocks):
+        b.call(f"block_{block}")
+    b.subi(R_ITER, R_ITER, 1)
+    b.cbnz(R_ITER, "main_loop")
+
+    # -- epilogue ---------------------------------------------------------------------
+    b.movi(R_ADDR, RESULT_BASE)
+    b.str_(R_CHECK, R_ADDR, 0)
+    b.mov(1, R_CHECK)
+    b.syscall(Syscall.PRINT_INT)
+    b.halt()
+
+    # -- blocks ----------------------------------------------------------------------------
+    for block in range(profile.code_blocks):
+        b.label(f"block_{block}")
+        emitter = _BlockEmitter(b, profile, gen, label_prefix=f"b{block}")
+        while emitter.emitted < profile.block_ops:
+            emitter.emit_slot()
+        b.ret()
+
+    program = b.build()
+
+    # -- initial data -------------------------------------------------------------------------
+    data_rng = np.random.default_rng(seed + 977)
+    words = min(ws_bytes // 8, 1 << 16)  # cap the eagerly initialised region
+    initial: Dict[int, int] = {
+        DATA_BASE + i * 8: int(v)
+        for i, v in enumerate(
+            data_rng.integers(0, 2**63, size=words, dtype=np.int64)
+        )
+    }
+
+    # Generous per-iteration estimate for the default budget: a slot can
+    # expand to ~8 instructions (LCG address computation), plus call glue.
+    # Programs halt on their own; budget slack is never executed.
+    per_iteration = profile.code_blocks * (profile.block_ops * 5 + 8) + 8
+    budget = per_iteration * iterations + 128
+    return Workload(
+        name=profile.name,
+        program=program,
+        initial_words=initial,
+        max_instructions=budget,
+        category=profile.category,
+        description=profile.description or f"synthetic proxy ({profile.category})",
+    )

@@ -1,0 +1,27 @@
+"""Shared fixtures: small cached workloads and their golden runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_bitcount, build_stream, golden_run
+
+
+@pytest.fixture(scope="session")
+def bitcount_small():
+    return build_bitcount(values=24)
+
+
+@pytest.fixture(scope="session")
+def bitcount_golden(bitcount_small):
+    return golden_run(bitcount_small)
+
+
+@pytest.fixture(scope="session")
+def stream_small():
+    return build_stream(elements=48)
+
+
+@pytest.fixture(scope="session")
+def stream_golden(stream_small):
+    return golden_run(stream_small)

@@ -1,0 +1,70 @@
+"""Activity-based energy accounting."""
+
+import pytest
+
+from repro.config import ENERGY_PER_INSTRUCTION, table1_config
+from repro.core import BaselineSystem, ParaDoxSystem
+from repro.power import activity_report, mix_energy, recovery_energy_overhead
+from repro.workloads import build_bitcount, build_stream
+
+
+class TestMixEnergy:
+    def test_single_class(self):
+        assert mix_energy({"int_alu": 10}) == 10.0
+
+    def test_weighted_sum(self):
+        energy = mix_energy({"int_alu": 2, "fp_div": 1})
+        assert energy == 2.0 + ENERGY_PER_INSTRUCTION["fp_div"]
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(KeyError):
+            mix_energy({"quantum": 1})
+
+    def test_empty_mix(self):
+        assert mix_energy({}) == 0.0
+
+
+class TestRunAccounting:
+    def test_unit_mix_populated(self, bitcount_small):
+        result = BaselineSystem().run(bitcount_small)
+        assert sum(result.unit_mix.values()) == result.instructions_executed
+        assert "int_alu" in result.unit_mix
+
+    def test_error_free_run_wastes_nothing(self, bitcount_small):
+        result = ParaDoxSystem().run(bitcount_small)
+        report = activity_report(result)
+        assert report.waste_fraction == pytest.approx(0.0)
+        assert report.executed_energy == pytest.approx(report.useful_energy)
+
+    def test_faulty_run_wastes_energy(self, bitcount_small):
+        config = table1_config().with_error_rate(1e-3)
+        result = ParaDoxSystem(config=config).run(bitcount_small)
+        assert result.errors_detected > 0
+        report = activity_report(result)
+        assert report.wasted_energy > 0
+        assert 0 < report.waste_fraction < 1
+
+    def test_fp_workload_more_energy_per_instruction(self, stream_small, bitcount_small):
+        stream_report = activity_report(BaselineSystem().run(stream_small))
+        bitcount_report = activity_report(BaselineSystem().run(bitcount_small))
+        assert (
+            stream_report.energy_per_instruction
+            > bitcount_report.energy_per_instruction
+        )
+
+    def test_recovery_overhead_comparison(self, bitcount_small):
+        clean = ParaDoxSystem().run(bitcount_small)
+        faulty = ParaDoxSystem(
+            config=table1_config().with_error_rate(1e-3)
+        ).run(bitcount_small)
+        overhead = recovery_energy_overhead(faulty, clean)
+        assert overhead["energy_ratio"] > 1.0
+        assert overhead["reexecution_ratio"] > 1.0
+        assert overhead["waste_fraction"] > 0.0
+
+    def test_mix_survives_rollback_accounting(self, bitcount_small):
+        """Executed mix counts wasted instructions; useful count does not."""
+        config = table1_config().with_error_rate(1e-3)
+        result = ParaDoxSystem(config=config).run(bitcount_small)
+        assert sum(result.unit_mix.values()) == result.instructions_executed
+        assert result.instructions_executed > result.instructions

@@ -1,0 +1,125 @@
+"""Closed-form overhead model, and its agreement with the simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import table1_config
+from repro.core import (
+    OverheadParameters,
+    ParaDoxSystem,
+    ParaMedicSystem,
+    expected_waste_per_error,
+    livelock_rate,
+    optimal_segment_length,
+    overhead_per_instruction,
+    predicted_slowdown,
+    rerun_inflation,
+    young_daly_length,
+)
+from repro.workloads import build_bitcount
+
+PARAMS = OverheadParameters.from_config()
+
+
+class TestFormulas:
+    def test_waste_grows_with_segment_length(self):
+        assert expected_waste_per_error(2000, PARAMS) > expected_waste_per_error(
+            200, PARAMS
+        )
+
+    def test_waste_dominated_by_checking(self):
+        """Checkers are ~6x slower per instruction: check half > fill."""
+        waste = expected_waste_per_error(1000, PARAMS)
+        assert waste > 1000 * PARAMS.t_fill
+
+    def test_rerun_inflation_small_p(self):
+        assert rerun_inflation(1000, 1e-6) == pytest.approx(1.001, abs=1e-3)
+
+    def test_rerun_inflation_livelock(self):
+        assert rerun_inflation(5000, 0.01) > 1e20
+
+    def test_rerun_inflation_bounds(self):
+        with pytest.raises(ValueError):
+            rerun_inflation(100, 1.5)
+
+    def test_overhead_astronomical_in_livelock(self):
+        value = overhead_per_instruction(5000, 0.05, PARAMS)
+        assert math.isinf(value) or value > 1e50
+
+    def test_overhead_convex_in_n(self):
+        """Too-short segments pay checkpointing; too-long pay recovery."""
+        p = 1e-4
+        short = overhead_per_instruction(10, p, PARAMS)
+        optimal = overhead_per_instruction(
+            optimal_segment_length(p, PARAMS), p, PARAMS
+        )
+        long = overhead_per_instruction(5000, p, PARAMS)
+        assert optimal <= short
+        assert optimal <= long
+
+    @given(st.floats(min_value=1e-6, max_value=1e-3))
+    def test_young_daly_near_numeric_optimum(self, p):
+        analytic = young_daly_length(p, PARAMS)
+        numeric = optimal_segment_length(p, PARAMS)
+        if 10 < analytic < 5000:  # inside the clamped range
+            assert numeric / 2.2 <= analytic <= numeric * 2.2
+
+    def test_optimal_length_decreases_with_error_rate(self):
+        lengths = [
+            optimal_segment_length(p, PARAMS) for p in (1e-6, 1e-5, 1e-4, 1e-3)
+        ]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_livelock_rate_for_paramedic_checkpoints(self):
+        """5,000-instruction checkpoints livelock near p ~ 1e-3 —
+        figure 8's ParaMedic cliff."""
+        rate = livelock_rate(5000)
+        assert 2e-4 < rate < 2e-3
+
+    def test_livelock_rate_shrinks_with_length(self):
+        assert livelock_rate(5000) < livelock_rate(100)
+
+    def test_predicted_slowdown_monotone_in_p(self):
+        slowdowns = [predicted_slowdown(1000, p, PARAMS) for p in (1e-6, 1e-4, 5e-4)]
+        assert slowdowns == sorted(slowdowns)
+
+
+class TestAgreementWithSimulator:
+    """The analytic model must predict the simulator's *shape*."""
+
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        workload = build_bitcount(values=60)
+        results = {}
+        for rate in (1e-4, 1e-3):
+            config = table1_config().with_error_rate(rate)
+            engine = ParaMedicSystem(config=config).engine(workload)
+            engine.options.livelock_factor = 24
+            results[rate] = engine.run(workload.max_instructions)
+        clean = ParaMedicSystem().run(workload)
+        return clean, results
+
+    def test_slowdown_ordering_matches(self, simulated):
+        clean, results = simulated
+        measured = {
+            rate: (result.wall_ns / result.instructions)
+            / (clean.wall_ns / clean.instructions)
+            for rate, result in results.items()
+        }
+        n = int(clean.mean_checkpoint_length)
+        predicted = {rate: predicted_slowdown(n, rate, PARAMS) for rate in results}
+        # Both agree that 1e-3 is much worse than 1e-4.
+        assert measured[1e-3] > measured[1e-4]
+        assert predicted[1e-3] > predicted[1e-4]
+
+    def test_paradox_operates_near_analytic_optimum(self):
+        """ParaDox's AIMD steady-state checkpoint target should land in
+        the same decade as the analytic optimum for the injected rate."""
+        rate = 1e-3
+        workload = build_bitcount(values=120)
+        config = table1_config().with_error_rate(rate)
+        result = ParaDoxSystem(config=config).run(workload)
+        optimum = optimal_segment_length(rate, PARAMS)
+        assert optimum / 10 <= result.final_checkpoint_target <= optimum * 10

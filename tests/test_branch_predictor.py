@@ -1,0 +1,114 @@
+"""Tournament branch predictor behaviour."""
+
+from repro.config import BranchPredictorConfig
+from repro.cores import TournamentPredictor
+from repro.isa import Instruction, Opcode
+
+BEQ = Instruction(Opcode.BEQ, target=0)
+B = Instruction(Opcode.B, target=0)
+JAL = Instruction(Opcode.JAL, rd=30, target=0)
+JALR = Instruction(Opcode.JALR, rs1=30)
+
+
+class TestDirectionPrediction:
+    def test_always_taken_loop_learns(self):
+        predictor = TournamentPredictor()
+        mispredicts = [predictor.access(10, BEQ, True, 5) for _ in range(50)]
+        assert not any(mispredicts[10:])  # learnt quickly
+
+    def test_always_not_taken_learns(self):
+        predictor = TournamentPredictor()
+        mispredicts = [predictor.access(10, BEQ, False, 11) for _ in range(50)]
+        assert not any(mispredicts[10:])
+
+    def test_alternating_pattern_learnt_by_history(self):
+        predictor = TournamentPredictor()
+        outcomes = [bool(i % 2) for i in range(200)]
+        mispredicts = [
+            predictor.access(10, BEQ, taken, 5 if taken else 11)
+            for i, taken in enumerate(outcomes)
+        ]
+        assert sum(mispredicts[100:]) <= 5  # history-based components learn it
+
+    def test_loop_exit_pattern(self):
+        """An 8-iteration loop: exit branch is predictable via local history."""
+        predictor = TournamentPredictor()
+        mispredicts = 0
+        for _trip in range(60):
+            for i in range(8):
+                taken = i < 7
+                mispredicts += predictor.access(20, BEQ, taken, 5 if taken else 21)
+        # The last 20 trips should be nearly perfect.
+        late = 0
+        for _trip in range(20):
+            for i in range(8):
+                taken = i < 7
+                late += predictor.access(20, BEQ, taken, 5 if taken else 21)
+        assert late <= 8
+
+    def test_stats_counted(self):
+        predictor = TournamentPredictor()
+        predictor.access(1, BEQ, True, 5)
+        assert predictor.stats.branches == 1
+
+
+class TestBtb:
+    def test_unconditional_branch_target_learnt(self):
+        predictor = TournamentPredictor()
+        first = predictor.access(30, B, True, 99)
+        second = predictor.access(30, B, True, 99)
+        assert first  # BTB cold
+        assert not second
+
+    def test_target_change_mispredicts(self):
+        predictor = TournamentPredictor()
+        predictor.access(30, B, True, 99)
+        assert predictor.access(30, B, True, 55)  # new target
+
+    def test_taken_conditional_needs_btb(self):
+        predictor = TournamentPredictor()
+        for _ in range(10):
+            predictor.access(40, BEQ, True, 7)
+        assert not predictor.access(40, BEQ, True, 7)
+
+
+class TestRas:
+    def test_call_return_pair(self):
+        predictor = TournamentPredictor()
+        predictor.access(10, JAL, True, 100)  # call: push 11
+        assert not predictor.access(150, JALR, True, 11)  # return predicted
+
+    def test_mismatched_return_detected(self):
+        predictor = TournamentPredictor()
+        predictor.access(10, JAL, True, 100)
+        assert predictor.access(150, JALR, True, 999)
+        assert predictor.stats.ras_mispredicts == 1
+
+    def test_nested_calls(self):
+        predictor = TournamentPredictor()
+        predictor.access(10, JAL, True, 100)  # push 11
+        predictor.access(100, JAL, True, 200)  # push 101
+        assert not predictor.access(250, JALR, True, 101)
+        assert not predictor.access(150, JALR, True, 11)
+
+    def test_ras_overflow_drops_oldest(self):
+        config = BranchPredictorConfig(ras_entries=2)
+        predictor = TournamentPredictor(config)
+        for pc in (10, 20, 30):  # three pushes into a 2-entry stack
+            predictor.access(pc, JAL, True, 100)
+        assert not predictor.access(1, JALR, True, 31)
+        assert not predictor.access(2, JALR, True, 21)
+        assert predictor.access(3, JALR, True, 11)  # lost to overflow
+
+    def test_empty_ras_mispredicts(self):
+        predictor = TournamentPredictor()
+        assert predictor.access(5, JALR, True, 42)
+
+
+class TestReset:
+    def test_reset_forgets(self):
+        predictor = TournamentPredictor()
+        predictor.access(30, B, True, 99)
+        predictor.reset()
+        assert predictor.stats.branches == 0
+        assert predictor.access(30, B, True, 99)  # cold again

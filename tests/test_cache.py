@@ -1,0 +1,158 @@
+"""Cache timing model: LRU, sets, prefetching, hierarchy latencies."""
+
+from repro.config import CacheConfig, table1_config
+from repro.memory import Cache, MemoryHierarchy, StridePrefetcher
+
+
+def tiny_cache(size=512, ways=2, line=64):
+    return Cache(CacheConfig(size, ways, hit_latency_cycles=1, mshrs=4, line_bytes=line))
+
+
+class TestCacheBasics:
+    def test_first_access_misses(self):
+        cache = tiny_cache()
+        hit, _ = cache.access(0)
+        assert not hit
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = tiny_cache()
+        cache.access(0)
+        hit, _ = cache.access(8)  # same 64B line
+        assert hit
+
+    def test_different_lines_miss(self):
+        cache = tiny_cache()
+        cache.access(0)
+        hit, _ = cache.access(64)
+        assert not hit
+
+    def test_lookup_does_not_mutate(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0)
+        assert cache.stats.accesses == 0
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        hit, _ = cache.access(0)
+        assert not hit
+
+    def test_flush(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+
+
+class TestLruReplacement:
+    def test_lru_victim(self):
+        # 512B / 2 ways / 64B lines -> 4 sets; set 0 holds lines 0, 256, 512...
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(256)
+        cache.access(0)  # line 0 becomes MRU
+        _, evicted = cache.access(512)  # evicts LRU = 256
+        assert evicted == 256
+        assert cache.lookup(0)
+        assert not cache.lookup(256)
+
+    def test_eviction_counted(self):
+        cache = tiny_cache()
+        for address in (0, 256, 512):
+            cache.access(address)
+        assert cache.stats.evictions == 1
+
+    def test_set_isolation(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(64)  # different set
+        cache.access(128)
+        cache.access(192)
+        assert cache.stats.evictions == 0
+
+
+class TestPrefetcher:
+    def test_stride_detection_takes_two_confirmations(self):
+        pf = StridePrefetcher(degree=1)
+        assert pf.observe(1, 0) == []
+        assert pf.observe(1, 64) == []  # stride learnt, not yet confident
+        assert pf.observe(1, 128) == [192]  # confident now
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher()
+        pf.observe(1, 0)
+        pf.observe(1, 64)
+        pf.observe(1, 128)
+        assert pf.observe(1, 1000) == []  # broken stride
+
+    def test_zero_stride_ignored(self):
+        pf = StridePrefetcher()
+        pf.observe(1, 64)
+        assert pf.observe(1, 64) == []
+        assert pf.observe(1, 64) == []
+
+    def test_prefetch_hits_counted_in_cache(self):
+        cache = tiny_cache()
+        cache.fill(0, prefetch=True)
+        hit, _ = cache.access(0)
+        assert hit
+        assert cache.stats.prefetch_hits == 1
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy(table1_config())
+
+    def test_l1_hit_latency(self):
+        hier = self.make()
+        hier.data_access(0)  # cold
+        result = hier.data_access(0)
+        assert result.l1_hit
+        assert result.latency_cycles == 2  # Table I L1D hit
+
+    def test_cold_miss_goes_to_dram(self):
+        hier = self.make()
+        result = hier.data_access(0)
+        assert result.dram
+        assert result.latency_cycles == 2 + 12 + 176
+
+    def test_l2_hit_after_l1_eviction(self):
+        hier = self.make()
+        config = hier.l1d.config
+        # Touch enough distinct lines in one L1 set to evict, then return.
+        stride = config.num_sets * config.line_bytes
+        addresses = [i * stride for i in range(config.associativity + 1)]
+        for address in addresses:
+            hier.data_access(address)
+        result = hier.data_access(addresses[0])
+        assert not result.l1_hit
+        assert result.l2_hit
+        assert result.latency_cycles == 2 + 12
+
+    def test_sequential_stream_triggers_prefetch(self):
+        hier = self.make()
+        pc = 100
+        for i in range(8):
+            hier.data_access(i * 64, pc=pc)
+        assert hier.l2.stats.prefetches > 0
+
+    def test_fetch_path(self):
+        hier = self.make()
+        cold = hier.fetch_access(0)
+        warm = hier.fetch_access(0)
+        assert cold > warm
+        assert warm == 1  # Table I L1I hit
+
+    def test_reset_stats(self):
+        hier = self.make()
+        hier.data_access(0)
+        hier.reset_stats()
+        assert hier.l1d.stats.accesses == 0
+        assert hier.dram_accesses == 0
+
+    def test_dram_access_counted(self):
+        hier = self.make()
+        hier.data_access(0)
+        assert hier.dram_accesses == 1

@@ -1,0 +1,96 @@
+"""AIMD checkpoint-length controller (section IV-A)."""
+
+from repro.checkpoint import CheckpointLengthController, LengthEvent
+from repro.config import CheckpointConfig
+
+
+def make(adaptive=True, **overrides):
+    config = CheckpointConfig(**overrides) if overrides else CheckpointConfig()
+    return CheckpointLengthController(config, adaptive=adaptive)
+
+
+class TestAdditiveIncrease:
+    def test_clean_checkpoint_adds_ten(self):
+        controller = make()
+        start = controller.target
+        controller.observe(start, LengthEvent.CLEAN)
+        assert controller.target == start + 10
+
+    def test_capped_at_max(self):
+        controller = make()
+        for _ in range(1000):
+            controller.observe(controller.target, LengthEvent.CLEAN)
+        assert controller.target == CheckpointConfig().max_instructions
+
+    def test_initial_value(self):
+        assert make().target == CheckpointConfig().initial_instructions
+
+
+class TestMultiplicativeDecrease:
+    def test_error_halves(self):
+        controller = make()
+        start = controller.target
+        controller.observe(start, LengthEvent.ERROR)
+        assert controller.target == start // 2
+
+    def test_eviction_also_shrinks(self):
+        controller = make()
+        start = controller.target
+        controller.observe(start, LengthEvent.EVICTION)
+        assert controller.target == start // 2
+
+    def test_clamp_to_observed(self):
+        """ParaDox: new target = min(target/2, observed previous length)."""
+        controller = make()
+        controller.observe(120, LengthEvent.ERROR)  # min(500, 120) = 120
+        assert controller.target == 120
+
+    def test_half_wins_when_smaller_than_observed(self):
+        controller = make()
+        controller.observe(900, LengthEvent.ERROR)  # min(500, 900) = 500
+        assert controller.target == 500
+
+    def test_floor(self):
+        controller = make()
+        for _ in range(20):
+            controller.observe(5, LengthEvent.ERROR)
+        assert controller.target == CheckpointConfig().min_instructions
+
+    def test_clamp_disabled_by_config(self):
+        controller = CheckpointLengthController(
+            CheckpointConfig(clamp_to_observed=False), adaptive=True
+        )
+        controller.observe(50, LengthEvent.ERROR)
+        assert controller.target == 500  # plain halving only
+
+
+class TestNonAdaptive:
+    def test_paramedic_ignores_errors(self):
+        controller = make(adaptive=False)
+        start = controller.target
+        controller.observe(start, LengthEvent.ERROR)
+        assert controller.target == start + 10  # still grows
+
+    def test_paramedic_ignores_evictions(self):
+        controller = make(adaptive=False)
+        start = controller.target
+        controller.observe(start, LengthEvent.EVICTION)
+        assert controller.target == start + 10
+
+
+class TestRecoveryDynamics:
+    def test_recovers_after_error_burst(self):
+        controller = make()
+        for _ in range(6):
+            controller.observe(controller.target, LengthEvent.ERROR)
+        low = controller.target
+        for _ in range(600):
+            controller.observe(controller.target, LengthEvent.CLEAN)
+        assert controller.target > low * 10
+
+    def test_stats_counted(self):
+        controller = make()
+        controller.observe(100, LengthEvent.CLEAN)
+        controller.observe(100, LengthEvent.ERROR)
+        assert controller.stats.increases == 1
+        assert controller.stats.decreases == 1

@@ -1,0 +1,149 @@
+"""Table I validation: the reproduction simulates the published setup."""
+
+import pytest
+
+from repro.config import (
+    CHECKER_FU_LATENCY,
+    CacheConfig,
+    MAIN_FU_LATENCY,
+    SystemConfig,
+    table1_config,
+)
+
+
+class TestMainCore:
+    def test_three_wide_out_of_order_at_3_2_ghz(self):
+        config = table1_config().main_core
+        assert config.commit_width == 3
+        assert config.frequency_hz == 3.2e9
+
+    def test_window_sizes(self):
+        config = table1_config().main_core
+        assert config.rob_entries == 40
+        assert config.issue_queue_entries == 32
+        assert config.load_queue_entries == 16
+        assert config.store_queue_entries == 16
+
+    def test_physical_registers(self):
+        config = table1_config().main_core
+        assert config.int_phys_registers == 128
+        assert config.fp_phys_registers == 128
+
+    def test_functional_units(self):
+        config = table1_config().main_core
+        assert config.int_alus == 3
+        assert config.fp_alus == 2
+        assert config.mult_div_alus == 1
+
+    def test_register_checkpoint_16_cycles(self):
+        assert table1_config().main_core.register_checkpoint_cycles == 16
+
+
+class TestBranchPredictor:
+    def test_tournament_sizes(self):
+        config = table1_config().branch_predictor
+        assert config.local_entries == 2048
+        assert config.global_entries == 8192
+        assert config.chooser_entries == 2048
+        assert config.btb_entries == 2048
+        assert config.ras_entries == 16
+
+
+class TestMemoryHierarchy:
+    def test_l1i(self):
+        l1i = table1_config().memory.l1i
+        assert l1i.size_bytes == 32 * 1024
+        assert l1i.associativity == 2
+        assert l1i.hit_latency_cycles == 1
+        assert l1i.mshrs == 6
+
+    def test_l1d(self):
+        l1d = table1_config().memory.l1d
+        assert l1d.size_bytes == 32 * 1024
+        assert l1d.associativity == 4
+        assert l1d.hit_latency_cycles == 2
+        assert l1d.mshrs == 6
+
+    def test_l2(self):
+        l2 = table1_config().memory.l2
+        assert l2.size_bytes == 1024 * 1024
+        assert l2.associativity == 16
+        assert l2.hit_latency_cycles == 12
+        assert l2.mshrs == 16
+        assert l2.prefetcher == "stride"
+
+    def test_dram_is_ddr3_1600(self):
+        assert "DDR3-1600" in table1_config().memory.dram_name
+
+
+class TestCheckers:
+    def test_sixteen_in_order_at_1_ghz(self):
+        config = table1_config().checker
+        assert config.count == 16
+        assert config.frequency_hz == 1e9
+        assert config.pipeline_stages == 4
+
+    def test_log_6_kib_5000_instructions(self):
+        config = table1_config().checker
+        assert config.log_bytes_per_core == 6 * 1024
+        assert config.max_checkpoint_instructions == 5000
+
+    def test_icaches(self):
+        config = table1_config().checker
+        assert config.l0_icache_bytes == 8 * 1024
+        assert config.shared_l1_icache_bytes == 32 * 1024
+
+
+class TestParaDoxParameters:
+    def test_aimd_increment_10_cap_5000(self):
+        config = table1_config().checkpoint
+        assert config.additive_increase == 10
+        assert config.max_instructions == 5000
+        assert config.multiplicative_decrease == 0.5
+
+    def test_dvfs_recovery_factor_0875(self):
+        config = table1_config().dvfs
+        assert config.recovery_factor == 0.875
+        assert config.tide_slowdown == 8.0
+        assert config.tide_reset_errors == 100
+
+    def test_tan_model_nominal_1_1v(self):
+        assert table1_config().dvfs.nominal_voltage == 1.1
+
+
+class TestDerived:
+    def test_frequency_ratio(self):
+        assert table1_config().frequency_ratio() == pytest.approx(3.2)
+
+    def test_cycle_times(self):
+        config = table1_config()
+        assert config.main_core.cycle_ns == pytest.approx(0.3125)
+        assert config.checker.cycle_ns == pytest.approx(1.0)
+
+    def test_with_error_rate_is_a_copy(self):
+        base = table1_config()
+        noisy = base.with_error_rate(1e-3)
+        assert base.fault.error_rate == 0.0
+        assert noisy.fault.error_rate == 1e-3
+
+    def test_cache_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 1, mshrs=1)  # not divisible into sets
+
+    def test_latency_tables_cover_all_units(self):
+        from repro.isa import FunctionalUnit
+
+        for unit in FunctionalUnit:
+            assert unit.value in MAIN_FU_LATENCY
+            assert unit.value in CHECKER_FU_LATENCY
+
+    def test_checker_divide_relatively_slower(self):
+        """Section IV-C: checker divide units are proportionally weaker."""
+        main_ratio = MAIN_FU_LATENCY["int_div"] / MAIN_FU_LATENCY["int_alu"]
+        checker_ratio = CHECKER_FU_LATENCY["int_div"] / CHECKER_FU_LATENCY["int_alu"]
+        assert checker_ratio > main_ratio
+
+    def test_default_config_is_frozen(self):
+        config = SystemConfig()
+        with pytest.raises(AttributeError):
+            config.main_core = None  # type: ignore[misc]

@@ -1,0 +1,121 @@
+"""Coverage model and common-mode demonstration (section IV-E)."""
+
+import pytest
+
+from repro.coverage import (
+    Corruption,
+    MARGINED_RESIDUAL_RATE,
+    checker_undervolt_tradeoff,
+    common_mode_match_probability,
+    coverage_sweep,
+    inject_common_mode,
+    inject_independent,
+    margined_sdc_rate,
+    paradox_sdc_rate,
+)
+from repro.faults import VoltageErrorModel
+from repro.isa import assemble
+from repro.isa.registers import RegisterCategory
+
+PROGRAM = assemble("""
+    movi x1, 7
+    movi x2, 3
+    add x3, x1, x2
+    mul x4, x3, x2
+    movi x5, 64
+    str x4, [x5]
+    ldr x6, [x5]
+    add x7, x6, x1
+    str x7, [x5, 8]
+    halt
+""")
+
+
+class TestAnalyticModel:
+    def test_match_probability_decreases_with_segment_length(self):
+        assert common_mode_match_probability(5000) < common_mode_match_probability(100)
+
+    def test_match_probability_bounds(self):
+        p = common_mode_match_probability(1000)
+        assert 0 < p < 1e-6
+
+    def test_invalid_segment_length(self):
+        with pytest.raises(ValueError):
+            common_mode_match_probability(0)
+
+    def test_paradox_sdc_needs_both_errors(self):
+        assert paradox_sdc_rate(0.0) == 0.0
+        assert paradox_sdc_rate(1e-4, checker_error_rate=0.0) == 0.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            paradox_sdc_rate(-1.0)
+
+    def test_paradox_beats_margined_even_at_high_main_rates(self):
+        """The section IV-E claim: even erring every 10k instructions,
+        checked execution has a lower SDC rate than the margined
+        baseline, because checkers are margined."""
+        sdc = paradox_sdc_rate(1e-4, MARGINED_RESIDUAL_RATE, segment_length=1000)
+        assert sdc < margined_sdc_rate()
+
+    def test_sweep_shape(self):
+        model = VoltageErrorModel.itanium_9560()
+        points = coverage_sweep(model, [1.05, 1.00, 0.95])
+        assert len(points) == 3
+        # Main error rate grows as voltage drops...
+        assert points[-1].main_error_rate > points[0].main_error_rate
+        # ...but the advantage over the baseline stays enormous.
+        for point in points:
+            assert point.advantage > 1e3
+
+    def test_checker_undervolt_tradeoff_monotone(self):
+        pairs = checker_undervolt_tradeoff(1e-4, [1e-17, 1e-9, 1e-6])
+        sdc_rates = [sdc for _, sdc in pairs]
+        assert sdc_rates == sorted(sdc_rates)
+        # Undervolting checkers to 1e-6 costs ~11 orders of magnitude of
+        # SDC protection relative to margined checkers.
+        assert sdc_rates[-1] > sdc_rates[0] * 1e9
+
+
+class TestCommonModeDemonstration:
+    def test_independent_corruption_detected(self):
+        result = inject_independent(PROGRAM, Corruption(instruction_index=2))
+        assert result.detected
+
+    def test_one_sided_checker_corruption_detected(self):
+        result = inject_independent(
+            PROGRAM,
+            Corruption(instruction_index=2, bit=0),
+            Corruption(instruction_index=2, bit=5),
+        )
+        assert result.detected
+
+    def test_common_mode_corruption_is_invisible(self):
+        """The identical flip on both sides reproduces the wrong values
+        exactly: no detection channel fires.  This is the (vanishingly
+        unlikely) coincidence the analytic model charges for."""
+        result = inject_common_mode(PROGRAM, Corruption(instruction_index=2))
+        assert not result.detected
+
+    def test_common_mode_flags_flip_also_invisible(self):
+        result = inject_common_mode(
+            PROGRAM,
+            Corruption(instruction_index=3, category=RegisterCategory.FLAGS, bit=1),
+        )
+        assert not result.detected
+
+    def test_different_bit_same_register_detected(self):
+        result = inject_independent(
+            PROGRAM,
+            Corruption(instruction_index=2, register=1, bit=0),
+            Corruption(instruction_index=2, register=1, bit=1),
+        )
+        assert result.detected
+
+    def test_different_instruction_same_flip_detected(self):
+        result = inject_independent(
+            PROGRAM,
+            Corruption(instruction_index=2, register=3, bit=4),
+            Corruption(instruction_index=4, register=3, bit=4),
+        )
+        assert result.detected

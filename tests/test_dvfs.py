@@ -1,0 +1,181 @@
+"""Dynamic voltage adaptation (section IV-B)."""
+
+import pytest
+
+from repro.config import DvfsConfig
+from repro.dvfs import VoltageController
+
+F_TARGET = 3.2e9
+
+
+def make(dynamic=True, **overrides):
+    config = DvfsConfig(**overrides)
+    return VoltageController(config, F_TARGET, dynamic_decrease=dynamic)
+
+
+class TestDescent:
+    def test_starts_at_safe_voltage(self):
+        controller = make()
+        assert controller.voltage == DvfsConfig().safe_voltage
+
+    def test_clean_checkpoints_lower_target(self):
+        controller = make()
+        for i in range(10):
+            controller.on_checkpoint(False, now_ns=float(i) * 1000)
+        assert controller.target_voltage == pytest.approx(1.1 - 10 * 0.002)
+
+    def test_never_below_min_voltage(self):
+        controller = make(min_voltage=1.05)
+        for i in range(1000):
+            controller.on_checkpoint(False, now_ns=float(i) * 1000)
+        assert controller.target_voltage >= 1.05
+
+    def test_warm_start(self):
+        controller = make(initial_difference=0.1)
+        assert controller.target_voltage == pytest.approx(1.0)
+        assert controller.voltage == pytest.approx(1.0)
+
+
+class TestErrorResponse:
+    def descend(self, controller, steps, start_ns=0.0):
+        now = start_ns
+        for _ in range(steps):
+            now += 1000.0
+            controller.on_checkpoint(False, now)
+        return now
+
+    def test_error_raises_voltage_by_0875_factor(self):
+        controller = make()
+        now = self.descend(controller, 50)  # difference = 0.1
+        difference = 1.1 - controller.target_voltage
+        controller.on_checkpoint(True, now + 1000)
+        new_difference = 1.1 - controller.target_voltage
+        assert new_difference == pytest.approx(difference * 0.875)
+
+    def test_tide_mark_recorded(self):
+        controller = make()
+        now = self.descend(controller, 50)
+        controller.advance_to(now + 1e6)  # let the regulator catch up
+        controller.on_checkpoint(True, now + 1e6)
+        assert controller.tide_mark == pytest.approx(1.0, abs=0.01)
+
+    def test_decrease_slows_below_tide_mark(self):
+        controller = make()
+        now = self.descend(controller, 50)
+        controller.advance_to(now + 1e6)
+        controller.on_checkpoint(True, now + 1e6)  # sets tide mark ~1.0
+        # Descend back under the tide mark: steps should shrink by 8x.
+        target_before = controller.target_voltage
+        now += 2e6
+        controller.on_checkpoint(False, now)
+        first_step = target_before - controller.target_voltage
+        # Keep descending until below the tide mark, then measure a step.
+        for i in range(200):
+            now += 1000.0
+            controller.on_checkpoint(False, now)
+            if controller.target_voltage < controller.tide_mark - 0.002:
+                break
+        target_before = controller.target_voltage
+        now += 1000.0
+        controller.on_checkpoint(False, now)
+        slow_step = target_before - controller.target_voltage
+        assert slow_step == pytest.approx(0.002 / 8)
+        del first_step
+
+    def test_constant_decrease_ignores_tide(self):
+        controller = make(dynamic=False)
+        now = self.descend(controller, 50)
+        controller.advance_to(now + 1e6)
+        controller.on_checkpoint(True, now + 1e6)
+        # Under constant decrease the step never shrinks.
+        for i in range(60):
+            now += 1e6
+            before = controller.target_voltage
+            controller.on_checkpoint(False, now + 2e6 + i)
+            if before > controller.target_voltage:
+                assert before - controller.target_voltage == pytest.approx(0.002)
+
+    def test_tide_resets_after_100_errors(self):
+        controller = make()
+        now = self.descend(controller, 50)
+        for i in range(100):
+            now += 1e6
+            controller.advance_to(now)
+            controller.on_checkpoint(True, now)
+        assert controller.tide_mark == 0.0
+        assert controller.stats.tide_resets == 1
+
+    def test_highest_error_voltage_never_resets(self):
+        controller = make(tide_reset_errors=2)
+        now = self.descend(controller, 50)
+        controller.advance_to(now + 1e6)
+        controller.on_checkpoint(True, now + 1e6)
+        high = controller.stats.highest_error_voltage
+        controller.on_checkpoint(True, now + 2e6)
+        assert controller.stats.highest_error_voltage >= high
+
+
+class TestRegulatorSlew:
+    def test_actual_voltage_lags_target(self):
+        controller = make()
+        # Big target drop at t=0, advance only 1us: slew 0.01 V/us.
+        for _ in range(100):
+            controller.on_checkpoint(False, 0.0)
+        controller.advance_to(1000.0)  # 1 us
+        assert controller.voltage == pytest.approx(1.1 - 0.01)
+
+    def test_actual_converges_to_target(self):
+        controller = make()
+        for _ in range(10):
+            controller.on_checkpoint(False, 0.0)
+        controller.advance_to(1e9)
+        assert controller.voltage == pytest.approx(controller.target_voltage)
+
+    def test_no_time_travel(self):
+        controller = make()
+        controller.advance_to(1000.0)
+        voltage = controller.voltage
+        controller.advance_to(500.0)  # earlier timestamp: ignored
+        assert controller.voltage == voltage
+
+
+class TestFrequency:
+    def test_full_speed_when_converged(self):
+        controller = make()
+        controller.on_checkpoint(False, 0.0)
+        controller.advance_to(1e9)
+        assert controller.frequency_hz == F_TARGET
+
+    def test_scaled_down_while_below_target(self):
+        """After an error the target jumps up; until the regulator catches
+        up, frequency follows (v - vth)/(v_target - vth)."""
+        controller = make()
+        now = 0.0
+        for i in range(60):
+            now += 1000.0
+            controller.on_checkpoint(False, now)
+        controller.advance_to(now + 1e9)  # settle low
+        low = controller.voltage
+        controller.on_checkpoint(True, now + 1e9)  # target rises
+        target = controller.target_voltage
+        assert target > low
+        expected = F_TARGET * (low - 0.45) / (target - 0.45)
+        assert controller.frequency_hz == pytest.approx(expected)
+
+    def test_frequency_never_exceeds_target(self):
+        controller = make()
+        assert controller.frequency_hz <= F_TARGET
+
+
+class TestTrace:
+    def test_trace_recorded_per_checkpoint(self):
+        controller = make()
+        for i in range(5):
+            controller.on_checkpoint(False, float(i))
+        assert len(controller.stats.trace) == 5
+
+    def test_mean_voltage_time_weighted(self):
+        controller = make(step_volts=0.0)
+        controller.on_checkpoint(False, 0.0)
+        controller.on_checkpoint(False, 100.0)
+        assert controller.stats.mean_voltage() == pytest.approx(1.1)

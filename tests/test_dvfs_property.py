@@ -1,0 +1,96 @@
+"""Property-based invariants of the voltage/frequency controller."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DvfsConfig
+from repro.dvfs import VoltageController
+
+F_TARGET = 3.2e9
+
+#: A random sequence of checkpoint events: (error?, time gap ns).
+EVENT_SEQUENCES = st.lists(
+    st.tuples(st.booleans(), st.floats(min_value=1.0, max_value=1e6)),
+    min_size=1,
+    max_size=200,
+)
+
+
+def drive(controller: VoltageController, events) -> None:
+    now = 0.0
+    for error, gap in events:
+        now += gap
+        controller.on_checkpoint(error, now)
+
+
+class TestVoltageInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(events=EVENT_SEQUENCES, dynamic=st.booleans())
+    def test_voltage_always_within_bounds(self, events, dynamic):
+        config = DvfsConfig()
+        controller = VoltageController(config, F_TARGET, dynamic_decrease=dynamic)
+        now = 0.0
+        for error, gap in events:
+            now += gap
+            controller.on_checkpoint(error, now)
+            assert config.min_voltage <= controller.voltage <= config.safe_voltage
+            assert (
+                config.min_voltage
+                <= controller.target_voltage
+                <= config.safe_voltage
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=EVENT_SEQUENCES)
+    def test_frequency_never_exceeds_target(self, events):
+        controller = VoltageController(DvfsConfig(), F_TARGET)
+        now = 0.0
+        for error, gap in events:
+            now += gap
+            controller.on_checkpoint(error, now)
+            assert 0 < controller.frequency_hz <= F_TARGET
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=EVENT_SEQUENCES)
+    def test_errors_never_lower_target(self, events):
+        """An error must never push the target voltage *down*."""
+        controller = VoltageController(DvfsConfig(), F_TARGET)
+        now = 0.0
+        for error, gap in events:
+            before = controller.target_voltage
+            now += gap
+            controller.on_checkpoint(error, now)
+            if error:
+                assert controller.target_voltage >= before - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gap_us=st.floats(min_value=0.1, max_value=100.0),
+        drop_steps=st.integers(min_value=1, max_value=200),
+    )
+    def test_slew_rate_respected(self, gap_us, drop_steps):
+        """Actual voltage never moves faster than the regulator slew."""
+        config = DvfsConfig()
+        controller = VoltageController(config, F_TARGET)
+        for _ in range(drop_steps):
+            controller.on_checkpoint(False, 0.0)  # target drops, no time passes
+        v_before = controller.voltage
+        controller.advance_to(gap_us * 1000.0)
+        moved = abs(controller.voltage - v_before)
+        assert moved <= config.slew_volts_per_us * gap_us + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=EVENT_SEQUENCES)
+    def test_tide_mark_is_a_past_actual_voltage(self, events):
+        config = DvfsConfig()
+        controller = VoltageController(config, F_TARGET)
+        drive(controller, events)
+        if controller.tide_mark:
+            assert config.min_voltage <= controller.tide_mark <= config.safe_voltage
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=EVENT_SEQUENCES)
+    def test_trace_length_matches_checkpoints(self, events):
+        controller = VoltageController(DvfsConfig(), F_TARGET)
+        drive(controller, events)
+        assert len(controller.stats.trace) == len(events)
+        assert controller.stats.errors_observed == sum(1 for e, _ in events if e)

@@ -1,0 +1,102 @@
+"""SECDED(72,64) codec: correction and detection guarantees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    CODE_BITS,
+    DATA_BITS,
+    EccProtectedWord,
+    EccStatus,
+    decode,
+    encode,
+    extract_data,
+    flip_bits,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << DATA_BITS) - 1)
+
+
+class TestCleanPath:
+    @given(WORDS)
+    def test_roundtrip(self, data):
+        result = decode(encode(data))
+        assert result.status is EccStatus.CLEAN
+        assert result.data == data
+
+    def test_zero(self):
+        assert encode(0) == 0  # all-zero data has all-zero checks
+
+    def test_extract_data(self):
+        codeword = encode(0x123456789ABCDEF0)
+        assert extract_data(codeword) == 0x123456789ABCDEF0
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            encode(1 << 64)
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            decode(1 << 72)
+
+
+class TestSingleErrorCorrection:
+    @pytest.mark.parametrize("position", list(range(1, CODE_BITS + 1)))
+    def test_every_position_correctable(self, position):
+        data = 0xA5A5_5A5A_0F0F_F0F0
+        corrupted = flip_bits(encode(data), (position,))
+        result = decode(corrupted)
+        assert result.status is EccStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_position == position
+
+    @given(WORDS, st.integers(min_value=1, max_value=CODE_BITS))
+    def test_single_flip_always_corrected(self, data, position):
+        result = decode(flip_bits(encode(data), (position,)))
+        assert result.status is EccStatus.CORRECTED
+        assert result.data == data
+
+
+class TestDoubleErrorDetection:
+    @given(
+        WORDS,
+        st.tuples(
+            st.integers(min_value=1, max_value=CODE_BITS),
+            st.integers(min_value=1, max_value=CODE_BITS),
+        ).filter(lambda t: t[0] != t[1]),
+    )
+    def test_double_flip_detected_not_miscorrected(self, data, positions):
+        result = decode(flip_bits(encode(data), positions))
+        assert result.status is EccStatus.DOUBLE_ERROR
+
+    def test_flip_bits_validates_positions(self):
+        with pytest.raises(ValueError):
+            flip_bits(0, (0,))
+        with pytest.raises(ValueError):
+            flip_bits(0, (CODE_BITS + 1,))
+
+
+class TestProtectedWord:
+    def test_read_clean(self):
+        cell = EccProtectedWord(42)
+        assert cell.read().data == 42
+        assert cell.read().status is EccStatus.CLEAN
+
+    def test_upset_corrected_and_scrubbed(self):
+        cell = EccProtectedWord(42)
+        cell.upset(7)
+        first = cell.read()
+        assert first.status is EccStatus.CORRECTED
+        assert first.data == 42
+        # Scrubbed on read: second read is clean.
+        assert cell.read().status is EccStatus.CLEAN
+
+    def test_double_upset_detected(self):
+        cell = EccProtectedWord(42)
+        cell.upset(7, 20)
+        assert cell.read().status is EccStatus.DOUBLE_ERROR
+
+    def test_write_replaces(self):
+        cell = EccProtectedWord(1)
+        cell.write(2)
+        assert cell.read().data == 2

@@ -1,0 +1,134 @@
+"""Engine edge cases and accounting invariants."""
+
+import pytest
+
+from repro.config import table1_config
+from repro.core import BaselineSystem, ParaDoxSystem, ParaMedicSystem
+from repro.isa import ProgramBuilder
+from repro.workloads import Workload, build_bitcount, golden_run
+
+
+def tiny_workload(instructions=1):
+    b = ProgramBuilder("tiny")
+    for _ in range(max(instructions - 1, 0)):
+        b.nop()
+    b.halt()
+    return Workload("tiny", b.build(), max_instructions=instructions + 10)
+
+
+class TestDegenerateWorkloads:
+    def test_single_instruction_program(self):
+        result = ParaDoxSystem().run(tiny_workload(1))
+        assert result.instructions == 1
+        assert result.segments == 1
+
+    def test_two_instruction_program(self):
+        result = ParaMedicSystem().run(tiny_workload(2))
+        assert result.instructions == 2
+        assert result.program_output == []
+
+    def test_budget_smaller_than_program(self, bitcount_small):
+        result = ParaDoxSystem().run(bitcount_small, max_instructions=100)
+        assert result.instructions == 100
+        assert result.segments >= 1
+
+    def test_budget_of_exactly_one_segment(self, bitcount_small):
+        result = ParaDoxSystem().run(bitcount_small, max_instructions=1000)
+        assert result.instructions == 1000
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("rate", [0.0, 1e-3])
+    def test_executed_at_least_useful(self, bitcount_small, rate):
+        config = table1_config().with_error_rate(rate)
+        result = ParaDoxSystem(config=config).run(bitcount_small)
+        assert result.instructions_executed >= result.instructions
+
+    def test_wall_time_exceeds_ideal(self, bitcount_small):
+        """Protected wall >= what pure 3-IPC execution would need."""
+        result = ParaDoxSystem().run(bitcount_small)
+        config = table1_config()
+        ideal = result.instructions / 3 * config.main_core.cycle_ns
+        assert result.wall_ns >= ideal
+
+    def test_recovery_times_within_run(self, bitcount_small):
+        config = table1_config().with_error_rate(1e-3)
+        result = ParaDoxSystem(config=config).run(bitcount_small)
+        for event in result.recoveries:
+            assert 0 <= event.detect_ns
+            assert event.wasted_execution_ns >= 0
+
+    def test_mean_recovery_none_when_clean(self, bitcount_small):
+        result = ParaDoxSystem().run(bitcount_small)
+        assert result.mean_wasted_execution_ns() is None
+        assert result.mean_rollback_ns() is None
+
+    def test_wake_rates_consistent_with_segments(self, bitcount_small):
+        result = ParaDoxSystem().run(bitcount_small)
+        # Someone must have been awake if anything was checked.
+        assert result.segments == 0 or sum(result.checker_wake_rates) > 0
+
+    def test_summary_renders(self, bitcount_small):
+        config = table1_config().with_error_rate(1e-3)
+        result = ParaDoxSystem(config=config).run(bitcount_small)
+        text = result.summary()
+        assert "errors detected" in text
+        assert "mean recovery" in text
+
+
+class TestRunIndependence:
+    def test_system_reusable_across_runs(self, bitcount_small, bitcount_golden):
+        system = ParaDoxSystem()
+        first = system.run(bitcount_small)
+        second = system.run(bitcount_small)
+        assert first.wall_ns == second.wall_ns
+        assert first.program_output == bitcount_golden.output
+        assert second.program_output == bitcount_golden.output
+
+    def test_workload_memory_not_mutated(self, bitcount_small):
+        before = dict(bitcount_small.initial_words)
+        ParaDoxSystem().run(bitcount_small)
+        assert bitcount_small.initial_words == before
+
+    def test_engines_do_not_share_state(self, bitcount_small):
+        system = ParaDoxSystem()
+        engine_a = system.engine(bitcount_small)
+        engine_b = system.engine(bitcount_small)
+        engine_a.run(500)
+        assert engine_b.state.instret == 0
+        assert engine_b.memory != engine_a.memory or engine_a.memory == engine_b.memory
+
+
+class TestCrossSystemConsistency:
+    def test_all_systems_agree_on_useful_instructions(self, bitcount_small):
+        counts = {
+            cls().run(bitcount_small).instructions
+            for cls in (BaselineSystem, ParaMedicSystem, ParaDoxSystem)
+        }
+        assert len(counts) == 1
+
+    def test_error_free_timing_identical_for_pm_pd(self, bitcount_small):
+        """Without errors and without DVS, ParaMedic and ParaDox differ
+        only in policies that errors/conflicts activate: same wall time
+        on a conflict-free workload."""
+        pm = ParaMedicSystem().run(bitcount_small)
+        pd = ParaDoxSystem().run(bitcount_small)
+        assert pm.wall_ns == pytest.approx(pd.wall_ns, rel=1e-9)
+
+    def test_first_error_at_same_point_for_same_seed(self, bitcount_small):
+        config = table1_config().with_error_rate(1e-4, seed=99)
+        pm = ParaMedicSystem(config=config).run(bitcount_small, seed=99)
+        pd = ParaDoxSystem(config=config).run(bitcount_small, seed=99)
+        if pm.recoveries and pd.recoveries:
+            assert pm.recoveries[0].segment_seq == pd.recoveries[0].segment_seq
+
+
+class TestGoldenAcrossBudgets:
+    @pytest.mark.parametrize("budget", [137, 1000, 5000])
+    def test_truncated_runs_match_truncated_golden(self, budget):
+        workload = build_bitcount(values=30)
+        golden = golden_run(workload, max_instructions=budget)
+        engine = ParaDoxSystem().engine(workload)
+        engine.run(budget)
+        assert engine.state.instret == golden.instructions
+        assert engine.memory == golden.memory

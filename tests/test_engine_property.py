@@ -1,0 +1,164 @@
+"""The headline invariant, property-tested.
+
+For *any* synthetic workload shape and *any* fault schedule — checker- or
+main-targeted, any rate, any seed — a ParaMedic or ParaDox run must end
+with exactly the golden run's memory, program output and architectural
+result.  This is the paper's correctness argument ("the correctness of
+the system comes from the principle of strong induction", section II-B)
+made executable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ParaDoxSystem, ParaMedicSystem
+from repro.faults import (
+    FaultInjector,
+    FunctionalUnitFaultModel,
+    MemoryFaultModel,
+    RegisterFaultModel,
+)
+from repro.isa import FunctionalUnit
+from repro.workloads import WorkloadProfile, build_synthetic, golden_run
+
+PROFILES = st.builds(
+    WorkloadProfile,
+    name=st.just("prop"),
+    alu=st.floats(min_value=1.0, max_value=8.0),
+    mul=st.floats(min_value=0.0, max_value=1.0),
+    div=st.floats(min_value=0.0, max_value=0.2),
+    fp_alu=st.floats(min_value=0.0, max_value=4.0),
+    fp_mul=st.floats(min_value=0.0, max_value=2.0),
+    load=st.floats(min_value=0.5, max_value=4.0),
+    store=st.floats(min_value=0.5, max_value=3.0),
+    random_branch=st.floats(min_value=0.0, max_value=0.2),
+    working_set_kib=st.sampled_from([32, 128, 512]),
+    sequential_fraction=st.floats(min_value=0.0, max_value=1.0),
+    conflict_store_fraction=st.floats(min_value=0.0, max_value=0.5),
+    code_blocks=st.integers(min_value=1, max_value=6),
+    block_ops=st.integers(min_value=8, max_value=32),
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def checker_injector(rate, seed):
+    rng = np.random.default_rng(seed)
+    return FaultInjector(
+        [
+            RegisterFaultModel(rate, rng),
+            FunctionalUnitFaultModel(rate, rng, FunctionalUnit.INT_MUL),
+            MemoryFaultModel(rate, rng, target="load"),
+        ],
+        target="checker",
+    )
+
+
+def main_injector(rate, seed):
+    rng = np.random.default_rng(seed)
+    return FaultInjector(
+        [
+            RegisterFaultModel(rate, rng),
+            FunctionalUnitFaultModel(rate, rng, FunctionalUnit.INT_ALU),
+        ],
+        target="main",
+    )
+
+
+class TestGoldenEquivalenceProperty:
+    @COMMON_SETTINGS
+    @given(
+        profile=PROFILES,
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.sampled_from([0.0, 1e-4, 1e-3]),
+    )
+    def test_paradox_checker_faults(self, profile, seed, rate):
+        workload = build_synthetic(profile, iterations=4, seed=seed % 1000)
+        golden = golden_run(workload)
+        engine = ParaDoxSystem().engine(
+            workload, seed=seed, injector=checker_injector(rate, seed)
+        )
+        engine.options.livelock_factor = 32
+        result = engine.run(workload.max_instructions)
+        if result.livelocked:
+            return  # truncated runs make no equivalence promise
+        assert engine.memory == golden.memory
+        assert result.program_output == golden.output
+        assert result.instructions == golden.instructions
+
+    @COMMON_SETTINGS
+    @given(
+        profile=PROFILES,
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.sampled_from([1e-4, 1e-3]),
+    )
+    def test_paradox_main_faults(self, profile, seed, rate):
+        workload = build_synthetic(profile, iterations=4, seed=seed % 1000)
+        golden = golden_run(workload)
+        engine = ParaDoxSystem().engine(
+            workload, seed=seed, injector=main_injector(rate, seed)
+        )
+        engine.options.livelock_factor = 32
+        result = engine.run(workload.max_instructions)
+        if result.livelocked:
+            return
+        assert engine.memory == golden.memory
+        assert result.program_output == golden.output
+
+    @COMMON_SETTINGS
+    @given(
+        profile=PROFILES,
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_paramedic_checker_faults(self, profile, seed):
+        workload = build_synthetic(profile, iterations=4, seed=seed % 1000)
+        golden = golden_run(workload)
+        engine = ParaMedicSystem().engine(
+            workload, seed=seed, injector=checker_injector(5e-4, seed)
+        )
+        engine.options.livelock_factor = 32
+        result = engine.run(workload.max_instructions)
+        if result.livelocked:
+            return
+        assert engine.memory == golden.memory
+        assert result.program_output == golden.output
+
+
+class TestWallClockSanityProperty:
+    @COMMON_SETTINGS
+    @given(
+        profile=PROFILES,
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_time_is_monotone_and_positive(self, profile, seed):
+        workload = build_synthetic(profile, iterations=3, seed=seed % 1000)
+        result = ParaDoxSystem().run(workload, seed=seed)
+        assert result.wall_ns > 0
+        assert result.instructions > 0
+        assert result.stalls.total_ns >= 0
+        assert result.stalls.total_ns < result.wall_ns
+
+
+@pytest.mark.parametrize("rate", [2e-3, 5e-3])
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_stress_high_rate_recovery(rate, seed):
+    """Dense-error stress: many overlapping recoveries, still bit-exact."""
+    profile = WorkloadProfile(
+        name="stress", alu=4, load=2, store=2, code_blocks=2, block_ops=16,
+        working_set_kib=64, sequential_fraction=0.5,
+    )
+    workload = build_synthetic(profile, iterations=8, seed=seed)
+    golden = golden_run(workload)
+    engine = ParaDoxSystem().engine(
+        workload, seed=seed, injector=checker_injector(rate, seed)
+    )
+    engine.options.livelock_factor = 48
+    result = engine.run(workload.max_instructions)
+    if not result.livelocked:
+        assert engine.memory == golden.memory
+        assert result.program_output == golden.output

@@ -1,0 +1,186 @@
+"""Experiment harnesses: reduced-size runs must show the paper's shapes."""
+
+import pytest
+
+from repro.experiments import (
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sec6e,
+    run_spec_suite,
+)
+from repro.experiments.common import format_table, per_instruction_slowdown
+from repro.stats import RunResult
+from repro.workloads import build_bitcount
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    """A three-workload suite shared by the fig10/12/13 tests."""
+    return run_spec_suite(iterations=4, names=("bzip2", "gobmk", "astar"))
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+
+    def test_per_instruction_slowdown(self):
+        ref = RunResult("s", "w", wall_ns=100.0, instructions=100,
+                        instructions_executed=100, segments=1)
+        slow = RunResult("s", "w", wall_ns=300.0, instructions=150,
+                         instructions_executed=150, segments=1)
+        assert per_instruction_slowdown(slow, ref) == pytest.approx(2.0)
+
+    def test_empty_run_rejected(self):
+        empty = RunResult("s", "w", wall_ns=0.0, instructions=0,
+                          instructions_executed=0, segments=0)
+        with pytest.raises(ValueError):
+            per_instruction_slowdown(empty, empty)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08.run(
+            workload=build_bitcount(values=40),
+            rates=(1e-6, 1e-4, 2e-3),
+            livelock_factor=12,
+        )
+
+    def test_row_per_rate(self, result):
+        assert [row.error_rate for row in result.rows] == [1e-6, 1e-4, 2e-3]
+
+    def test_low_rate_is_flat(self, result):
+        row = result.rows[0]
+        assert row.paramedic_slowdown < 1.3
+        assert row.paradox_slowdown < 1.3
+
+    def test_paradox_wins_at_high_rate(self, result):
+        row = result.rows[-1]
+        assert row.paradox_slowdown < row.paramedic_slowdown
+
+    def test_paramedic_degrades_steeply(self, result):
+        assert result.rows[-1].paramedic_slowdown > 3.0
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "Figure 8" in text and "1e-04" in text
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09.run(
+            workloads=[build_bitcount(values=60)],
+            rates=(1e-4, 1e-3),
+            seeds=(11, 22),
+        )
+
+    def test_rows_cover_grid(self, result):
+        assert len(result.rows) == 2 * 2  # systems x rates
+
+    def test_events_observed_at_high_rate(self, result):
+        point = result.point("bitcount", "ParaDox", 1e-3)
+        assert point.events > 0
+
+    def test_wasted_dominates_rollback(self, result):
+        """Figure 9's headline: wasted execution >> rollback cost."""
+        point = result.point("bitcount", "ParaDox", 1e-3)
+        assert point.mean_wasted_ns > point.mean_rollback_ns
+
+    def test_paradox_rollback_cheaper_than_paramedic(self, result):
+        pm = result.point("bitcount", "ParaMedic", 1e-3)
+        pd = result.point("bitcount", "ParaDox", 1e-3)
+        assert pd.mean_rollback_ns < pm.mean_rollback_ns
+
+    def test_table_renders(self, result):
+        assert "rollback" in result.table()
+
+
+class TestFig10:
+    def test_rows_and_geomeans(self, tiny_suite):
+        result = fig10.from_runs(tiny_suite)
+        assert [r.workload for r in result.rows] == ["bzip2", "gobmk", "astar"]
+        det, pm, pd = result.geomeans()
+        assert det >= 0.99
+        assert pm >= det * 0.99
+        assert 0.9 < pd < 2.0
+
+    def test_overheads_in_plausible_band(self, tiny_suite):
+        result = fig10.from_runs(tiny_suite)
+        for row in result.rows:
+            assert 0.98 < row.detection_only < 1.6
+            assert 0.98 < row.paramedic < 1.6
+
+    def test_table_renders(self, tiny_suite):
+        assert "gmean" in fig10.from_runs(tiny_suite).table()
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(workload=build_bitcount(values=400))
+
+    def test_voltage_descends(self, result):
+        assert result.dynamic.min_voltage < 1.1
+        assert result.dynamic.trace[0][1] == pytest.approx(1.1)
+
+    def test_steady_state_below_start(self, result):
+        assert result.dynamic.steady_state_mean < 1.1
+
+    def test_table_renders(self, result):
+        assert "steady-state" in result.table()
+
+
+class TestFig12:
+    def test_wake_rates_shape(self, tiny_suite):
+        result = fig12.from_runs(tiny_suite)
+        for row in result.rows:
+            assert len(row.wake_rates) == 16
+            assert 0 <= row.average_wake <= 16
+            assert row.peak_concurrency <= 16
+
+    def test_gating_concentrates_low_ids(self, tiny_suite):
+        result = fig12.from_runs(tiny_suite)
+        for row in result.rows:
+            rates = row.wake_rates
+            # The paper's claim: average usage well under the full pool.
+            assert row.average_wake <= 8
+            del rates
+
+    def test_table_renders(self, tiny_suite):
+        assert "avg cores awake" in fig12.from_runs(tiny_suite).table()
+
+
+class TestFig13:
+    def test_summary_shape(self, tiny_suite):
+        result = fig13.from_runs(tiny_suite)
+        assert 0.7 < result.summary.mean_power < 0.9
+        assert result.summary.power_reduction_percent > 10
+        assert result.paramedic_edp_vs_paradox > 1.0
+
+    def test_rows_have_all_fields(self, tiny_suite):
+        result = fig13.from_runs(tiny_suite)
+        for row in result.rows:
+            assert row.power > 0 and row.slowdown > 0 and row.edp > 0
+            assert row.checker_power < 0.05
+
+    def test_table_renders(self, tiny_suite):
+        text = fig13.from_runs(tiny_suite).table()
+        assert "power reduction" in text
+
+
+class TestSec6E:
+    def test_paper_numbers(self):
+        result = sec6e.run()
+        assert result.restore.voltage_increase == pytest.approx(0.019, abs=0.001)
+        assert result.boost.frequency_hz == pytest.approx(3.65e9, rel=0.02)
+
+    def test_table_renders(self):
+        assert "overclocking" in sec6e.run().table()

@@ -1,0 +1,115 @@
+"""External-state syscalls: check-before-proceed semantics (section II-B)."""
+
+import pytest
+
+from repro.config import table1_config
+from repro.core import BaselineSystem, ParaDoxSystem, ParaMedicSystem
+from repro.isa import ProgramBuilder, Syscall
+from repro.lslog import SegmentCloseReason
+from repro.workloads import Workload, golden_run
+
+
+def external_workload(writes=4, work_per_write=400):
+    """Compute, then WRITE_EXTERNAL, repeatedly."""
+    b = ProgramBuilder("external")
+    b.movi(9, writes)
+    b.movi(1, 0)
+    b.label("outer")
+    b.movi(4, work_per_write)
+    b.label("work")
+    b.addi(1, 1, 3)
+    b.subi(4, 4, 1)
+    b.cbnz(4, "work")
+    b.syscall(Syscall.WRITE_EXTERNAL)
+    b.subi(9, 9, 1)
+    b.cbnz(9, "outer")
+    b.halt()
+    return Workload(
+        name="external",
+        program=b.build(),
+        max_instructions=writes * (work_per_write * 3 + 8) + 16,
+    )
+
+
+class TestFunctionalSemantics:
+    def test_external_write_lands_in_output(self):
+        workload = external_workload(writes=2, work_per_write=10)
+        golden = golden_run(workload)
+        assert len(golden.output) == 2
+        assert all(text.startswith("ext:") for _, text in golden.output)
+
+    def test_value_is_x1(self):
+        workload = external_workload(writes=1, work_per_write=10)
+        golden = golden_run(workload)
+        assert golden.output[0][1] == "ext:30"  # 10 iterations x +3
+
+
+class TestEngineSemantics:
+    def test_flushes_recorded_with_timestamps(self):
+        workload = external_workload()
+        result = ParaDoxSystem().run(workload)
+        assert len(result.external_flushes) == 4
+        times = [t for t, _ in result.external_flushes]
+        assert times == sorted(times)
+        assert all(text.startswith("ext:") for _, text in result.external_flushes)
+
+    def test_segment_closed_with_external_reason(self):
+        workload = external_workload()
+        result = ParaDoxSystem().run(workload)
+        assert result.close_reasons.get(SegmentCloseReason.EXTERNAL, 0) >= 4
+
+    def test_external_ops_cost_checker_wait(self):
+        """Draining checks before each write is a real stall."""
+        workload = external_workload()
+        result = ParaMedicSystem().run(workload)
+        assert result.stalls.checker_wait_ns > 0
+
+    def test_external_slower_than_buffered_output(self):
+        """The same computation with rollbackable prints runs faster."""
+        external = external_workload()
+
+        b = ProgramBuilder("buffered")
+        b.movi(9, 4).movi(1, 0)
+        b.label("outer")
+        b.movi(4, 400)
+        b.label("work")
+        b.addi(1, 1, 3).subi(4, 4, 1).cbnz(4, "work")
+        b.syscall(Syscall.PRINT_INT)
+        b.subi(9, 9, 1).cbnz(9, "outer")
+        b.halt()
+        buffered = Workload("buffered", b.build(), max_instructions=10_000)
+
+        ext_result = ParaDoxSystem().run(external)
+        buf_result = ParaDoxSystem().run(buffered)
+        assert ext_result.wall_ns > buf_result.wall_ns
+
+    def test_baseline_ignores_external_machinery(self):
+        workload = external_workload(writes=2)
+        result = BaselineSystem().run(workload)
+        assert result.external_flushes == []  # no checking, no flush log
+        assert len(result.program_output) == 2
+
+
+class TestExternalUnderErrors:
+    @pytest.mark.parametrize("rate", [5e-4, 2e-3])
+    def test_flushed_values_always_correct(self, rate):
+        """The whole point: externally visible values must be verified.
+
+        Every flushed value must equal the golden value even under heavy
+        checker-fault injection, because all computation feeding it was
+        checked before the write was allowed to proceed."""
+        workload = external_workload()
+        golden = golden_run(workload)
+        golden_texts = [text for _, text in golden.output]
+        config = table1_config().with_error_rate(rate)
+        result = ParaDoxSystem(config=config).run(workload)
+        assert [text for _, text in result.external_flushes] == golden_texts
+
+    def test_flush_count_never_duplicated_by_rollback(self):
+        """A rollback must never replay an already-performed external
+        write (it was only executed after full verification)."""
+        workload = external_workload()
+        config = table1_config().with_error_rate(2e-3)
+        result = ParaMedicSystem(config=config).run(workload)
+        assert result.errors_detected > 0
+        assert len(result.external_flushes) == 4

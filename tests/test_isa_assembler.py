@@ -1,0 +1,156 @@
+"""Assembler parsing, encoding and error reporting."""
+
+import pytest
+
+from repro.isa import (
+    ArchState,
+    AssemblerError,
+    Executor,
+    MemoryImage,
+    Opcode,
+    assemble,
+)
+
+
+class TestBasicParsing:
+    def test_empty_lines_and_comments(self):
+        program = assemble("""
+            ; comment
+            # another comment
+            movi x1, 1  ; trailing
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_mnemonics_case_insensitive(self):
+        program = assemble("MOVI x1, 5\nHALT")
+        assert program[0].opcode is Opcode.MOVI
+
+    def test_hex_immediates(self):
+        program = assemble("movi x1, 0xFF\nhalt")
+        assert program[0].imm == 255
+
+    def test_negative_immediates(self):
+        program = assemble("addi x1, x2, -16\nhalt")
+        assert program[0].imm == -16
+
+    def test_float_immediates(self):
+        program = assemble("fmovi f1, -2.5\nhalt")
+        assert program[0].fimm == -2.5
+
+    def test_memory_operand_with_offset(self):
+        program = assemble("ldr x1, [x2, 16]\nhalt")
+        instr = program[0]
+        assert instr.rs1 == 2 and instr.imm == 16
+
+    def test_memory_operand_without_offset(self):
+        program = assemble("str x1, [x2]\nhalt")
+        assert program[0].imm == 0
+
+    def test_memory_operand_hex_offset(self):
+        program = assemble("ldr x1, [x2, 0x40]\nhalt")
+        assert program[0].imm == 64
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        program = assemble("b end\nnop\nend:\nhalt")
+        assert program[0].target == 2
+
+    def test_backward_reference(self):
+        program = assemble("top:\nnop\nb top")
+        assert program[1].target == 0
+
+    def test_label_names_with_dots(self):
+        program = assemble(".L1:\nb .L1")
+        assert program[0].target == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("b nowhere\nhalt")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate x1\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add x1, x2\nhalt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("movi x99, 1\nhalt")
+
+    def test_fp_register_out_of_range(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("fmovi f16, 1.0\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ldr x1, x2\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble("nop\nnop\nbogus x1\nhalt")
+        assert info.value.line_number == 3
+
+
+class TestEncodings:
+    def test_jalr_single_operand(self):
+        program = assemble("jalr x30")
+        instr = program[0]
+        assert instr.rs1 == 30 and instr.rd == 0
+
+    def test_jalr_two_operands(self):
+        program = assemble("jalr x1, x30")
+        instr = program[0]
+        assert instr.rd == 1 and instr.rs1 == 30
+
+    def test_jal(self):
+        program = assemble("jal x30, f\nf:\nhalt")
+        assert program[0].rd == 30 and program[0].target == 1
+
+    def test_cbz(self):
+        program = assemble("cbz x5, out\nout:\nhalt")
+        assert program[0].rs1 == 5
+
+    def test_syscall(self):
+        program = assemble("syscall 2")
+        assert program[0].imm == 2
+
+    def test_fstr_uses_fp_register(self):
+        program = assemble("fstr f3, [x1, 8]")
+        instr = program[0]
+        assert instr.rs2 == 3 and instr.rs1 == 1
+
+
+class TestEndToEnd:
+    def test_fibonacci(self):
+        source = """
+            movi x1, 0      ; fib(0)
+            movi x2, 1      ; fib(1)
+            movi x3, 10     ; count
+        loop:
+            add x4, x1, x2
+            mov x1, x2
+            mov x2, x4
+            subi x3, x3, 1
+            cbnz x3, loop
+            halt
+        """
+        program = assemble(source)
+        state = ArchState()
+        Executor(program, state, MemoryImage()).run(1000)
+        assert state.regs.read_x(1) == 55  # fib(10)
+
+    def test_listing_contains_labels(self):
+        program = assemble("start:\nmovi x1, 1\nb start")
+        listing = program.listing()
+        assert "start:" in listing
+        assert "movi" in listing

@@ -1,0 +1,84 @@
+"""Program builder: labels, resolution, concatenation."""
+
+import pytest
+
+from repro.isa import ArchState, Executor, MemoryImage, Opcode, ProgramBuilder, concatenate
+
+
+class TestBuilder:
+    def test_forward_labels_resolve_at_build(self):
+        b = ProgramBuilder()
+        b.b("later").nop().label("later").halt()
+        program = b.build()
+        assert program[0].target == 2
+
+    def test_undefined_label_raises_at_build(self):
+        b = ProgramBuilder()
+        b.b("missing")
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        names = {b.fresh_label() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder()
+        assert b.here == 0
+        b.nop().nop()
+        assert b.here == 2
+
+    def test_chaining_returns_builder(self):
+        b = ProgramBuilder()
+        result = b.movi(1, 5).addi(1, 1, 1).halt()
+        assert result is b
+        assert len(b.build()) == 3
+
+    def test_call_ret_roundtrip(self):
+        b = ProgramBuilder()
+        b.call("f").halt().label("f").movi(1, 9).ret()
+        program = b.build()
+        state = ArchState()
+        Executor(program, state, MemoryImage()).run(100)
+        assert state.regs.read_x(1) == 9
+        assert state.halted
+
+    def test_text_bytes(self):
+        b = ProgramBuilder()
+        b.nop().nop().halt()
+        assert b.build().text_bytes == 12
+
+    def test_branch_without_target_rejected(self):
+        b = ProgramBuilder()
+        b.op(Opcode.B)  # neither label nor target
+        with pytest.raises(ValueError, match="branch without target"):
+            b.build()
+
+
+class TestConcatenate:
+    def test_offsets_targets(self):
+        a = ProgramBuilder("a")
+        a.label("top").nop().b("top")
+        first = a.build()
+        b = ProgramBuilder("b")
+        b.label("top").halt()
+        second = b.build()
+        joined = concatenate("joined", [first, second])
+        assert joined[1].target == 0
+        assert joined.labels["a.top"] == 0
+        assert joined.labels["b.top"] == 2
+
+    def test_program_indexing(self):
+        b = ProgramBuilder()
+        b.movi(1, 1).halt()
+        program = b.build()
+        assert program[0].opcode is Opcode.MOVI
+        assert len(program) == 2
+        assert program.address_of(1) == 4

@@ -1,0 +1,106 @@
+"""Kernel workloads verified against independent references."""
+
+import numpy as np
+import pytest
+
+from repro.config import table1_config
+from repro.core import ParaDoxSystem, ParaMedicSystem
+from repro.workloads import (
+    build_crc32,
+    build_matmul,
+    build_quicksort,
+    crc32_reference,
+    golden_run,
+    matmul_reference,
+    quicksort_reference,
+)
+from repro.workloads.kernels import MATRIX_C, SORT_BASE
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        n = 8
+        workload = build_matmul(n=n, seed=5)
+        golden = golden_run(workload)
+        assert golden.state.halted
+        result = np.array(golden.memory.read_floats(MATRIX_C, n * n)).reshape(n, n)
+        assert np.allclose(result, matmul_reference(n=n, seed=5), atol=1e-12)
+
+    def test_fp_heavy(self):
+        workload = build_matmul(n=4)
+        from repro.isa import FunctionalUnit
+
+        fp_ops = sum(
+            1
+            for instr in workload.program.instructions
+            if instr.unit in (FunctionalUnit.FP_ALU, FunctionalUnit.FP_MUL)
+        )
+        assert fp_ops >= 3
+
+    def test_recovers_under_faults(self):
+        workload = build_matmul(n=6, seed=9)
+        golden = golden_run(workload)
+        config = table1_config().with_error_rate(1e-3)
+        engine = ParaDoxSystem(config=config).engine(workload)
+        result = engine.run(workload.max_instructions)
+        assert engine.memory == golden.memory
+        del result
+
+
+class TestQuicksort:
+    @pytest.mark.parametrize("elements,seed", [(16, 1), (64, 23), (100, 7)])
+    def test_sorts_correctly(self, elements, seed):
+        workload = build_quicksort(elements=elements, seed=seed)
+        golden = golden_run(workload)
+        assert golden.state.halted
+        sorted_memory = golden.memory.read_words(SORT_BASE, elements)
+        assert sorted_memory == quicksort_reference(elements=elements, seed=seed)
+
+    def test_prints_minimum(self):
+        workload = build_quicksort(elements=32, seed=4)
+        golden = golden_run(workload)
+        expected = quicksort_reference(elements=32, seed=4)[0]
+        assert golden.output[0][1] == str(expected)
+
+    def test_recovers_under_faults(self):
+        """Quicksort overwrites live data constantly: rollback torture."""
+        workload = build_quicksort(elements=48, seed=11)
+        golden = golden_run(workload)
+        config = table1_config().with_error_rate(1e-3)
+        engine = ParaMedicSystem(config=config).engine(workload)
+        result = engine.run(workload.max_instructions)
+        assert result.errors_detected > 0
+        assert engine.memory == golden.memory
+
+    def test_branchy(self):
+        """Quicksort mispredicts much more than a streaming kernel."""
+        from repro.core import BaselineSystem
+
+        workload = build_quicksort(elements=128, seed=2)
+        engine = BaselineSystem().engine(workload)
+        engine.run(workload.max_instructions)
+        assert engine.predictor.stats.mispredict_rate > 0.02
+
+
+class TestCrc32:
+    def test_matches_reference(self):
+        workload = build_crc32(length_words=16, seed=3)
+        golden = golden_run(workload)
+        assert golden.state.halted
+        assert golden.output[0][1] == str(crc32_reference(length_words=16, seed=3))
+
+    def test_serial_chain_is_low_ipc(self):
+        from repro.core import BaselineSystem
+        from repro.config import table1_config as cfg
+
+        workload = build_crc32(length_words=16)
+        result = BaselineSystem().run(workload)
+        cycles = result.wall_ns / cfg().main_core.cycle_ns
+        assert result.instructions / cycles < 2.0  # dependency-bound
+
+    def test_recovers_under_faults(self):
+        workload = build_crc32(length_words=12, seed=8)
+        golden = golden_run(workload)
+        config = table1_config().with_error_rate(2e-3)
+        result = ParaDoxSystem(config=config).run(workload)
+        assert result.program_output == golden.output

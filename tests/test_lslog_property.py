@@ -1,0 +1,157 @@
+"""Property-based tests on the load-store-log machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.isa import ArchState, MemoryImage
+from repro.lslog import (
+    CheckerReplayPort,
+    LINE_ENTRY_BYTES,
+    LOAD_ENTRY_BYTES,
+    LogSegment,
+    MainMemoryPort,
+    RollbackGranularity,
+    STORE_DETECT_BYTES,
+    STORE_OLD_WORD_BYTES,
+    SegmentFull,
+    UncheckedConflictStall,
+)
+from repro.memory import UncheckedLineTracker
+
+# An operation: (is_store, word-slot 0..63, value)
+OPS = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=2**63),
+    ),
+    max_size=80,
+)
+
+
+def make_port(granularity, capacity=1 << 20):
+    memory = MemoryImage()
+    tracker = UncheckedLineTracker(CacheConfig(32 * 1024, 4, 2, mshrs=4))
+    port = MainMemoryPort(memory, tracker, granularity)
+    port.segment = LogSegment(
+        seq=1, granularity=granularity, capacity_bytes=capacity, start_state=ArchState()
+    )
+    return port
+
+
+class TestFillReplayRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ops=OPS,
+        granularity=st.sampled_from(
+            [RollbackGranularity.WORD, RollbackGranularity.LINE]
+        ),
+    )
+    def test_faithful_replay_always_passes(self, ops, granularity):
+        """Whatever the main core logged, an identical replay must pass
+        every comparison and consume the log exactly."""
+        port = make_port(granularity)
+        performed = []
+        for is_store, slot, value in ops:
+            address = slot * 8
+            if is_store:
+                port.store(address, value)
+                performed.append(("s", address, value))
+            else:
+                loaded = port.load(address)
+                performed.append(("l", address, loaded))
+        replay = CheckerReplayPort(port.segment)
+        for kind, address, value in performed:
+            if kind == "s":
+                replay.store(address, value)
+            else:
+                assert replay.load(address) == value
+        assert replay.fully_consumed
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_loads_reflect_prior_stores(self, ops):
+        """The logged load values must equal architectural memory state."""
+        port = make_port(RollbackGranularity.WORD)
+        shadow = {}
+        for is_store, slot, value in ops:
+            address = slot * 8
+            if is_store:
+                port.store(address, value)
+                shadow[address] = value
+            else:
+                assert port.load(address) == shadow.get(address, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_capacity_accounting_exact(self, ops):
+        """bytes_used must equal the per-entry arithmetic exactly."""
+        port = make_port(RollbackGranularity.WORD)
+        loads = stores = 0
+        for is_store, slot, value in ops:
+            if is_store:
+                port.store(slot * 8, value)
+                stores += 1
+            else:
+                port.load(slot * 8)
+                loads += 1
+        expected = loads * LOAD_ENTRY_BYTES + stores * (
+            STORE_DETECT_BYTES + STORE_OLD_WORD_BYTES
+        )
+        assert port.segment.bytes_used() == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_line_rollback_bytes_bounded_by_touched_lines(self, ops):
+        """LINE granularity stores at most one line entry per touched line."""
+        port = make_port(RollbackGranularity.LINE)
+        lines = set()
+        for is_store, slot, value in ops:
+            if is_store:
+                port.store(slot * 8, value)
+                lines.add((slot * 8) // 64)
+        assert len(port.segment.lines) <= max(len(lines), 0)
+        assert port.segment.rollback_bytes == len(port.segment.lines) * LINE_ENTRY_BYTES
+
+
+class TestCapacityExhaustion:
+    @settings(max_examples=40, deadline=None)
+    @given(capacity=st.integers(min_value=64, max_value=512))
+    def test_segment_full_raised_before_overflow(self, capacity):
+        port = make_port(RollbackGranularity.WORD, capacity=capacity)
+        wrote = 0
+        try:
+            for i in range(1000):
+                port.store(i * 8, i)
+                wrote += 1
+        except SegmentFull:
+            pass
+        assert port.segment.bytes_used() <= capacity
+        assert port.segment.store_count == wrote
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OPS)
+    def test_conflict_never_corrupts_log(self, ops):
+        """Even with a tiny 1-way tracker, a raised conflict leaves the
+        log and memory exactly as before the offending store."""
+        memory = MemoryImage()
+        tracker = UncheckedLineTracker(CacheConfig(2 * 64, 1, 1, mshrs=1))
+        port = MainMemoryPort(memory, tracker, RollbackGranularity.LINE)
+        port.segment = LogSegment(
+            seq=1,
+            granularity=RollbackGranularity.LINE,
+            capacity_bytes=1 << 20,
+            start_state=ArchState(),
+        )
+        for is_store, slot, value in ops:
+            address = slot * 8
+            before_stores = port.segment.store_count
+            before_value = memory.load(address)
+            try:
+                if is_store:
+                    port.store(address, value)
+                else:
+                    port.load(address)
+            except UncheckedConflictStall:
+                assert port.segment.store_count == before_stores
+                assert memory.load(address) == before_value

@@ -1,0 +1,166 @@
+"""Power/energy models and the section VI-E analysis."""
+
+import pytest
+
+from repro.power import (
+    CHECKER_POOL_FULL_POWER,
+    OperatingPoint,
+    XGENE3_NOMINAL_FREQUENCY_HZ,
+    XGENE3_NOMINAL_VOLTAGE,
+    XGENE3_UNDERVOLT,
+    boost_performance,
+    checker_pool_power,
+    energy_delay_product,
+    energy_row,
+    frequency_for_voltage,
+    main_core_power,
+    paramedic_edp_ratio,
+    restore_performance,
+    summarise,
+    undervolt_point,
+    voltage_for_frequency,
+)
+from repro.stats import RunResult
+from repro.workloads import SPEC_ORDER
+
+NOMINAL = OperatingPoint(XGENE3_NOMINAL_VOLTAGE, XGENE3_NOMINAL_FREQUENCY_HZ)
+
+
+class TestMainCorePower:
+    def test_nominal_is_unity(self):
+        assert main_core_power(NOMINAL, NOMINAL) == pytest.approx(1.0)
+
+    def test_undervolting_saves(self):
+        undervolted = OperatingPoint(0.87, XGENE3_NOMINAL_FREQUENCY_HZ)
+        power = main_core_power(undervolted, NOMINAL)
+        assert 0.7 < power < 0.9
+
+    def test_scales_with_v_squared_f(self):
+        half_f = OperatingPoint(XGENE3_NOMINAL_VOLTAGE, XGENE3_NOMINAL_FREQUENCY_HZ / 2)
+        power = main_core_power(half_f, NOMINAL)
+        # Dynamic fraction halves, static unchanged.
+        assert power == pytest.approx(0.85 / 2 + 0.15)
+
+    def test_mean_xgene_saving_near_22_percent(self):
+        """The substitute undervolt table must reproduce the published
+        ~22% mean power saving."""
+        savings = []
+        for name in SPEC_ORDER:
+            point = OperatingPoint(
+                undervolt_point(name).undervolt_voltage, XGENE3_NOMINAL_FREQUENCY_HZ
+            )
+            savings.append(1.0 - main_core_power(point, NOMINAL))
+        mean = sum(savings) / len(savings)
+        assert 0.18 < mean < 0.26
+
+
+class TestCheckerPoolPower:
+    def test_all_awake_is_five_percent(self):
+        assert checker_pool_power([1.0] * 16) == pytest.approx(
+            CHECKER_POOL_FULL_POWER
+        )
+
+    def test_gated_idle_cores_free(self):
+        power = checker_pool_power([0.5] + [0.0] * 15, gated=True)
+        assert power == pytest.approx(CHECKER_POOL_FULL_POWER / 16 * 0.5)
+
+    def test_ungated_idle_cores_leak(self):
+        gated = checker_pool_power([0.5] + [0.0] * 15, gated=True)
+        ungated = checker_pool_power([0.5] + [0.0] * 15, gated=False)
+        assert ungated > gated
+
+    def test_empty_pool(self):
+        assert checker_pool_power([]) == 0.0
+
+    def test_wake_rates_clamped(self):
+        assert checker_pool_power([2.0]) == pytest.approx(CHECKER_POOL_FULL_POWER)
+
+
+class TestEdp:
+    def test_identity(self):
+        assert energy_delay_product(1.0, 1.0) == 1.0
+
+    def test_slowdown_squared(self):
+        assert energy_delay_product(1.0, 2.0) == 4.0
+
+    def test_paper_headline(self):
+        """~0.78 power at ~1.045 slowdown -> ~0.85 EDP (the 15% claim)."""
+        edp = energy_delay_product(0.78, 1.045)
+        assert edp == pytest.approx(0.85, abs=0.02)
+
+
+class TestVoltageFrequencyLine:
+    def test_roundtrip(self):
+        f = frequency_for_voltage(0.9, 0.872, 3.2e9)
+        assert voltage_for_frequency(f, 0.872, 3.2e9) == pytest.approx(0.9)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_for_voltage(0.4, 0.872, 3.2e9)
+
+
+class TestOverclockingScenarios:
+    def test_restore_performance_matches_paper(self):
+        scenario = restore_performance(1.045)
+        assert scenario.voltage_increase == pytest.approx(0.019, abs=0.001)
+        assert scenario.frequency_increase_percent == pytest.approx(4.5, abs=0.1)
+        # "increasing power consumption by 9% relative to the slower case"
+        assert scenario.power_vs_undervolted == pytest.approx(1.09, abs=0.02)
+        # "reducing it by 15% relative to the voltage-margined baseline"
+        assert scenario.power_vs_margined == pytest.approx(0.85, abs=0.03)
+
+    def test_boost_performance_matches_paper(self):
+        scenario = boost_performance(0.06, 1.045)
+        # "increasing clock frequency by 13% to around 3.6 GHz"
+        assert scenario.frequency_hz == pytest.approx(3.6e9, rel=0.03)
+        assert 12.0 < scenario.frequency_increase_percent < 16.0
+        assert scenario.performance > 1.05  # net speedup over baseline
+
+    def test_paramedic_edp_ratio_near_127(self):
+        # Paper: ParaMedic EDP 1.08x baseline = 1.27x ParaDox's 0.85.
+        ratio = paramedic_edp_ratio(1.08, 0.85)
+        assert ratio == pytest.approx(1.27, abs=0.2)
+
+
+def fake_result(wall_ns, wake_rates=None, name="bzip2"):
+    return RunResult(
+        system="x",
+        workload=name,
+        wall_ns=wall_ns,
+        instructions=1000,
+        instructions_executed=1000,
+        segments=1,
+        checker_wake_rates=wake_rates or [],
+    )
+
+
+class TestEnergyReport:
+    def test_row_composition(self):
+        baseline = fake_result(100.0)
+        paradox = fake_result(104.5, wake_rates=[0.5] * 4 + [0.0] * 12)
+        row = energy_row("bzip2", paradox, baseline)
+        assert row.slowdown == pytest.approx(1.045)
+        assert row.power == pytest.approx(row.main_power + row.checker_power)
+        assert row.edp == pytest.approx(row.power * 1.045**2)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            undervolt_point("notaworkload")
+
+    def test_table_covers_all_spec(self):
+        assert set(XGENE3_UNDERVOLT) == set(SPEC_ORDER)
+
+    def test_summary_geomeans(self):
+        baseline = fake_result(100.0)
+        rows = [
+            energy_row(name, fake_result(105.0, [0.3] * 16, name), baseline)
+            for name in ("bzip2", "mcf")
+        ]
+        summary = summarise(rows)
+        assert summary.mean_slowdown == pytest.approx(1.05)
+        assert 0 < summary.mean_power < 1
+        assert summary.power_reduction_percent > 0
+
+    def test_summarise_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])

@@ -1,0 +1,203 @@
+"""Rollback correctness: restoring memory to any checkpoint boundary."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.isa import ArchState, MemoryImage
+from repro.lslog import (
+    LINE_ROLLBACK_CYCLES,
+    LogSegment,
+    MainMemoryPort,
+    ROLLBACK_BASE_CYCLES,
+    RollbackGranularity,
+    WORD_ROLLBACK_CYCLES,
+    rollback_cost_cycles,
+    rollback_memory,
+)
+from repro.memory import UncheckedLineTracker
+
+
+def make_port(granularity, capacity=1 << 20):
+    memory = MemoryImage()
+    tracker = UncheckedLineTracker(CacheConfig(32 * 1024, 4, 2, mshrs=4))
+    port = MainMemoryPort(memory, tracker, granularity)
+    port.segment = LogSegment(
+        seq=1, granularity=granularity, capacity_bytes=capacity, start_state=ArchState()
+    )
+    return port
+
+
+def new_segment(port, seq):
+    port.segment = LogSegment(
+        seq=seq,
+        granularity=port.granularity,
+        capacity_bytes=port.segment.capacity_bytes,
+        start_state=ArchState(),
+    )
+
+
+class TestWordRollback:
+    def test_single_segment_undo(self):
+        port = make_port(RollbackGranularity.WORD)
+        port.memory.store(0, 100)
+        port.store(0, 1)
+        port.store(8, 2)
+        result = rollback_memory(port.memory, [port.segment])
+        assert port.memory.load(0) == 100
+        assert port.memory.load(8) == 0
+        assert result.entries_restored == 2
+
+    def test_overwrites_in_reverse_order(self):
+        port = make_port(RollbackGranularity.WORD)
+        port.memory.store(0, 100)
+        port.store(0, 1)
+        port.store(0, 2)
+        port.store(0, 3)
+        rollback_memory(port.memory, [port.segment])
+        assert port.memory.load(0) == 100
+
+    def test_multi_segment_newest_first(self):
+        port = make_port(RollbackGranularity.WORD)
+        port.memory.store(0, 100)
+        port.store(0, 1)  # segment 1
+        first = port.segment
+        new_segment(port, 2)
+        port.store(0, 2)  # segment 2
+        second = port.segment
+        rollback_memory(port.memory, [second, first])
+        assert port.memory.load(0) == 100
+
+    def test_partial_rollback_to_middle_checkpoint(self):
+        port = make_port(RollbackGranularity.WORD)
+        port.store(0, 1)  # segment 1
+        new_segment(port, 2)
+        port.store(0, 2)  # segment 2
+        second = port.segment
+        rollback_memory(port.memory, [second])  # only the newest
+        assert port.memory.load(0) == 1
+
+
+class TestLineRollback:
+    def test_single_segment_line_restore(self):
+        port = make_port(RollbackGranularity.LINE)
+        port.memory.store(0, 100)
+        port.memory.store(8, 200)
+        port.store(0, 1)
+        port.store(8, 2)
+        result = rollback_memory(port.memory, [port.segment])
+        assert port.memory.load(0) == 100
+        assert port.memory.load(8) == 200
+        assert result.entries_restored == 1  # one line, two stores
+
+    def test_multi_segment_ordering(self):
+        port = make_port(RollbackGranularity.LINE)
+        port.memory.store(0, 100)
+        port.store(0, 1)
+        first = port.segment
+        new_segment(port, 2)
+        port.store(0, 2)
+        second = port.segment
+        rollback_memory(port.memory, [second, first])
+        assert port.memory.load(0) == 100
+
+    def test_line_copied_in_only_one_checkpoint(self):
+        # Writes to a line only in segment 2: restoring just segment 2
+        # recovers the state at segment 1's start too.
+        port = make_port(RollbackGranularity.LINE)
+        port.memory.store(64, 5)
+        first = port.segment  # no stores
+        new_segment(port, 2)
+        port.store(64, 9)
+        second = port.segment
+        rollback_memory(port.memory, [second, first])
+        assert port.memory.load(64) == 5
+
+
+class TestCosts:
+    def test_word_cost(self):
+        port = make_port(RollbackGranularity.WORD)
+        for i in range(10):
+            port.store(i * 8, i)
+        result = rollback_memory(port.memory, [port.segment])
+        assert result.cycles == ROLLBACK_BASE_CYCLES + 10 * WORD_ROLLBACK_CYCLES
+
+    def test_line_cost_cheaper_with_locality(self):
+        word_port = make_port(RollbackGranularity.WORD)
+        line_port = make_port(RollbackGranularity.LINE)
+        for port in (word_port, line_port):
+            for i in range(64):
+                port.store((i % 8) * 8, i)  # 64 stores, one line
+        word_cost = rollback_memory(word_port.memory, [word_port.segment]).cycles
+        line_cost = rollback_memory(line_port.memory, [line_port.segment]).cycles
+        assert line_cost < word_cost / 5
+
+    def test_cost_estimator_matches(self):
+        port = make_port(RollbackGranularity.WORD)
+        for i in range(7):
+            port.store(i * 8, i)
+        estimated = rollback_cost_cycles([port.segment])
+        actual = rollback_memory(port.memory, [port.segment]).cycles
+        assert estimated == actual
+
+    def test_empty_rollback(self):
+        memory = MemoryImage()
+        result = rollback_memory(memory, [])
+        assert result.entries_restored == 0
+        assert result.cycles == ROLLBACK_BASE_CYCLES
+
+
+class TestErrors:
+    def test_detection_only_cannot_roll_back(self):
+        port = make_port(RollbackGranularity.NONE)
+        port.store(0, 1)
+        with pytest.raises(ValueError, match="detection-only"):
+            rollback_memory(port.memory, [port.segment])
+
+    def test_mixed_granularities_rejected(self):
+        word = make_port(RollbackGranularity.WORD).segment
+        line = make_port(RollbackGranularity.LINE).segment
+        with pytest.raises(ValueError, match="mixed"):
+            rollback_memory(MemoryImage(), [word, line])
+
+
+class TestRollbackProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        granularity=st.sampled_from(
+            [RollbackGranularity.WORD, RollbackGranularity.LINE]
+        ),
+        initial=st.dictionaries(
+            st.integers(min_value=0, max_value=31).map(lambda i: i * 8),
+            st.integers(min_value=1, max_value=2**63),
+            max_size=16,
+        ),
+        stores=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31).map(lambda i: i * 8),
+                st.integers(min_value=0, max_value=2**63),
+                st.integers(min_value=0, max_value=3),  # segment boundary marker
+            ),
+            max_size=60,
+        ),
+    )
+    def test_rollback_restores_exact_initial_memory(
+        self, granularity, initial, stores
+    ):
+        """Any store sequence, any segmentation: rollback of every segment
+        restores the initial image exactly."""
+        port = make_port(granularity)
+        for address, value in initial.items():
+            port.memory.store(address, value)
+        reference = port.memory.snapshot()
+
+        segments = [port.segment]
+        seq = 1
+        for address, value, boundary in stores:
+            if boundary == 0 and segments[-1].store_count:
+                seq += 1
+                new_segment(port, seq)
+                segments.append(port.segment)
+            port.store(address, value)
+        rollback_memory(port.memory, list(reversed(segments)))
+        assert port.memory == reference

@@ -1,0 +1,141 @@
+"""Checker pool scheduling: round-robin vs lowest-free-ID, gating stats."""
+
+from repro.config import CheckerConfig
+from repro.cores import CheckerCore
+from repro.isa import ProgramBuilder
+from repro.scheduling import CheckerPool, SchedulingPolicy
+
+
+def make_pool(policy, count=4, boot_offset=0):
+    program = ProgramBuilder("p").halt().build()
+    cores = [CheckerCore(i, CheckerConfig(count=count), program) for i in range(count)]
+    return CheckerPool(cores, policy, boot_offset=boot_offset)
+
+
+class TestLowestFreeId:
+    def test_prefers_lowest_free(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        core, start = pool.select(0.0)
+        assert core.core_id == 0 and start == 0.0
+        pool.dispatch(core, 1, 0.0, 100.0)
+        core2, _ = pool.select(10.0)
+        assert core2.core_id == 1  # 0 busy until 100
+
+    def test_reuses_zero_once_free(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        core, _ = pool.select(0.0)
+        pool.dispatch(core, 1, 0.0, 50.0)
+        core2, _ = pool.select(60.0)
+        assert core2.core_id == 0
+
+    def test_all_busy_waits_for_earliest(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=2)
+        pool.dispatch(pool.cores[0], 1, 0.0, 100.0)
+        pool.dispatch(pool.cores[1], 2, 0.0, 60.0)
+        core, start = pool.select(10.0)
+        assert core.core_id == 1
+        assert start == 60.0
+
+    def test_boot_offset_rotates_ids(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=4, boot_offset=2)
+        core, _ = pool.select(0.0)
+        assert core.core_id == 2
+
+    def test_concentrates_on_low_ids(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=8)
+        now = 0.0
+        for seq in range(20):
+            core, start = pool.select(now)
+            pool.dispatch(core, seq, max(start, now), 10.0)
+            now += 30.0  # fill slower than checking: one core suffices
+        rates = pool.wake_rates(now)
+        assert rates[0] > 0
+        assert all(rate == 0 for rate in rates[2:])
+
+
+class TestRoundRobin:
+    def test_cycles_through_cores(self):
+        pool = make_pool(SchedulingPolicy.ROUND_ROBIN, count=4)
+        ids = []
+        now = 0.0
+        for seq in range(4):
+            core, start = pool.select(now)
+            pool.dispatch(core, seq, max(start, now), 5.0)
+            ids.append(core.core_id)
+            now += 100.0
+        assert ids == [0, 1, 2, 3]
+
+    def test_spreads_even_when_low_ids_free(self):
+        pool = make_pool(SchedulingPolicy.ROUND_ROBIN, count=4)
+        now = 0.0
+        for seq in range(8):
+            core, start = pool.select(now)
+            pool.dispatch(core, seq, max(start, now), 10.0)
+            now += 50.0
+        rates = pool.wake_rates(now)
+        assert all(rate > 0 for rate in rates)  # everyone woke up
+
+    def test_skips_busy_core(self):
+        pool = make_pool(SchedulingPolicy.ROUND_ROBIN, count=3)
+        pool.dispatch(pool.cores[0], 1, 0.0, 1000.0)
+        # Pointer moved to 1; both 1 and 2 are free.
+        core, _ = pool.select(0.0)
+        assert core.core_id == 1
+        core2, _ = pool.select(0.0)
+        assert core2.core_id == 2
+
+
+class TestDispatchAndAbort:
+    def test_dispatch_occupies(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        record = pool.dispatch(pool.cores[0], 7, 10.0, 20.0)
+        assert pool.cores[0].busy_until_ns == 30.0
+        assert record.segment_seq == 7
+
+    def test_abort_reclaims_time(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        record = pool.dispatch(pool.cores[0], 1, 0.0, 100.0)
+        pool.abort(record, at_ns=40.0)
+        assert pool.cores[0].busy_until_ns == 40.0
+        assert pool.cores[0].busy_ns_total == 40.0
+
+    def test_abort_after_completion_is_noop(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        record = pool.dispatch(pool.cores[0], 1, 0.0, 50.0)
+        pool.abort(record, at_ns=80.0)
+        assert pool.cores[0].busy_until_ns == 50.0
+        assert pool.cores[0].busy_ns_total == 50.0
+
+    def test_last_core_id_tracked(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        assert pool.last_core_id is None
+        pool.dispatch(pool.cores[2], 1, 0.0, 10.0)
+        assert pool.last_core_id == 2
+
+
+class TestStatistics:
+    def test_wake_rates_fraction(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        pool.dispatch(pool.cores[0], 1, 0.0, 25.0)
+        rates = pool.wake_rates(100.0)
+        assert rates[0] == 0.25
+        assert rates[1] == 0.0
+
+    def test_peak_concurrency(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        pool.dispatch(pool.cores[0], 1, 0.0, 100.0)
+        pool.dispatch(pool.cores[1], 2, 50.0, 100.0)
+        pool.dispatch(pool.cores[2], 3, 200.0, 10.0)
+        assert pool.peak_concurrency() == 2
+
+    def test_cores_ever_used(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        pool.dispatch(pool.cores[0], 1, 0.0, 10.0)
+        pool.dispatch(pool.cores[3], 2, 0.0, 10.0)
+        assert pool.cores_ever_used() == 2
+
+    def test_empty_pool_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CheckerPool([], SchedulingPolicy.ROUND_ROBIN)

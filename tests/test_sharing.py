@@ -1,0 +1,91 @@
+"""Shared checker pools (the figure 12 halving suggestion)."""
+
+import pytest
+
+from repro.core import ParaDoxSystem
+from repro.scheduling import (
+    merge_traces,
+    minimum_adequate_pool,
+    replay_shared_pool,
+    sharing_study,
+)
+from repro.workloads import build_spec_workload
+
+
+class TestReplayMechanics:
+    def test_merge_orders_by_arrival(self):
+        merged = merge_traces([[(5.0, 1.0)], [(1.0, 1.0), (9.0, 1.0)]])
+        assert [t for t, _ in merged] == [1.0, 5.0, 9.0]
+
+    def test_single_checker_serialises(self):
+        report = replay_shared_pool([[(0.0, 10.0), (0.0, 10.0)]], pool_size=1)
+        assert report.blocked_dispatches == 1
+        assert report.total_added_delay_ns == 10.0
+
+    def test_enough_checkers_block_nothing(self):
+        report = replay_shared_pool([[(0.0, 10.0), (0.0, 10.0)]], pool_size=2)
+        assert report.blocked_dispatches == 0
+        assert report.total_added_delay_ns == 0.0
+
+    def test_lowest_free_concentrates(self):
+        trace = [[(float(i * 100), 10.0) for i in range(10)]]
+        report = replay_shared_pool(trace, pool_size=4)
+        assert report.wake_rates[0] > 0
+        assert report.wake_rates[1] == 0.0  # one core suffices
+
+    def test_blocked_fraction(self):
+        report = replay_shared_pool([[(0.0, 10.0)] * 4], pool_size=2)
+        assert report.blocked_fraction == pytest.approx(0.5)
+
+    def test_empty_traces(self):
+        report = replay_shared_pool([], pool_size=4)
+        assert report.dispatches == 0
+        assert report.blocked_fraction == 0.0
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            replay_shared_pool([], pool_size=0)
+
+    def test_minimum_adequate_pool(self):
+        # Two simultaneous 10ns jobs every 100ns need exactly 2 cores.
+        traces = [
+            [(float(i * 100), 10.0) for i in range(20)],
+            [(float(i * 100), 10.0) for i in range(20)],
+        ]
+        assert minimum_adequate_pool(traces, max_blocked_fraction=0.0) == 2
+
+    def test_minimum_adequate_pool_unreachable(self):
+        with pytest.raises(ValueError):
+            minimum_adequate_pool(
+                [[(0.0, 10.0)] * 10], max_blocked_fraction=0.0, ceiling=5
+            )
+
+
+class TestPaperClaim:
+    @pytest.fixture(scope="class")
+    def two_core_traces(self):
+        """Dispatch traces from two independent single-core runs."""
+        traces = []
+        for name in ("gobmk", "lbm"):
+            workload = build_spec_workload(name, iterations=8)
+            result = ParaDoxSystem().run(workload)
+            assert result.dispatch_trace
+            traces.append(result.dispatch_trace)
+        return traces
+
+    def test_sixteen_shared_checkers_suffice_for_two_cores(self, two_core_traces):
+        """The halving claim: 2 main cores x 16 private checkers can share
+        one 16-checker pool without (meaningfully) blocking."""
+        report = replay_shared_pool(two_core_traces, pool_size=16)
+        assert report.blocked_fraction <= 0.01
+
+    def test_study_monotone_in_pool_size(self, two_core_traces):
+        reports = sharing_study(two_core_traces, pool_sizes=(16, 8, 4, 2))
+        blocked = [report.blocked_fraction for report in reports]
+        assert blocked == sorted(blocked)
+
+    def test_dispatch_trace_well_formed(self, two_core_traces):
+        for trace in two_core_traces:
+            starts = [start for start, _ in trace]
+            assert starts == sorted(starts)
+            assert all(duration > 0 for _, duration in trace)

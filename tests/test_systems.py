@@ -1,0 +1,105 @@
+"""System factory wiring: each design point gets its published options."""
+
+import pytest
+
+from repro.config import table1_config
+from repro.core import (
+    BaselineSystem,
+    DetectionOnlySystem,
+    ParaDoxSystem,
+    ParaMedicSystem,
+)
+from repro.faults import VoltageErrorModel
+from repro.lslog import RollbackGranularity
+from repro.scheduling import SchedulingPolicy
+from repro.workloads import build_bitcount
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_bitcount(values=8)
+
+
+class TestOptionWiring:
+    def test_baseline_has_no_checking(self, workload):
+        engine = BaselineSystem().engine(workload)
+        assert engine.options.checking is False
+        assert engine.pool is None
+
+    def test_detection_only_options(self, workload):
+        engine = DetectionOnlySystem().engine(workload)
+        assert engine.options.granularity is RollbackGranularity.NONE
+        assert engine.options.scheduling is SchedulingPolicy.ROUND_ROBIN
+        assert engine.options.adaptive_checkpoints is False
+
+    def test_paramedic_options(self, workload):
+        engine = ParaMedicSystem().engine(workload)
+        assert engine.options.granularity is RollbackGranularity.WORD
+        assert engine.options.scheduling is SchedulingPolicy.ROUND_ROBIN
+        assert engine.options.adaptive_checkpoints is False
+        assert engine.options.dvs is False
+
+    def test_paradox_options(self, workload):
+        engine = ParaDoxSystem().engine(workload)
+        assert engine.options.granularity is RollbackGranularity.LINE
+        assert engine.options.scheduling is SchedulingPolicy.LOWEST_FREE_ID
+        assert engine.options.adaptive_checkpoints is True
+
+    def test_paradox_dvs_gets_voltage_model(self, workload):
+        engine = ParaDoxSystem(dvs=True).engine(workload)
+        assert engine.options.dvs is True
+        assert engine.options.voltage_model is not None
+        assert engine.dvfs is not None
+        assert engine.injector is not None
+
+    def test_paradox_custom_voltage_model(self, workload):
+        model = VoltageErrorModel(nominal_voltage=1.0, nominal_rate=1e-20, scale=0.01)
+        engine = ParaDoxSystem(dvs=True, voltage_model=model).engine(workload)
+        assert engine.options.voltage_model is model
+
+    def test_constant_decrease_flag_propagates(self, workload):
+        engine = ParaDoxSystem(dvs=True, dynamic_voltage_decrease=False).engine(
+            workload
+        )
+        assert engine.dvfs.dynamic_decrease is False
+
+
+class TestInjectorWiring:
+    def test_no_injector_at_zero_rate(self, workload):
+        assert ParaDoxSystem().engine(workload).injector is None
+
+    def test_injector_at_configured_rate(self, workload):
+        config = table1_config().with_error_rate(1e-4)
+        engine = ParaDoxSystem(config=config).engine(workload)
+        assert engine.injector is not None
+        assert engine.injector.target == "checker"
+
+    def test_baseline_never_injects(self, workload):
+        config = table1_config().with_error_rate(1e-2)
+        assert BaselineSystem(config=config).engine(workload).injector is None
+
+    def test_detection_only_never_injects(self, workload):
+        """Detection-only cannot correct, so it is evaluated error-free."""
+        config = table1_config().with_error_rate(1e-2)
+        assert DetectionOnlySystem(config=config).engine(workload).injector is None
+
+    def test_explicit_injector_wins(self, workload):
+        from repro.faults import default_injector
+
+        injector = default_injector(0.5, seed=1)
+        engine = ParaDoxSystem().engine(workload, injector=injector)
+        assert engine.injector is injector
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "cls,name",
+        [
+            (BaselineSystem, "baseline"),
+            (DetectionOnlySystem, "detection-only"),
+            (ParaMedicSystem, "paramedic"),
+            (ParaDoxSystem, "paradox"),
+        ],
+    )
+    def test_system_names(self, cls, name, workload):
+        assert cls().run(workload).system == name

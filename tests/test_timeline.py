@@ -1,0 +1,90 @@
+"""Timeline recording and the lifecycle-ordering oracle."""
+
+import pytest
+
+from repro.config import table1_config
+from repro.core import ParaDoxSystem
+from repro.stats import EventKind, Timeline, render_checker_gantt, render_timeline
+from repro.workloads import build_bitcount
+
+
+def run_with_timeline(workload, rate=0.0, seed=3):
+    config = table1_config().with_error_rate(rate, seed=seed)
+    system = ParaDoxSystem(config=config)
+    engine = system.engine(workload, seed=seed)
+    engine.options.record_timeline = True
+    engine.timeline = Timeline()
+    result = engine.run(workload.max_instructions)
+    return engine.timeline, result
+
+
+class TestRecording:
+    @pytest.fixture(scope="class")
+    def clean(self, bitcount_small):
+        return run_with_timeline(bitcount_small)
+
+    @pytest.fixture(scope="class")
+    def faulty(self, bitcount_small):
+        return run_with_timeline(bitcount_small, rate=1e-3)
+
+    def test_in_time_order_sorts(self, clean):
+        timeline, _ = clean
+        times = [event.time_ns for event in timeline.in_time_order()]
+        assert times == sorted(times)
+        assert len(times) == len(timeline.events)
+
+    def test_every_segment_opens_and_closes(self, clean):
+        timeline, result = clean
+        opens = timeline.of_kind(EventKind.SEGMENT_OPEN)
+        closes = timeline.of_kind(EventKind.SEGMENT_CLOSE)
+        assert len(closes) == result.segments
+        assert len(opens) >= len(closes)
+
+    def test_every_closed_segment_dispatched(self, clean):
+        timeline, result = clean
+        dispatches = timeline.of_kind(EventKind.DISPATCH)
+        assert len(dispatches) == result.segments
+
+    def test_clean_run_commits_everything(self, clean):
+        timeline, result = clean
+        commits = timeline.of_kind(EventKind.COMMIT)
+        assert len(commits) == result.segments
+        assert not timeline.of_kind(EventKind.DETECTION)
+
+    def test_faulty_run_records_detections_and_rollbacks(self, faulty):
+        timeline, result = faulty
+        detections = timeline.of_kind(EventKind.DETECTION)
+        rollbacks = timeline.of_kind(EventKind.ROLLBACK)
+        assert len(detections) == result.errors_detected
+        assert len(rollbacks) == result.errors_detected
+
+    def test_lifecycle_ordering_oracle(self, clean, faulty):
+        for timeline, _ in (clean, faulty):
+            timeline.validate_ordering()
+
+    def test_detection_carries_channel(self, faulty):
+        timeline, _ = faulty
+        for event in timeline.of_kind(EventKind.DETECTION):
+            assert event.detail  # channel description
+            assert event.core >= 0
+
+
+class TestRendering:
+    def test_render_timeline_lines(self, bitcount_small):
+        timeline, _ = run_with_timeline(bitcount_small)
+        text = render_timeline(timeline, limit=10)
+        assert "open" in text
+        assert "more events" in text
+
+    def test_render_gantt(self, bitcount_small):
+        timeline, _ = run_with_timeline(bitcount_small)
+        chart = render_checker_gantt(timeline)
+        assert "c00" in chart
+        assert "#" in chart
+
+    def test_render_empty_gantt(self):
+        assert render_checker_gantt(Timeline()) == "(no dispatches)"
+
+    def test_span(self, bitcount_small):
+        timeline, result = run_with_timeline(bitcount_small)
+        assert 0 < timeline.span_ns() <= result.wall_ns * 2

@@ -1,0 +1,186 @@
+"""Workload correctness against independent references."""
+
+import numpy as np
+import pytest
+
+from repro.isa import bits_to_float
+from repro.workloads import (
+    SPEC_ORDER,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    build_bitcount,
+    build_spec_workload,
+    build_stream,
+    build_synthetic,
+    golden_run,
+)
+from repro.workloads.bitcount import DATA_BASE, RESULT_BASE
+from repro.workloads.stream import A_BASE, B_BASE, C_BASE, expected_stream
+
+
+class TestBitcount:
+    def test_all_three_methods_agree(self):
+        workload = build_bitcount(values=20, seed=3)
+        golden = golden_run(workload)
+        totals = golden.memory.read_words(RESULT_BASE, 3)
+        assert totals[0] == totals[1] == totals[2]
+
+    def test_total_matches_python_popcount(self):
+        workload = build_bitcount(values=20, seed=3)
+        golden = golden_run(workload)
+        expected = sum(
+            bin(value).count("1")
+            for address, value in workload.initial_words.items()
+            if address >= DATA_BASE
+        )
+        assert golden.memory.load(RESULT_BASE) == expected
+
+    def test_output_prints_cross_check(self):
+        workload = build_bitcount(values=8, seed=1)
+        golden = golden_run(workload)
+        assert len(golden.output) == 1
+        total = golden.memory.load(RESULT_BASE)
+        assert golden.output[0][1] == str(3 * total)
+
+    def test_terminates_within_budget(self):
+        workload = build_bitcount(values=30)
+        golden = golden_run(workload)
+        assert golden.state.halted
+        assert golden.instructions < workload.max_instructions
+
+    def test_deterministic(self):
+        a = golden_run(build_bitcount(values=10, seed=5))
+        b = golden_run(build_bitcount(values=10, seed=5))
+        assert a.memory == b.memory
+        assert a.instructions == b.instructions
+
+    def test_category(self):
+        assert build_bitcount(values=4).category == "compute"
+
+
+class TestStream:
+    def test_matches_numpy_reference(self):
+        elements, passes, seed = 32, 2, 9
+        workload = build_stream(elements=elements, passes=passes, seed=seed)
+        golden = golden_run(workload)
+        assert golden.state.halted
+        expected_a, expected_b, expected_c = expected_stream(elements, passes, seed)
+        a = golden.memory.read_floats(A_BASE, elements)
+        b = golden.memory.read_floats(B_BASE, elements)
+        c = golden.memory.read_floats(C_BASE, elements)
+        assert np.allclose(a, expected_a)
+        assert np.allclose(b, expected_b)
+        assert np.allclose(c, expected_c)
+
+    def test_prints_a0(self):
+        workload = build_stream(elements=16, passes=1, seed=2)
+        golden = golden_run(workload)
+        expected_a, _, _ = expected_stream(16, 1, 2)
+        assert golden.output[0][1] == repr(
+            bits_to_float(golden.memory.load(A_BASE))
+        )
+        assert float(golden.output[0][1]) == pytest.approx(expected_a[0])
+
+    def test_memory_bound_mix(self):
+        """STREAM's hot loops must be memory-op heavy."""
+        workload = build_stream(elements=32)
+        memory_ops = sum(
+            1 for instr in workload.program.instructions if instr.is_memory
+        )
+        # Static count includes the prologue; the loop bodies are ~30% memory.
+        assert memory_ops / len(workload.program.instructions) > 0.15
+
+    def test_category(self):
+        assert build_stream(elements=8).category == "memory"
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_program(self):
+        profile = SPEC_PROFILES["bzip2"]
+        a = build_synthetic(profile, iterations=3, seed=7)
+        b = build_synthetic(profile, iterations=3, seed=7)
+        assert a.program.instructions == b.program.instructions
+        assert a.initial_words == b.initial_words
+
+    def test_different_seeds_differ(self):
+        profile = SPEC_PROFILES["bzip2"]
+        a = build_synthetic(profile, iterations=3, seed=7)
+        b = build_synthetic(profile, iterations=3, seed=8)
+        assert a.program.instructions != b.program.instructions
+
+    def test_runs_to_halt_within_budget(self):
+        for name in ("bzip2", "mcf", "lbm"):
+            workload = build_spec_workload(name, iterations=2, seed=1)
+            golden = golden_run(workload)
+            assert golden.state.halted, name
+            assert golden.instructions < workload.max_instructions, name
+
+    def test_power_of_two_working_set_required(self):
+        profile = WorkloadProfile(name="bad", working_set_kib=100)
+        with pytest.raises(ValueError):
+            build_synthetic(profile)
+
+    def test_code_footprint_scales_with_blocks(self):
+        small = build_synthetic(
+            WorkloadProfile(name="s", code_blocks=2, block_ops=16), iterations=1
+        )
+        large = build_synthetic(
+            WorkloadProfile(name="l", code_blocks=24, block_ops=44), iterations=1
+        )
+        assert large.program.text_bytes > small.program.text_bytes * 5
+
+    def test_fp_profile_emits_fp_ops(self):
+        workload = build_spec_workload("lbm", iterations=1)
+        from repro.isa import FunctionalUnit
+
+        units = {instr.unit for instr in workload.program.instructions}
+        assert FunctionalUnit.FP_ALU in units
+
+    def test_output_printed(self):
+        workload = build_spec_workload("gcc", iterations=2)
+        golden = golden_run(workload)
+        assert len(golden.output) == 1
+
+
+class TestSpecSuite:
+    def test_order_matches_figure(self):
+        assert list(SPEC_PROFILES) == SPEC_ORDER
+        assert len(SPEC_ORDER) == 19
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_spec_workload("specjbb")
+
+    def test_icache_bound_workloads_have_big_text(self):
+        """The paper's checker-I-cache-miss workloads must exceed the 8 KiB
+        L0; the friendly ones must fit."""
+        for name in ("gobmk", "povray", "h264ref", "omnetpp", "xalancbmk"):
+            workload = build_spec_workload(name, iterations=1)
+            assert workload.program.text_bytes > 8 * 1024, name
+        for name in ("mcf", "lbm", "bzip2"):
+            workload = build_spec_workload(name, iterations=1)
+            assert workload.program.text_bytes < 8 * 1024, name
+
+    def test_conflict_workloads_flagged(self):
+        assert SPEC_PROFILES["astar"].conflict_store_fraction > 0
+        assert SPEC_PROFILES["bwaves"].conflict_store_fraction > 0
+        assert SPEC_PROFILES["sjeng"].conflict_store_fraction > 0
+
+    def test_every_proxy_halts(self):
+        for name in SPEC_ORDER:
+            workload = build_spec_workload(name, iterations=1, seed=2)
+            golden = golden_run(workload)
+            assert golden.state.halted, name
+
+
+class TestWorkloadInfrastructure:
+    def test_create_memory_fresh_per_call(self, bitcount_small):
+        a = bitcount_small.create_memory()
+        b = bitcount_small.create_memory()
+        a.store(0, 123)
+        assert b.load(0) == 0
+
+    def test_golden_run_does_not_consume_workload(self, bitcount_small):
+        first = golden_run(bitcount_small)
+        second = golden_run(bitcount_small)
+        assert first.memory == second.memory
