@@ -78,3 +78,16 @@ class CheckpointLengthController:
         if observed_length > 0:
             self._last_observed = observed_length
         return self.target
+
+    def force_minimum(self) -> int:
+        """Forward-progress escalation: collapse the target to the floor.
+
+        A rollback storm pinned at one checkpoint means every extra
+        instruction in the window is wasted re-execution; the guard
+        shrinks the window to the minimum in one step rather than waiting
+        for repeated halvings to get there.
+        """
+        if self._target > float(self.config.min_instructions):
+            self._target = float(self.config.min_instructions)
+            self.stats.decreases += 1
+        return self.target

@@ -8,6 +8,9 @@ Commands:
 * ``workloads`` — list every built-in workload.
 * ``figure`` — regenerate one of the paper's figures.
 * ``compare`` — run a workload on all four systems side by side.
+* ``campaign`` — crash-isolated fault-injection campaign: seeds x rates
+  x fault models over worker processes, six-outcome classification and a
+  JSON report (``--smoke`` for the CI-sized variant).
 """
 
 from __future__ import annotations
@@ -46,10 +49,12 @@ WORKLOAD_BUILDERS: Dict[str, Callable[..., Workload]] = {
 }
 
 SYSTEMS: Dict[str, Callable[..., System]] = {
-    "baseline": lambda config, dvs: BaselineSystem(config=config),
-    "detection": lambda config, dvs: DetectionOnlySystem(config=config),
-    "paramedic": lambda config, dvs: ParaMedicSystem(config=config),
-    "paradox": lambda config, dvs: ParaDoxSystem(config=config, dvs=dvs),
+    "baseline": lambda config, dvs, resilient=False: BaselineSystem(config=config),
+    "detection": lambda config, dvs, resilient=False: DetectionOnlySystem(config=config),
+    "paramedic": lambda config, dvs, resilient=False: ParaMedicSystem(config=config),
+    "paradox": lambda config, dvs, resilient=False: ParaDoxSystem(
+        config=config, dvs=dvs, resilient=resilient
+    ),
 }
 
 
@@ -76,7 +81,9 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     workload = resolve_workload(args.workload, args.scale)
     config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
-    system = SYSTEMS[args.system](config, args.dvs)
+    if args.resilient and args.system != "paradox":
+        raise SystemExit("--resilient is only meaningful with --system paradox")
+    system = SYSTEMS[args.system](config, args.dvs, args.resilient)
     engine = system.engine(workload, seed=args.seed)
     if args.timeline:
         from .stats import Timeline
@@ -108,6 +115,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{result.wall_ns / baseline:9.3f} {result.errors_detected:7d}"
         )
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .resilience import CampaignSpec, RunClass, run_campaign, smoke_spec
+
+    if args.smoke:
+        spec = smoke_spec()
+    else:
+        spec = CampaignSpec(
+            workload=args.workload,
+            scale=args.scale,
+            seeds=args.seeds,
+            first_seed=args.first_seed,
+            rates=tuple(args.rate) if args.rate else (1e-4,),
+            models=tuple(args.models.split(",")),
+            dvs=not args.no_dvs,
+            timeout_s=args.timeout,
+            workers=args.workers,
+        )
+    try:
+        spec.expand()
+    except ValueError as error:  # e.g. an unknown --models mix
+        raise SystemExit(str(error))
+
+    def progress(record) -> None:
+        if args.quiet:
+            return
+        print(
+            f"  run {record.run_id:4d} seed {record.seed:5d} "
+            f"rate {record.rate:.1e} {record.model:<14s} "
+            f"-> {record.run_class.value:<18s} {record.detail}"
+        )
+
+    report = run_campaign(spec, progress=progress)
+    print(report.summary_table())
+    if args.json:
+        report.write_json(args.json)
+        print(f"report written to {args.json}")
+    for trace in report.crash_tracebacks:
+        print("\nworker traceback:\n" + trace, file=sys.stderr)
+    crashes = report.counts[RunClass.CRASH.value]
+    return 1 if crashes else 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -145,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=1.0, help="workload size factor")
     run.add_argument("--timeline", action="store_true", help="print the event timeline")
     run.add_argument("--timeline-limit", type=int, default=40)
+    run.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable the resilience layer (forward-progress guard + quarantine)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run all four systems side by side")
@@ -161,6 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a figure of the paper")
     figure.add_argument("name", help="fig08..fig13 or sec6e")
     figure.set_defaults(func=cmd_figure)
+
+    campaign = sub.add_parser(
+        "campaign", help="crash-isolated fault-injection campaign"
+    )
+    campaign.add_argument("--workload", default="bitcount")
+    campaign.add_argument("--scale", type=float, default=0.4)
+    campaign.add_argument("--seeds", type=int, default=24)
+    campaign.add_argument("--first-seed", type=int, default=0)
+    campaign.add_argument(
+        "--rate",
+        type=float,
+        action="append",
+        help="fault rate; repeatable to sweep a grid (default 1e-4)",
+    )
+    campaign.add_argument(
+        "--models",
+        default="transient,burst,stuckat",
+        help="comma list of fault-model mixes cycled across runs "
+        "(transient, burst, stuckat, stuckat-global)",
+    )
+    campaign.add_argument("--no-dvs", action="store_true", help="disable the DVS controller")
+    campaign.add_argument("--timeout", type=float, default=60.0, help="per-run watchdog seconds")
+    campaign.add_argument("--workers", type=int, default=0, help="worker processes (0 = auto)")
+    campaign.add_argument("--json", help="write the full JSON report to this path")
+    campaign.add_argument("--quiet", action="store_true", help="suppress per-run lines")
+    campaign.add_argument(
+        "--smoke", action="store_true", help="CI-sized campaign (overrides the grid flags)"
+    )
+    campaign.set_defaults(func=cmd_campaign)
 
     return parser
 

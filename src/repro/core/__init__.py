@@ -15,6 +15,11 @@ from .analysis import (
     rerun_inflation,
     young_daly_length,
 )
+from ..resilience.guard import (
+    ForwardProgressDiagnostics,
+    ForwardProgressFailure,
+    ResilienceConfig,
+)
 from .engine import EngineOptions, LivelockError, PendingCheck, SimulationEngine
 from .systems import (
     BaselineSystem,
@@ -29,8 +34,11 @@ __all__ = [
     "BaselineSystem",
     "DetectionOnlySystem",
     "EngineOptions",
+    "ForwardProgressDiagnostics",
+    "ForwardProgressFailure",
     "LivelockError",
     "OverheadParameters",
+    "ResilienceConfig",
     "ParaDoxSystem",
     "ParaMedicSystem",
     "PendingCheck",

@@ -60,8 +60,14 @@ from ..lslog.segment import (
 )
 from ..memory.cache import MemoryHierarchy
 from ..memory.unchecked import UncheckedLineTracker
+from ..resilience.guard import (
+    ForwardProgressFailure,
+    ForwardProgressGuard,
+    ResilienceConfig,
+)
+from ..resilience.health import CheckerHealthTracker
 from ..scheduling import CheckerPool, DispatchRecord, SchedulingPolicy
-from ..stats import RecoveryEvent, RunResult, StallBreakdown
+from ..stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown
 from ..stats.timeline import EventKind, Timeline
 
 
@@ -103,6 +109,10 @@ class EngineOptions:
     #: Record a :class:`repro.stats.timeline.Timeline` of segment/checker
     #: lifecycle events (debugging and documentation aid).
     record_timeline: bool = False
+    #: Enable the resilience layer: forward-progress escalation instead
+    #: of livelock aborts, plus checker health tracking and quarantine.
+    #: None preserves the legacy detect-and-rollback-or-die behaviour.
+    resilience: Optional[ResilienceConfig] = None
 
 
 class SimulationEngine:
@@ -135,15 +145,24 @@ class SimulationEngine:
         self.port = MainMemoryPort(self.memory, self.tracker, options.granularity)
         self.executor = Executor(program, self.state, self.port)
 
-        # Checker pool.
+        # Checker pool, optionally health-tracked (resilience layer).
+        self.health: Optional[CheckerHealthTracker] = None
         if options.checking:
             cores = [
                 CheckerCore(i, config.checker, program)
                 for i in range(config.checker.count)
             ]
             boot_offset = int(self.rng.integers(config.checker.count))
+            if options.resilience is not None and options.resilience.quarantine_enabled:
+                self.health = CheckerHealthTracker(
+                    config.checker.count,
+                    quarantine_vindications=options.resilience.quarantine_vindications,
+                )
             self.pool: Optional[CheckerPool] = CheckerPool(
-                cores, options.scheduling, boot_offset=boot_offset
+                cores,
+                options.scheduling,
+                boot_offset=boot_offset,
+                health=self.health,
             )
         else:
             self.pool = None
@@ -160,6 +179,19 @@ class SimulationEngine:
                 dynamic_decrease=options.dynamic_voltage_decrease,
             )
 
+        # Forward-progress guard (resilience layer).
+        self.guard: Optional[ForwardProgressGuard] = None
+        if options.resilience is not None and options.checking:
+            self.guard = ForwardProgressGuard(
+                options.resilience,
+                self.length_controller,
+                dvfs=self.dvfs,
+                injector=self.injector,
+            )
+            if self.health is not None:
+                health = self.health
+                self.guard.quarantined_provider = lambda: health.quarantined
+
         # Time anchors: wall(cycles) = base_wall + (cycles - base_cycles) * cycle_ns.
         self._frequency_hz = config.main_core.frequency_hz
         self._cycle_ns = 1e9 / self._frequency_hz
@@ -173,6 +205,10 @@ class SimulationEngine:
         self._pending: List[PendingCheck] = []
         self._last_commit_ns = 0.0
         self._checkpoint_lengths: List[int] = []
+        #: (checkpoint instret, checker id) of the last detection, pending
+        #: attribution: the retry is steered to different hardware and its
+        #: result vindicates or absolves the original checker.
+        self._retry_suspect: Optional["tuple[int, int]"] = None
 
         # Statistics.
         self.stalls = StallBreakdown()
@@ -283,6 +319,12 @@ class SimulationEngine:
         if self.dvfs is None:
             return
         self.dvfs.on_checkpoint(error, self.wall_ns)
+        self._sync_dvfs_outputs()
+
+    def _sync_dvfs_outputs(self) -> None:
+        """Propagate the controller's voltage to frequency and fault rate."""
+        if self.dvfs is None:
+            return
         self._set_frequency(self.dvfs.frequency_hz)
         if self.injector is not None and self.options.voltage_model is not None:
             rate = self.options.voltage_model.rate(self.dvfs.voltage)
@@ -292,13 +334,38 @@ class SimulationEngine:
     def _dispatch(self, segment: LogSegment) -> None:
         pool = self.pool
         assert pool is not None
-        core, start_ns = pool.select(self.wall_ns)
+        # A retry of a rolled-back checkpoint is steered away from the
+        # checker that reported the detection: its verdict on different
+        # hardware attributes the fault (checker-local vs followed-the-work).
+        suspect = self._retry_suspect
+        retrying = (
+            suspect is not None
+            and self.health is not None
+            and segment.start_state.instret == suspect[0]
+        )
+        avoid = {suspect[1]} if retrying else None
+        core, start_ns = pool.select(self.wall_ns, avoid=avoid)
         if start_ns > self.wall_ns:
             self._stall_to_wall(start_ns, "checker")
         start_ns = max(start_ns, self.wall_ns)
         segment.checker_id = core.core_id
 
         result = self._check(core, segment)
+        if self.health is not None:
+            if result.detected:
+                self.health.record_detection(core.core_id)
+            else:
+                self.health.record_clean(core.core_id)
+            if retrying:
+                self._retry_suspect = None
+                suspect_core = suspect[1]
+                if core.core_id != suspect_core:
+                    if result.detected:
+                        # The retry failed on different hardware too: the
+                        # fault followed the work, not the checker.
+                        self.health.record_absolution(suspect_core)
+                    else:
+                        self.health.record_vindication(suspect_core, start_ns)
         duration_ns = core.cycles_to_ns(result.checker_cycles)
         record = pool.dispatch(core, segment.seq, start_ns, duration_ns)
         self._pending.append(
@@ -317,15 +384,23 @@ class SimulationEngine:
         injector = self.injector
         checker_targeted = injector is not None and injector.target == "checker"
         main_targeted = injector is not None and injector.target == "main"
-        if not main_targeted and self.options.fastpath:
-            if injector is None or not injector.fires_within_segment(segment):
-                if injector is not None:
-                    injector.skip_segment(segment)
-                return CheckResult(None, segment.instruction_count, core.analytic_cycles(segment))
         if injector is not None:
-            injector.note_replay()
-        hook = injector if checker_targeted else None
-        return core.check_segment(segment, hook=hook)
+            injector.begin_check(core.core_id)
+        try:
+            if not main_targeted and self.options.fastpath:
+                if injector is None or not injector.fires_within_segment(segment):
+                    if injector is not None:
+                        injector.skip_segment(segment)
+                    return CheckResult(
+                        None, segment.instruction_count, core.analytic_cycles(segment)
+                    )
+            if injector is not None:
+                injector.note_replay()
+            hook = injector if checker_targeted else None
+            return core.check_segment(segment, hook=hook)
+        finally:
+            if injector is not None:
+                injector.begin_check(None)
 
     # -------------------------------------------------- commits & detections --
     def _next_detection(self) -> Optional[PendingCheck]:
@@ -352,6 +427,8 @@ class SimulationEngine:
             self.tracker.release_through(head.segment.seq)
             self._pending.pop(0)
             self._segment_start_wall.pop(head.segment.seq, None)
+            if self.guard is not None:
+                self.guard.on_commit(head.segment.end_state.instret)
             if self.timeline is not None:
                 self.timeline.record(effective, EventKind.COMMIT, head.segment.seq)
 
@@ -427,6 +504,28 @@ class SimulationEngine:
         self.length_controller.observe(faulty.instruction_count, LengthEvent.ERROR)
         self._dvfs_checkpoint(error=True)
 
+        # Resilience: steer the retry to different hardware, and let the
+        # forward-progress guard escalate if this checkpoint keeps
+        # rolling back (it raises ForwardProgressFailure when the storm
+        # survives the safe voltage).
+        if self.health is not None:
+            self._retry_suspect = (
+                faulty.start_state.instret,
+                pending.record.core_id,
+            )
+        if self.guard is not None:
+            try:
+                self.guard.on_rollback(
+                    faulty.start_state.instret,
+                    self.wall_ns,
+                    checker_id=pending.record.core_id,
+                    channel=pending.result.detection.channel.value,
+                )
+            finally:
+                # Escalation may have moved the voltage target; keep the
+                # clock and the fault rate coupled to it either way.
+                self._sync_dvfs_outputs()
+
         # Resume filling from the restored state.
         self._external_verified = False
         self._open_segment(faulty.start_state.snapshot())
@@ -461,7 +560,11 @@ class SimulationEngine:
             self._process_commits(head_effective)
         # No outstanding checks: the corruption is local to this segment.
         self._trap_retries += 1
-        if self._trap_retries > 8:
+        if self.guard is None and self._trap_retries > 8:
+            # Legacy behaviour: without the resilience layer a recurring
+            # trap is assumed to be a deterministic program bug.  The
+            # forward-progress guard instead escalates (shrink, voltage)
+            # and surfaces a typed ForwardProgressFailure if it persists.
             raise RuntimeError(
                 f"main core trapped repeatedly at pc {self.state.pc} with no "
                 f"recovery possible (deterministic bug?): {trap!r}"
@@ -488,6 +591,15 @@ class SimulationEngine:
         )
         self.length_controller.observe(filler.instruction_count, LengthEvent.ERROR)
         self._dvfs_checkpoint(error=True)
+        if self.guard is not None:
+            try:
+                self.guard.on_rollback(
+                    filler.start_state.instret,
+                    self.wall_ns,
+                    channel=DetectionChannel.MAIN_TRAP.value,
+                )
+            finally:
+                self._sync_dvfs_outputs()
         self._external_verified = False
         self._open_segment(filler.start_state.snapshot())
 
@@ -500,7 +612,8 @@ class SimulationEngine:
         livelock_budget = int(max_instructions * options.livelock_factor)
         self._open_segment(self.state.snapshot())
 
-        livelocked = False
+        outcome = RunOutcome.COMPLETED
+        failure = None
         main_done_ns = 0.0
         try:
             while True:
@@ -517,7 +630,11 @@ class SimulationEngine:
                     break
                 # A detection during drain un-halted the state; keep running.
         except LivelockError:
-            livelocked = True
+            outcome = RunOutcome.LIVELOCK
+            main_done_ns = self.wall_ns
+        except ForwardProgressFailure as fpf:
+            outcome = RunOutcome.FORWARD_PROGRESS_FAILURE
+            failure = fpf.diagnostics
             main_done_ns = self.wall_ns
 
         wall = main_done_ns or self.wall_ns
@@ -551,7 +668,11 @@ class SimulationEngine:
                 else 0.0
             ),
             final_checkpoint_target=self.length_controller.target,
-            livelocked=livelocked,
+            outcome=outcome,
+            failure=failure,
+            quarantine_events=list(self.health.events) if self.health else [],
+            escalations=list(self.guard.events) if self.guard else [],
+            livelocked=outcome is RunOutcome.LIVELOCK,
             external_flushes=list(self.external_flushes),
             unit_mix=dict(self._unit_mix),
             dispatch_trace=(
@@ -745,6 +866,8 @@ class SimulationEngine:
             self.tracker.release_through(head.segment.seq)
             self._pending.pop(0)
             self._segment_start_wall.pop(head.segment.seq, None)
+            if self.guard is not None:
+                self.guard.on_commit(head.segment.end_state.instret)
             if self.timeline is not None:
                 self.timeline.record(
                     head_effective, EventKind.COMMIT, head.segment.seq

@@ -30,6 +30,7 @@ from ..faults.injector import FaultInjector, default_injector
 from ..faults.voltage_model import VoltageErrorModel
 from ..isa import MemoryImage, Program
 from ..lslog.segment import RollbackGranularity
+from ..resilience.guard import ResilienceConfig
 from ..scheduling import SchedulingPolicy
 from ..stats import RunResult
 from .engine import EngineOptions, SimulationEngine
@@ -155,11 +156,19 @@ class ParaDoxSystem(System):
     voltage_model: Optional[VoltageErrorModel] = None
     #: Figure 11's comparator: constant- instead of dynamic-decrease.
     dynamic_voltage_decrease: bool = True
+    #: Enable the resilience layer (forward-progress guard + checker
+    #: quarantine) with default thresholds.
+    resilient: bool = False
+    #: Explicit resilience thresholds; implies ``resilient``.
+    resilience: Optional[ResilienceConfig] = None
 
     def _options(self) -> EngineOptions:
         model = self.voltage_model
         if self.dvs and model is None:
             model = VoltageErrorModel.itanium_9560()
+        resilience = self.resilience
+        if resilience is None and self.resilient:
+            resilience = ResilienceConfig()
         return EngineOptions(
             granularity=RollbackGranularity.LINE,
             scheduling=SchedulingPolicy.LOWEST_FREE_ID,
@@ -167,6 +176,7 @@ class ParaDoxSystem(System):
             dvs=self.dvs,
             voltage_model=model,
             dynamic_voltage_decrease=self.dynamic_voltage_decrease,
+            resilience=resilience,
         )
 
     def _injector(self, seed: int) -> Optional[FaultInjector]:

@@ -34,6 +34,8 @@ class DvfsStats:
 
     errors_observed: int = 0
     tide_resets: int = 0
+    #: Forward-progress escalations: forced jumps toward the safe voltage.
+    escalations: int = 0
     #: (time_ns, actual_voltage) samples, one per checkpoint.
     trace: List[Tuple[float, float]] = field(default_factory=list)
     #: Highest voltage at which any error was ever seen (never reset).
@@ -74,6 +76,11 @@ class VoltageController:
         self._tide_mark: float = 0.0  # highest voltage of a recent error
         self._errors_since_reset = 0
         self._last_advance_ns = 0.0
+        #: While True (set by escalate), the AIMD law may not move the
+        #: target away from the safe voltage: a rollback storm closes a
+        #: checkpoint per retry, and those per-checkpoint decreases would
+        #: otherwise outrun the escalation and pin the supply low.
+        self._escalation_hold = False
         self.stats = DvfsStats()
 
     # -- voltage state ----------------------------------------------------------
@@ -123,7 +130,7 @@ class VoltageController:
                 self._tide_mark = 0.0
                 self._errors_since_reset = 0
                 self.stats.tide_resets += 1
-        else:
+        elif not self._escalation_hold:
             step = config.step_volts
             if self.dynamic_decrease and self.target_voltage <= self._tide_mark:
                 step /= config.tide_slowdown
@@ -132,6 +139,39 @@ class VoltageController:
         if self._difference > max_difference:
             self._difference = max_difference
         self.stats.trace.append((now_ns, self._actual))
+
+    # -- forward-progress escalation ---------------------------------------------
+    @property
+    def at_safe_voltage(self) -> bool:
+        """Is the supply (target and actual) back at the margined safe point?"""
+        safe = self.config.safe_voltage
+        return self._difference <= 1e-9 and self._actual >= safe - 1e-9
+
+    def escalate(self, now_ns: float, factor: float = 0.5) -> float:
+        """Forced recovery step toward the safe voltage (forward progress).
+
+        Unlike the AIMD error response (a gentle ``recovery_factor``
+        multiply), escalation halves the remaining gap to the safe
+        voltage each call — a rollback storm that AIMD cannot outrun is
+        resolved in a handful of steps.  The regulator still slews the
+        actual voltage, so the caller keeps escalating until
+        :attr:`at_safe_voltage` reports the supply has truly caught up.
+        Returns the new target voltage.
+        """
+        if not 0 <= factor < 1:
+            raise ValueError(f"factor must be within [0, 1), got {factor}")
+        self.advance_to(now_ns)
+        self._escalation_hold = True
+        self._difference *= factor
+        if self._difference < self.config.step_volts:
+            self._difference = 0.0
+        self.stats.escalations += 1
+        self.stats.trace.append((now_ns, self._actual))
+        return self.target_voltage
+
+    def release_hold(self) -> None:
+        """Forward progress resumed: let the AIMD law seek errors again."""
+        self._escalation_hold = False
 
     def advance_to(self, now_ns: float) -> None:
         """Slew the actual voltage towards the target."""

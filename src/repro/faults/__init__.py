@@ -1,17 +1,21 @@
 """Error-injection framework (section V-A of the paper)."""
 
 from .arrival import GeometricArrival, MIN_RATE
-from .injector import FaultInjector, InjectionStats, default_injector
+from .injector import DEFAULT_MODEL_KINDS, FaultInjector, InjectionStats, default_injector
 from .models import (
+    BurstFaultModel,
     FaultDomain,
     FaultModel,
     FunctionalUnitFaultModel,
     MemoryFaultModel,
     RegisterFaultModel,
+    StuckAtFaultModel,
 )
 from .voltage_model import VoltageErrorModel
 
 __all__ = [
+    "BurstFaultModel",
+    "DEFAULT_MODEL_KINDS",
     "FaultDomain",
     "FaultInjector",
     "FaultModel",
@@ -21,6 +25,7 @@ __all__ = [
     "MIN_RATE",
     "MemoryFaultModel",
     "RegisterFaultModel",
+    "StuckAtFaultModel",
     "VoltageErrorModel",
     "default_injector",
 ]

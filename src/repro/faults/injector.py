@@ -60,16 +60,38 @@ class FaultInjector:
         self.models: List[FaultModel] = list(models)
         self.target = target
         self.stats = InjectionStats()
+        #: ID of the checker core currently replaying, set by the engine
+        #: via :meth:`begin_check` so core-bound models only fire on
+        #: their own hardware (None during main-core injection).
+        self.current_checker_id: int | None = None
 
     # -- configuration ---------------------------------------------------------------
     def set_rate(self, rate: float) -> None:
-        """Update every model's per-operation fault probability."""
+        """Update every model's per-operation fault probability.
+
+        Permanent models (stuck-at defects) ignore the update: a broken
+        wire does not heal when the voltage rises.
+        """
         for model in self.models:
             model.set_rate(rate)
 
     @property
     def enabled(self) -> bool:
-        return any(model.rate > 0 for model in self.models)
+        return any(model.rate > 0 or model.persistent for model in self.models)
+
+    def persistent_descriptions(self) -> List[str]:
+        """Describe every permanent defect, for failure diagnostics."""
+        return [model.describe() for model in self.models if model.persistent]
+
+    def begin_check(self, core_id: "int | None") -> None:
+        """Note which checker core is about to replay (None = main core)."""
+        self.current_checker_id = core_id
+
+    def _applies(self, model: FaultModel) -> bool:
+        return (
+            model.bound_checker_id is None
+            or model.bound_checker_id == self.current_checker_id
+        )
 
     # -- fast-path support --------------------------------------------------------------
     def _domain_count(self, model: FaultModel, segment: LogSegment) -> int:
@@ -86,19 +108,21 @@ class FaultInjector:
     def fires_within_segment(self, segment: LogSegment) -> bool:
         """Could any model fire while checking ``segment``?  Non-consuming."""
         return any(
-            model.arrival.fires_within(self._domain_count(model, segment))
+            model.may_fire_within(self._domain_count(model, segment))
             for model in self.models
+            if self._applies(model)
         )
 
     def skip_segment(self, segment: LogSegment) -> None:
         """Consume a segment's operations without replaying it.
 
         Only valid when :meth:`fires_within_segment` returned False.
+        Models bound to a different checker core saw none of the
+        segment's operations, so their processes do not advance.
         """
         for model in self.models:
-            fired = model.arrival.advance(self._domain_count(model, segment))
-            if fired is not None:  # pragma: no cover - guarded by caller
-                raise RuntimeError("skip_segment consumed a firing arrival")
+            if self._applies(model):
+                model.advance_clean(self._domain_count(model, segment))
         self.stats.segments_skipped += 1
 
     def note_replay(self) -> None:
@@ -110,42 +134,84 @@ class FaultInjector:
 
     def after_instruction(self, state: ArchState, info: StepInfo, index: int) -> None:
         for model in self.models:
-            if model.on_instruction(state, info):
+            if self._applies(model) and model.on_instruction(state, info):
                 self.stats.instruction_faults += 1
 
     def corrupt_load(self, op_index: int, value: int) -> int:
+        # At most one fault per operation: once a model corrupts the
+        # value, stop — chaining further models through the already
+        # corrupted value double-counts (and can silently cancel) faults.
         for model in self.models:
+            if not self._applies(model):
+                continue
             value, fired = model.on_load(value)
             if fired:
                 self.stats.load_faults += 1
+                break
         return value
 
     def corrupt_store(self, op_index: int, value: int) -> int:
         for model in self.models:
+            if not self._applies(model):
+                continue
             value, fired = model.on_store(value)
             if fired:
                 self.stats.store_faults += 1
+                break
         return value
+
+
+#: Model kinds :func:`default_injector` knows how to build.
+DEFAULT_MODEL_KINDS = ("register", "unit", "memory")
 
 
 def default_injector(
     rate: float,
     seed: int = 12345,
     target: str = "checker",
+    models: Sequence[str] = DEFAULT_MODEL_KINDS,
+    bound_checker: "int | None" = None,
+    stuck_unit: "FunctionalUnit | None" = None,
 ) -> FaultInjector:
     """The paper's composite setup: one model of each kind, equal rates.
 
-    Register faults over all categories, a defective integer multiplier as
-    the combinational-fault representative, and load-data log faults as
-    the memory representative.
+    The default mix is the paper's: register faults over all categories,
+    a defective integer multiplier as the combinational-fault
+    representative, and load-data log faults as the memory
+    representative.  ``models`` composes any subset of ``"register"``,
+    ``"unit"``, ``"memory"``, plus the resilience layer's ``"stuckat"``
+    (permanent, optionally bound to checker ``bound_checker``) and
+    ``"burst"`` (Gilbert–Elliott intermittent) modes.
     """
-    from ..isa import FunctionalUnit
-    from .models import FunctionalUnitFaultModel, MemoryFaultModel, RegisterFaultModel
+    from ..isa import FunctionalUnit as FU
+    from .models import (
+        BurstFaultModel,
+        FunctionalUnitFaultModel,
+        MemoryFaultModel,
+        RegisterFaultModel,
+        StuckAtFaultModel,
+    )
 
     rng = np.random.default_rng(seed)
-    models: List[FaultModel] = [
-        RegisterFaultModel(rate, rng),
-        FunctionalUnitFaultModel(rate, rng, FunctionalUnit.INT_MUL),
-        MemoryFaultModel(rate, rng, target="load"),
-    ]
-    return FaultInjector(models, target=target)
+    built: List[FaultModel] = []
+    for kind in models:
+        if kind == "register":
+            built.append(RegisterFaultModel(rate, rng))
+        elif kind == "unit":
+            built.append(FunctionalUnitFaultModel(rate, rng, FU.INT_MUL))
+        elif kind == "memory":
+            built.append(MemoryFaultModel(rate, rng, target="load"))
+        elif kind == "stuckat":
+            built.append(
+                StuckAtFaultModel(
+                    rng,
+                    unit=stuck_unit if stuck_unit is not None else FU.INT_ALU,
+                    bit=int(rng.integers(48)),
+                    bound_checker_id=bound_checker,
+                )
+            )
+        elif kind == "burst":
+            built.append(BurstFaultModel(rate, rng))
+        else:
+            raise ValueError(f"unknown fault model kind {kind!r}")
+    return FaultInjector(built, target=target)

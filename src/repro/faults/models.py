@@ -1,4 +1,4 @@
-"""Fault models (section V-A).
+"""Fault models (section V-A, extended with permanent/intermittent faults).
 
 The paper injects errors "in three ways, to approximate the wide variety
 of possible faults that can happen in hardware":
@@ -15,6 +15,19 @@ of possible faults that can happen in hardware":
 
 Each model owns a :class:`~repro.faults.arrival.GeometricArrival` in its
 domain and knows how to corrupt checker state when it fires.
+
+Beyond the paper's transient Bernoulli faults, the resilience layer adds
+the failure modes that dominate real near-threshold operation:
+
+* :class:`StuckAtFaultModel` — a *permanent* stuck-at bit in a functional
+  unit's result path.  It fires on every affected instruction regardless
+  of voltage, so rollback-and-retry alone can never clear it; only
+  checker quarantine (for a checker-local defect) or a typed
+  forward-progress failure resolves the run.
+* :class:`BurstFaultModel` — *intermittent* Gilbert–Elliott bursts: a
+  two-state Markov chain alternating between a quiet good state and an
+  error-dense bad state, modelling voltage droops, temperature transients
+  and marginal cells.
 """
 
 from __future__ import annotations
@@ -43,10 +56,16 @@ class FaultModel:
     """Base class: a geometric arrival plus a corruption action."""
 
     domain: FaultDomain
+    #: Permanent defects survive voltage escalation; the forward-progress
+    #: guard names them in its failure diagnostics.
+    persistent: bool = False
 
     def __init__(self, rate: float, rng: np.random.Generator) -> None:
         self.rng = rng
         self.arrival = GeometricArrival(rate, rng)
+        #: When set, the model only fires while the named checker core is
+        #: replaying — a core-local hardware defect.  None = any core.
+        self.bound_checker_id: Optional[int] = None
 
     @property
     def rate(self) -> float:
@@ -54,6 +73,21 @@ class FaultModel:
 
     def set_rate(self, rate: float) -> None:
         self.arrival.set_rate(rate)
+
+    def describe(self) -> str:
+        """Human-readable identity, used in failure diagnostics."""
+        return type(self).__name__
+
+    # -- fast-path support ------------------------------------------------------
+    def may_fire_within(self, count: int) -> bool:
+        """Could this model fire within the next ``count`` domain operations?"""
+        return self.arrival.fires_within(count)
+
+    def advance_clean(self, count: int) -> None:
+        """Consume ``count`` operations known (by the caller) to be clean."""
+        fired = self.arrival.advance(count)
+        if fired is not None:  # pragma: no cover - guarded by caller
+            raise RuntimeError("advance_clean consumed a firing arrival")
 
     # Subclasses implement the hooks relevant to their domain; the rest
     # stay no-ops so an injector can drive a heterogeneous model list.
@@ -167,3 +201,180 @@ class MemoryFaultModel(FaultModel):
         if self.target != "store" or not self.arrival.step():
             return value, False
         return value ^ (1 << int(self.rng.integers(64))), True
+
+
+class StuckAtFaultModel(FaultModel):
+    """A permanent stuck-at bit in a functional unit's result path.
+
+    Every instruction executed on ``unit`` that writes a register has the
+    targeted bit of its destination forced to ``stuck_value``.  The fault
+    is *voltage-independent*: raising the supply toward the safe point
+    cannot clear it, which is exactly what distinguishes a permanent
+    defect from the paper's transient undervolting errors.  Bind it to a
+    checker core (``bound_checker_id``) to model a defective checker that
+    the health tracker should quarantine; leave it unbound to model a
+    pervasive defect that only a forward-progress failure can surface.
+    """
+
+    domain = FaultDomain.UNIT_INSTRUCTIONS
+    persistent = True
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        unit: FunctionalUnit = FunctionalUnit.INT_ALU,
+        bit: int = 0,
+        stuck_value: int = 1,
+        bound_checker_id: Optional[int] = None,
+    ) -> None:
+        if stuck_value not in (0, 1):
+            raise ValueError(f"stuck_value must be 0 or 1, got {stuck_value}")
+        # Rate 0: the geometric arrival never drives this model; firing is
+        # deterministic per affected instruction.
+        super().__init__(0.0, rng)
+        self.unit = unit
+        self.bit = int(bit) % 64
+        self.stuck_value = stuck_value
+        self.bound_checker_id = bound_checker_id
+
+    def describe(self) -> str:
+        where = (
+            f"checker {self.bound_checker_id}"
+            if self.bound_checker_id is not None
+            else "all cores"
+        )
+        return (
+            f"stuck-at-{self.stuck_value} bit {self.bit} of "
+            f"{self.unit.value} ({where})"
+        )
+
+    def set_rate(self, rate: float) -> None:
+        """Permanent defects do not follow the voltage-dependent rate."""
+
+    def may_fire_within(self, count: int) -> bool:
+        return count > 0
+
+    def advance_clean(self, count: int) -> None:
+        """A skipped segment has no affected instructions; nothing to do."""
+
+    def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
+        if info.instruction.unit is not self.unit or info.dest is None:
+            return False
+        reg_file, index = info.dest
+        mask = 1 << self.bit
+        if reg_file == "x":
+            if index == 0:
+                return False  # x0 is hard-wired; the flip lands nowhere
+            value = state.regs.read_x(index)
+            forced = (value | mask) if self.stuck_value else (value & ~mask)
+            if forced == value:
+                return False  # the bit already held the stuck value: masked
+            state.regs.write_x(index, forced)
+        elif reg_file == "f":
+            value = state.regs.read_f_bits(index)
+            forced = (value | mask) if self.stuck_value else (value & ~mask)
+            if forced == value:
+                return False
+            state.regs.write_f_bits(index, forced)
+        else:
+            mask = 1 << (self.bit % 4)
+            value = state.regs.flags
+            forced = (value | mask) if self.stuck_value else (value & ~mask)
+            if forced == value:
+                return False
+            state.regs.flags = forced
+        return True
+
+
+class BurstFaultModel(FaultModel):
+    """Gilbert–Elliott intermittent bursts of register corruption.
+
+    A two-state Markov chain advances one step per executed instruction:
+    in the *good* state nothing fires and each step enters the *bad*
+    state with probability ``rate * entry_scale``; in the bad state each
+    instruction faults with probability ``burst_rate`` (a single-bit flip
+    in the destination register, or a random register when the
+    instruction writes none) and the burst ends with probability
+    ``1 / mean_burst_ops``.  ``set_rate`` keeps the entry probability
+    coupled to the voltage-dependent base rate, so escalating the supply
+    voltage makes new bursts (but not an in-flight one) vanishingly rare.
+    """
+
+    domain = FaultDomain.INSTRUCTIONS
+
+    def __init__(
+        self,
+        rate: float,
+        rng: np.random.Generator,
+        burst_rate: float = 0.05,
+        mean_burst_ops: float = 400.0,
+        entry_scale: float = 10.0,
+    ) -> None:
+        super().__init__(0.0, rng)  # the arrival process is unused
+        if not 0 <= burst_rate <= 1:
+            raise ValueError(f"burst_rate must be within [0, 1], got {burst_rate}")
+        if mean_burst_ops <= 0:
+            raise ValueError("mean_burst_ops must be positive")
+        self.burst_rate = float(burst_rate)
+        self.exit_probability = min(1.0, 1.0 / float(mean_burst_ops))
+        self.entry_scale = float(entry_scale)
+        self._base_rate = float(rate)
+        self.in_burst = False
+        self.bursts_entered = 0
+
+    @property
+    def rate(self) -> float:
+        return self._base_rate
+
+    @property
+    def entry_probability(self) -> float:
+        return min(1.0, self._base_rate * self.entry_scale)
+
+    def set_rate(self, rate: float) -> None:
+        self._base_rate = float(rate)
+
+    def describe(self) -> str:
+        return (
+            f"gilbert-elliott bursts (entry {self.entry_probability:.2e}, "
+            f"burst rate {self.burst_rate:.2e})"
+        )
+
+    def may_fire_within(self, count: int) -> bool:
+        if count <= 0:
+            return False
+        return self.in_burst or self.entry_probability > 0
+
+    def advance_clean(self, count: int) -> None:
+        """Only reachable when the model cannot fire at all; stay quiet."""
+
+    def _step_chain(self) -> bool:
+        """Advance one operation; True if this operation faults."""
+        if self.in_burst:
+            if self.rng.random() < self.burst_rate:
+                fired = True
+            else:
+                fired = False
+            if self.rng.random() < self.exit_probability:
+                self.in_burst = False
+            return fired
+        if self.entry_probability > 0 and self.rng.random() < self.entry_probability:
+            self.in_burst = True
+            self.bursts_entered += 1
+        return False
+
+    def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
+        if not self._step_chain():
+            return False
+        bit = int(self.rng.integers(64))
+        if info.dest is not None:
+            reg_file, index = info.dest
+            if reg_file == "x":
+                state.regs.flip_bit(RegisterCategory.INT, index, bit)
+            elif reg_file == "f":
+                state.regs.flip_bit(RegisterCategory.FLOAT, index, bit)
+            else:
+                state.regs.flip_bit(RegisterCategory.FLAGS, 0, bit)
+        else:
+            index = int(self.rng.integers(NUM_INT_REGS))
+            state.regs.flip_bit(RegisterCategory.INT, index, bit)
+        return True

@@ -1,0 +1,54 @@
+"""Resilience subsystem: graceful degradation under sustained faults.
+
+ParaDox's premise is that voltage margins can be removed *because* the
+system survives deliberately error-intensive operation.  This package
+supplies the machinery that turns "detect + rollback or die" into
+graceful degradation, plus the harness that proves it under thousands of
+seeded fault campaigns:
+
+* :mod:`repro.resilience.guard` — the forward-progress guarantee:
+  staged escalation (shrink checkpoints, raise voltage toward safe) and
+  the typed :class:`ForwardProgressFailure` that replaces livelock
+  aborts.
+* :mod:`repro.resilience.health` — per-checker detection attribution
+  and quarantine of checkers whose detections re-execution keeps
+  proving false.
+* :mod:`repro.resilience.campaign` — a crash-isolated, watchdogged
+  injection-campaign runner fanning seeds x rates x fault models across
+  worker processes and classifying every run into a six-outcome
+  taxonomy.
+"""
+
+from .campaign import (
+    CampaignReport,
+    CampaignSpec,
+    RunClass,
+    RunRecord,
+    run_campaign,
+    smoke_spec,
+)
+from .guard import (
+    EscalationEvent,
+    ForwardProgressDiagnostics,
+    ForwardProgressFailure,
+    ForwardProgressGuard,
+    ResilienceConfig,
+)
+from .health import CheckerHealth, CheckerHealthTracker, QuarantineEvent
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CheckerHealth",
+    "CheckerHealthTracker",
+    "EscalationEvent",
+    "ForwardProgressDiagnostics",
+    "ForwardProgressFailure",
+    "ForwardProgressGuard",
+    "QuarantineEvent",
+    "ResilienceConfig",
+    "RunClass",
+    "RunRecord",
+    "run_campaign",
+    "smoke_spec",
+]

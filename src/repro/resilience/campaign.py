@@ -1,0 +1,531 @@
+"""Crash-isolated fault-injection campaign runner.
+
+A *campaign* fans a grid of seeds × error rates × fault-model mixes over
+worker processes, one short simulation per run, and classifies every run
+into the standard injection-campaign taxonomy:
+
+* ``masked`` — completed, bit-identical to the golden run, no detections.
+* ``detected_recovered`` — completed and bit-identical after one or more
+  detect-and-rollback recoveries.
+* ``degraded`` — completed and bit-identical, but only after the
+  resilience layer intervened (checker quarantine or forward-progress
+  escalation): the system is progressing with reduced capability.
+* ``sdc`` — completed but the final state diverged from the golden run
+  (silent data corruption — the outcome the architecture exists to
+  prevent).
+* ``hang`` — no forward progress: the per-run watchdog expired, the
+  engine hit its livelock budget, or the forward-progress guard declared
+  a typed failure at the safe voltage.
+* ``crash`` — the worker process died or raised: an unhandled exception
+  anywhere in the simulator is a *bug*, never folded into another class.
+
+Each run executes in its own ``multiprocessing`` process with a private
+pipe, so a segfaulting or hanging simulation can neither take down the
+campaign nor stall it: the parent enforces a wall-clock deadline per run
+and terminates offenders.  (A pool is deliberately *not* used — a dying
+pool worker poisons the whole pool.)
+
+The report is JSON-serialisable and carries the two acceptance signals
+of the resilience layer besides the class counts: how many checkers were
+quarantined across the campaign, and how many runs recovered after
+voltage escalation.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .guard import ResilienceConfig
+
+#: Fault-model mixes a campaign run can use (cycled across runs).
+MODEL_MIXES = ("transient", "burst", "stuckat", "stuckat-global")
+
+
+class RunClass(enum.Enum):
+    """Six-outcome classification of one campaign run."""
+
+    MASKED = "masked"
+    DETECTED_RECOVERED = "detected_recovered"
+    DEGRADED = "degraded"
+    SDC = "sdc"
+    HANG = "hang"
+    CRASH = "crash"
+
+
+@dataclass
+class CampaignSpec:
+    """Everything needed to reproduce a campaign."""
+
+    workload: str = "bitcount"
+    scale: float = 0.4
+    #: Number of seeds; run ``seeds × len(rates)`` simulations total.
+    seeds: int = 24
+    first_seed: int = 0
+    rates: Tuple[float, ...] = (1e-4,)
+    #: Fault-model mixes, cycled run by run (see :data:`MODEL_MIXES`).
+    models: Tuple[str, ...] = ("transient", "burst", "stuckat")
+    #: Run the DVS controller (undervolted warm start) so the voltage
+    #: escalation stage of the forward-progress guard is exercised.
+    dvs: bool = True
+    #: Warm-start undervolt below the safe point when ``dvs`` is on.
+    initial_margin: float = 0.15
+    #: Per-run wall-clock watchdog (seconds).
+    timeout_s: float = 60.0
+    #: Concurrent worker processes (0 = auto).
+    workers: int = 0
+    #: Fault drills: run_id -> "crash" | "hang" | "error".  The worker
+    #: misbehaves accordingly, proving the campaign's isolation without
+    #: waiting for a real simulator bug.
+    hooks: Dict[int, str] = field(default_factory=dict)
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return max(1, min(8, os.cpu_count() or 1))
+
+    def expand(self) -> List[Dict[str, Any]]:
+        """One payload dict per run, model mixes cycled across run IDs."""
+        unknown = [m for m in self.models if m not in MODEL_MIXES]
+        if unknown:
+            raise ValueError(
+                f"unknown fault-model mixes {unknown}; choose from {MODEL_MIXES}"
+            )
+        payloads: List[Dict[str, Any]] = []
+        for index in range(self.seeds):
+            for rate in self.rates:
+                run_id = len(payloads)
+                payload = {
+                    "run_id": run_id,
+                    "workload": self.workload,
+                    "scale": self.scale,
+                    "seed": self.first_seed + index,
+                    "rate": rate,
+                    "model": self.models[run_id % len(self.models)],
+                    "dvs": self.dvs,
+                    "initial_margin": self.initial_margin,
+                }
+                if run_id in self.hooks:
+                    payload["hook"] = self.hooks[run_id]
+                payloads.append(payload)
+        return payloads
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["rates"] = list(self.rates)
+        data["models"] = list(self.models)
+        return data
+
+
+def smoke_spec() -> CampaignSpec:
+    """Small campaign used by CI: finishes in well under a minute."""
+    return CampaignSpec(seeds=6, scale=0.3, rates=(3e-4,), timeout_s=30.0)
+
+
+@dataclass
+class RunRecord:
+    """One classified campaign run."""
+
+    run_id: int
+    seed: int
+    rate: float
+    model: str
+    workload: str
+    run_class: RunClass
+    detail: str = ""
+    #: Engine outcome value ("completed" etc.); None for crash/watchdog.
+    outcome: Optional[str] = None
+    recoveries: int = 0
+    faults_injected: int = 0
+    instructions: int = 0
+    quarantined: List[int] = field(default_factory=list)
+    #: Guard stage -> count ("shrink" / "voltage" / "fail").
+    escalations: Dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+    #: Worker traceback for ``crash`` records.
+    traceback: Optional[str] = None
+
+    @property
+    def voltage_escalations(self) -> int:
+        return self.escalations.get("voltage", 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["run_class"] = self.run_class.value
+        return data
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated, JSON-serialisable campaign outcome."""
+
+    spec: Dict[str, Any]
+    records: List[RunRecord]
+    wall_s: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {cls.value: 0 for cls in RunClass}
+        for record in self.records:
+            counts[record.run_class.value] += 1
+        return counts
+
+    @property
+    def quarantine_event_count(self) -> int:
+        return sum(len(record.quarantined) for record in self.records)
+
+    @property
+    def voltage_escalation_recoveries(self) -> int:
+        """Runs that completed *after* the guard stepped the voltage up."""
+        return sum(
+            1
+            for record in self.records
+            if record.outcome == "completed" and record.voltage_escalations > 0
+        )
+
+    @property
+    def crash_tracebacks(self) -> List[str]:
+        return [r.traceback for r in self.records if r.traceback]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "wall_s": self.wall_s,
+            "counts": self.counts,
+            "quarantine_events": self.quarantine_event_count,
+            "voltage_escalation_recoveries": self.voltage_escalation_recoveries,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def summary_table(self) -> str:
+        counts = self.counts
+        total = len(self.records) or 1
+        lines = [
+            f"campaign: {total if self.records else 0} runs in {self.wall_s:.1f} s "
+            f"({self.spec.get('workload', '?')}, rates {self.spec.get('rates')})",
+            f"  {'class':<20s} {'runs':>6s} {'share':>7s}",
+        ]
+        for cls in RunClass:
+            count = counts[cls.value]
+            lines.append(
+                f"  {cls.value:<20s} {count:>6d} {100.0 * count / total:>6.1f}%"
+            )
+        lines.append(f"  quarantine events: {self.quarantine_event_count}")
+        lines.append(
+            f"  voltage-escalation recoveries: {self.voltage_escalation_recoveries}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- worker side --
+
+
+def _build_injector(payload: Dict[str, Any], checker_count: int):
+    """Compose the run's fault models from its mix name."""
+    import numpy as np
+
+    from ..faults.injector import FaultInjector, default_injector
+    from ..faults.models import (
+        BurstFaultModel,
+        RegisterFaultModel,
+        StuckAtFaultModel,
+    )
+    from ..isa import FunctionalUnit
+
+    seed = int(payload["seed"])
+    rate = float(payload["rate"])
+    model = payload["model"]
+    if model == "transient":
+        return default_injector(rate, seed=seed, target="checker")
+    rng = np.random.default_rng(seed + 0x5EED)
+    if model == "burst":
+        # Longer, denser bursts than the model's defaults so a burst can
+        # stall one checkpoint across several retries — the scenario the
+        # guard's voltage stage exists for.
+        return FaultInjector(
+            [
+                RegisterFaultModel(rate, rng),
+                BurstFaultModel(rate, rng, burst_rate=0.08, mean_burst_ops=600.0),
+            ],
+            target="checker",
+        )
+    if model in ("stuckat", "stuckat-global"):
+        bound = seed % checker_count if model == "stuckat" else None
+        return FaultInjector(
+            [
+                RegisterFaultModel(rate, rng),
+                StuckAtFaultModel(
+                    rng,
+                    unit=FunctionalUnit.INT_ALU,
+                    bit=int(rng.integers(48)),
+                    bound_checker_id=bound,
+                ),
+            ],
+            target="checker",
+        )
+    raise ValueError(f"unknown fault-model mix {model!r}")
+
+
+def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one campaign run in-process and return a result dict.
+
+    Exposed for tests; :func:`run_campaign` always calls it inside a
+    worker process so a crash here cannot take the campaign down.
+    """
+    hook = payload.get("hook")
+    if hook == "crash":  # test hook: die without a Python traceback
+        os._exit(17)
+    if hook == "hang":  # test hook: trip the parent's watchdog
+        time.sleep(3600)
+    if hook == "error":  # test hook: unhandled worker exception
+        raise RuntimeError("campaign error hook")
+
+    from dataclasses import replace
+
+    import numpy as np
+
+    from ..cli import resolve_workload
+    from ..config import table1_config
+    from ..core.engine import EngineOptions, SimulationEngine
+    from ..lslog.segment import RollbackGranularity
+    from ..scheduling import SchedulingPolicy
+    from ..stats import RunOutcome
+    from ..workloads import golden_run
+
+    started = time.perf_counter()
+    workload = resolve_workload(payload["workload"], payload["scale"])
+    golden = golden_run(workload)
+
+    config = table1_config()
+    if payload["dvs"]:
+        # Warm-start below the safe voltage: campaigns probe the
+        # error-intensive region the production controller converges to.
+        config = replace(
+            config,
+            dvfs=replace(
+                config.dvfs, initial_difference=float(payload["initial_margin"])
+            ),
+        )
+    injector = _build_injector(payload, config.checker.count)
+    options = EngineOptions(
+        granularity=RollbackGranularity.LINE,
+        scheduling=SchedulingPolicy.LOWEST_FREE_ID,
+        adaptive_checkpoints=True,
+        dvs=bool(payload["dvs"]),
+        # No voltage->rate model: the campaign pins the requested rate so
+        # runs are comparable across the rate grid.
+        voltage_model=None,
+        resilience=ResilienceConfig(),
+    )
+    engine = SimulationEngine(
+        workload.program,
+        config,
+        options,
+        injector=injector,
+        memory=workload.create_memory(),
+        system_name="paradox-resilient",
+        rng=np.random.default_rng(int(payload["seed"])),
+    )
+    if engine.pool is not None:
+        # Lowest-free-ID scheduling starts at the pool's randomised boot
+        # offset, so rebind core-bound defects to the core that actually
+        # replays segments — a defect on a never-selected checker would
+        # be vacuously benign and test nothing.
+        for model in injector.models:
+            if model.bound_checker_id is not None:
+                model.bound_checker_id = engine.pool.boot_offset
+    result = engine.run(workload.max_instructions)
+
+    stages: Dict[str, int] = {}
+    for event in result.escalations:
+        stages[event.stage] = stages.get(event.stage, 0) + 1
+    matches = (
+        result.outcome is RunOutcome.COMPLETED
+        and engine.memory == golden.memory
+        and result.program_output == golden.output
+    )
+    return {
+        "status": "ok",
+        "outcome": result.outcome.value,
+        "matches_golden": bool(matches),
+        "recoveries": len(result.recoveries),
+        "faults_injected": result.faults_injected,
+        "instructions": result.instructions,
+        "quarantined": [event.core_id for event in result.quarantine_events],
+        "escalations": stages,
+        "failure": result.failure.summary() if result.failure else None,
+        "duration_s": time.perf_counter() - started,
+    }
+
+
+def _campaign_worker(payload: Dict[str, Any], conn) -> None:
+    """Process entry point: run one simulation, ship the result dict."""
+    try:
+        message = execute_run(payload)
+    except BaseException:
+        message = {"status": "error", "traceback": traceback.format_exc()}
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------- parent side --
+
+
+def classify_result(message: Dict[str, Any]) -> Tuple[RunClass, str]:
+    """Map a successful worker result onto the six-outcome taxonomy."""
+    outcome = message["outcome"]
+    if outcome == "livelock":
+        return RunClass.HANG, "livelock budget exhausted"
+    if outcome == "forward_progress_failure":
+        return RunClass.HANG, message.get("failure") or "forward-progress failure"
+    if not message["matches_golden"]:
+        return RunClass.SDC, "final state diverged from the golden run"
+    if message["quarantined"] or message["escalations"]:
+        parts = []
+        if message["quarantined"]:
+            cores = ", ".join(str(c) for c in message["quarantined"])
+            parts.append(f"quarantined checker(s) {cores}")
+        if message["escalations"]:
+            stages = ", ".join(
+                f"{stage} x{count}" for stage, count in message["escalations"].items()
+            )
+            parts.append(f"guard escalations: {stages}")
+        return RunClass.DEGRADED, "; ".join(parts)
+    if message["recoveries"]:
+        return RunClass.DETECTED_RECOVERED, (
+            f"{message['recoveries']} detection(s), all rolled back"
+        )
+    return RunClass.MASKED, (
+        f"{message['faults_injected']} fault(s) injected, none architecturally visible"
+    )
+
+
+def _base_record(payload: Dict[str, Any]) -> RunRecord:
+    return RunRecord(
+        run_id=payload["run_id"],
+        seed=payload["seed"],
+        rate=payload["rate"],
+        model=payload["model"],
+        workload=payload["workload"],
+        run_class=RunClass.CRASH,
+    )
+
+
+def _record_from_message(
+    payload: Dict[str, Any], message: Optional[Dict[str, Any]]
+) -> RunRecord:
+    record = _base_record(payload)
+    if message is None:
+        record.detail = "worker closed the pipe without a result"
+        return record
+    if message.get("status") != "ok":
+        record.detail = "unhandled exception in worker"
+        record.traceback = message.get("traceback")
+        return record
+    record.run_class, record.detail = classify_result(message)
+    record.outcome = message["outcome"]
+    record.recoveries = message["recoveries"]
+    record.faults_injected = message["faults_injected"]
+    record.instructions = message["instructions"]
+    record.quarantined = list(message["quarantined"])
+    record.escalations = dict(message["escalations"])
+    record.duration_s = message["duration_s"]
+    return record
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> CampaignReport:
+    """Execute every run of ``spec`` with per-run crash isolation.
+
+    Never raises on account of a run: worker deaths become ``crash``
+    records, deadline overruns become ``hang`` records.  ``progress`` is
+    invoked with each :class:`RunRecord` as it is classified.
+    """
+    started = time.perf_counter()
+    payloads = spec.expand()
+    ctx = multiprocessing.get_context()
+    records: List[Optional[RunRecord]] = [None] * len(payloads)
+    workers = spec.resolved_workers()
+    running: List[Tuple[int, Any, Any, float]] = []
+    next_index = 0
+
+    def finish(slot: int, record: RunRecord) -> None:
+        records[slot] = record
+        if progress is not None:
+            progress(record)
+
+    while next_index < len(payloads) or running:
+        while next_index < len(payloads) and len(running) < workers:
+            payload = payloads[next_index]
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_campaign_worker, args=(payload, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            running.append(
+                (next_index, process, parent_conn, time.monotonic() + spec.timeout_s)
+            )
+            next_index += 1
+
+        still_running: List[Tuple[int, Any, Any, float]] = []
+        made_progress = False
+        for slot, process, conn, deadline in running:
+            payload = payloads[slot]
+            record: Optional[RunRecord] = None
+            if conn.poll():
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    message = None
+                process.join(timeout=5.0)
+                if process.is_alive():  # sent a result but refuses to exit
+                    process.terminate()
+                    process.join(timeout=5.0)
+                record = _record_from_message(payload, message)
+                if message is None:  # EOF: the worker died mid-run
+                    record.detail = (
+                        f"worker died with exit code {process.exitcode}"
+                    )
+            elif not process.is_alive():
+                process.join()
+                record = _base_record(payload)
+                record.detail = f"worker died with exit code {process.exitcode}"
+            elif time.monotonic() >= deadline:
+                process.terminate()
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+                record = _base_record(payload)
+                record.run_class = RunClass.HANG
+                record.detail = f"watchdog timeout after {spec.timeout_s:.0f} s"
+            if record is None:
+                still_running.append((slot, process, conn, deadline))
+            else:
+                conn.close()
+                finish(slot, record)
+                made_progress = True
+        running = still_running
+        if running and not made_progress:
+            time.sleep(0.02)
+
+    final = [record for record in records if record is not None]
+    return CampaignReport(
+        spec=spec.to_dict(), records=final, wall_s=time.perf_counter() - started
+    )

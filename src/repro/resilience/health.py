@@ -1,0 +1,114 @@
+"""Checker health tracking and quarantine.
+
+With error injection "restricted to the checker cores only", a detection
+means *either* the main core or the checker diverged — the channels
+cannot tell which.  Re-execution disambiguates after the fact: when the
+rolled-back region re-runs and a *different* checker passes it clean,
+the main core has been vindicated and the original detection was a
+checker-side fault.  Transient checker faults scatter vindications
+thinly across the pool; a checker with a permanent defect concentrates
+them, and after :attr:`ResilienceConfig.quarantine_vindications` of them
+it is quarantined: the scheduler stops selecting it and its segments
+redistribute across the survivors.  A shrunken pool naturally shows up
+in timing (more checker-wait stalls) and in the wake-rate statistics.
+
+A retry that *also* fails on the second checker instead absolves the
+first — the fault followed the work, so it lives in the main core or the
+log, not in the checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class QuarantineEvent:
+    """One checker core pulled from service."""
+
+    core_id: int
+    at_ns: float
+    #: Vindicated false detections that triggered the quarantine.
+    vindications: int
+    #: Total detections the core had reported by then.
+    detections: int
+
+
+@dataclass
+class CheckerHealth:
+    """Per-core counters feeding the quarantine decision."""
+
+    detections: int = 0
+    clean_checks: int = 0
+    #: Detections later proven false by a clean re-run elsewhere.
+    vindications: int = 0
+    #: Detections later confirmed (the retry failed elsewhere too).
+    absolved: int = 0
+    quarantined: bool = False
+
+
+class CheckerHealthTracker:
+    """Attributes detections to checkers and quarantines repeat offenders."""
+
+    def __init__(self, core_count: int, quarantine_vindications: int = 3) -> None:
+        if core_count < 1:
+            raise ValueError("need at least one checker core")
+        self.core_count = core_count
+        self.quarantine_vindications = quarantine_vindications
+        self.health: Dict[int, CheckerHealth] = {
+            core_id: CheckerHealth() for core_id in range(core_count)
+        }
+        self.events: List[QuarantineEvent] = []
+
+    # -- queries -----------------------------------------------------------------
+    def is_quarantined(self, core_id: int) -> bool:
+        return self.health[core_id].quarantined
+
+    @property
+    def quarantined(self) -> Set[int]:
+        return {cid for cid, h in self.health.items() if h.quarantined}
+
+    @property
+    def active_count(self) -> int:
+        return self.core_count - len(self.quarantined)
+
+    # -- recording ---------------------------------------------------------------
+    def record_detection(self, core_id: int) -> None:
+        self.health[core_id].detections += 1
+
+    def record_clean(self, core_id: int) -> None:
+        self.health[core_id].clean_checks += 1
+
+    def record_absolution(self, core_id: int) -> None:
+        """The retry failed elsewhere too: the detection was genuine."""
+        health = self.health[core_id]
+        health.absolved += 1
+        # A confirmed detection outweighs past suspicion: reset the
+        # vindication count so an honest checker near the threshold is
+        # not quarantined for doing its job during a main-core storm.
+        health.vindications = 0
+
+    def record_vindication(self, core_id: int, at_ns: float) -> "QuarantineEvent | None":
+        """A clean re-run elsewhere proved this core's detection false.
+
+        Returns the quarantine event if this vindication crossed the
+        threshold (never quarantines the last healthy core).
+        """
+        health = self.health[core_id]
+        health.vindications += 1
+        if health.quarantined:
+            return None
+        if health.vindications < self.quarantine_vindications:
+            return None
+        if self.active_count <= 1:
+            return None  # someone has to keep checking
+        health.quarantined = True
+        event = QuarantineEvent(
+            core_id=core_id,
+            at_ns=at_ns,
+            vindications=health.vindications,
+            detections=health.detections,
+        )
+        self.events.append(event)
+        return event

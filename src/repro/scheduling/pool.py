@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 from ..cores.checker_core import CheckerCore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.health import CheckerHealthTracker
 
 
 class SchedulingPolicy(enum.Enum):
@@ -45,6 +48,7 @@ class CheckerPool:
         cores: Sequence[CheckerCore],
         policy: SchedulingPolicy,
         boot_offset: int = 0,
+        health: Optional["CheckerHealthTracker"] = None,
     ) -> None:
         if not cores:
             raise ValueError("a checker pool needs at least one core")
@@ -52,6 +56,10 @@ class CheckerPool:
         self.policy = policy
         #: Random rotation of core IDs applied at boot (anti-ageing).
         self.boot_offset = boot_offset % len(self.cores)
+        #: Optional health tracker: quarantined cores are never selected,
+        #: so their segments redistribute across the survivors (degraded
+        #: pool throughput shows up as checker-wait stalls).
+        self.health = health
         self._rr_pointer = 0
         self.dispatches: List[DispatchRecord] = []
         #: ID (physical index) of the previously allocated core, stored at
@@ -66,38 +74,67 @@ class CheckerPool:
         n = len(self.cores)
         return [(self.boot_offset + i) % n for i in range(n)]
 
+    def _eligible(self, avoid: Optional[Set[int]]) -> List[CheckerCore]:
+        """Cores that may take new work: healthy and not in ``avoid``.
+
+        ``avoid`` holds cores suspected by an in-flight retry (so the
+        re-check lands on different hardware).  If filtering would empty
+        the pool, the constraint is dropped rather than deadlocking.
+        """
+        cores = self.cores
+        if self.health is not None:
+            healthy = [c for c in cores if not self.health.is_quarantined(c.core_id)]
+            if healthy:
+                cores = healthy
+        if avoid:
+            preferred = [c for c in cores if c.core_id not in avoid]
+            if preferred:
+                cores = preferred
+        return cores
+
     def earliest_free_ns(self) -> float:
         """Wall time at which at least one core is free."""
-        return min(core.busy_until_ns for core in self.cores)
+        return min(core.busy_until_ns for core in self._eligible(None))
 
-    def select(self, now_ns: float) -> Tuple[CheckerCore, float]:
+    def select(
+        self, now_ns: float, avoid: Optional[Set[int]] = None
+    ) -> Tuple[CheckerCore, float]:
         """Pick a core per policy; returns ``(core, start_ns)``.
 
         ``start_ns`` is ``now_ns`` if the chosen core is free, otherwise
         the time the main core must wait for ("if all checkers are busy
         ... the main core has to wait for a checker to finish").
         """
+        eligible = self._eligible(avoid)
         if self.policy is SchedulingPolicy.ROUND_ROBIN:
-            return self._select_round_robin(now_ns)
-        return self._select_lowest_free(now_ns)
+            return self._select_round_robin(now_ns, eligible)
+        return self._select_lowest_free(now_ns, eligible)
 
-    def _select_round_robin(self, now_ns: float) -> Tuple[CheckerCore, float]:
+    def _select_round_robin(
+        self, now_ns: float, eligible: List[CheckerCore]
+    ) -> Tuple[CheckerCore, float]:
         n = len(self.cores)
+        allowed = {core.core_id for core in eligible}
         for probe in range(n):
             core = self.cores[(self._rr_pointer + probe) % n]
-            if core.busy_until_ns <= now_ns:
+            if core.core_id in allowed and core.busy_until_ns <= now_ns:
                 self._rr_pointer = (core.core_id + 1) % n
                 return core, now_ns
-        core = min(self.cores, key=lambda c: c.busy_until_ns)
+        core = min(eligible, key=lambda c: c.busy_until_ns)
         self._rr_pointer = (core.core_id + 1) % n
         return core, core.busy_until_ns
 
-    def _select_lowest_free(self, now_ns: float) -> Tuple[CheckerCore, float]:
+    def _select_lowest_free(
+        self, now_ns: float, eligible: List[CheckerCore]
+    ) -> Tuple[CheckerCore, float]:
+        allowed = {core.core_id for core in eligible}
         for core_id in self._logical_order():
+            if core_id not in allowed:
+                continue
             core = self.cores[core_id]
             if core.busy_until_ns <= now_ns:
                 return core, now_ns
-        core = min(self.cores, key=lambda c: c.busy_until_ns)
+        core = min(eligible, key=lambda c: c.busy_until_ns)
         return core, core.busy_until_ns
 
     # -- dispatch ------------------------------------------------------------------

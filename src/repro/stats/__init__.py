@@ -1,6 +1,6 @@
 """Statistics records shared by the simulation engine and experiments."""
 
-from .run_stats import RecoveryEvent, RunResult, StallBreakdown
+from .run_stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown
 from .timeline import (
     EventKind,
     Timeline,
@@ -12,6 +12,7 @@ from .timeline import (
 __all__ = [
     "EventKind",
     "RecoveryEvent",
+    "RunOutcome",
     "RunResult",
     "StallBreakdown",
     "Timeline",

@@ -9,11 +9,32 @@ the power model needs (figure 13).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..lslog.detection import DetectionChannel
 from ..lslog.segment import SegmentCloseReason
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..resilience.guard import EscalationEvent, ForwardProgressDiagnostics
+    from ..resilience.health import QuarantineEvent
+
+
+class RunOutcome(enum.Enum):
+    """How a simulated run ended — explicit, so callers stop inferring
+    failure from instruction counts."""
+
+    #: The program ran to completion (possibly after many recoveries).
+    COMPLETED = "completed"
+    #: Execution exceeded the livelock budget — either no forward-progress
+    #: guard was configured (legacy behaviour), or waste accumulated across
+    #: many checkpoints without any single one storming long enough to
+    #: trigger escalation.
+    LIVELOCK = "livelock"
+    #: The forward-progress guard escalated to the safe voltage and the
+    #: fault persisted: a typed failure with diagnostics attached.
+    FORWARD_PROGRESS_FAILURE = "forward_progress_failure"
 
 
 @dataclass
@@ -89,8 +110,17 @@ class RunResult:
     #: Mean checkpoint length in instructions.
     mean_checkpoint_length: float = 0.0
     final_checkpoint_target: int = 0
+    #: How the run ended; COMPLETED unless the engine aborted.
+    outcome: RunOutcome = RunOutcome.COMPLETED
+    #: Diagnostics attached when ``outcome`` is FORWARD_PROGRESS_FAILURE.
+    failure: Optional["ForwardProgressDiagnostics"] = None
+    #: Checker cores pulled from service by the health tracker.
+    quarantine_events: List["QuarantineEvent"] = field(default_factory=list)
+    #: Forward-progress guard actions (shrink / voltage / fail stages).
+    escalations: List["EscalationEvent"] = field(default_factory=list)
     #: True when the run was abandoned because recovery stopped making
     #: progress (executed instructions exceeded the livelock budget).
+    #: Kept in sync with ``outcome`` for backwards compatibility.
     livelocked: bool = False
     #: Externally visible writes (WRITE_EXTERNAL syscalls) performed,
     #: each after draining all outstanding checks: (wall_ns, text).
@@ -155,4 +185,20 @@ class RunResult:
             )
         if self.voltage_trace:
             lines.append(f"  mean voltage: {self.mean_voltage:.3f} V")
+        if self.outcome is not RunOutcome.COMPLETED:
+            detail = f"  outcome: {self.outcome.value}"
+            if self.failure is not None:
+                detail += f" ({self.failure.summary()})"
+            lines.append(detail)
+        if self.quarantine_events:
+            quarantined = ", ".join(str(e.core_id) for e in self.quarantine_events)
+            lines.append(f"  quarantined checkers: {quarantined}")
+        if self.escalations:
+            stages = {}
+            for event in self.escalations:
+                stages[event.stage] = stages.get(event.stage, 0) + 1
+            lines.append(
+                "  escalations: "
+                + ", ".join(f"{stage} x{count}" for stage, count in stages.items())
+            )
         return "\n".join(lines)

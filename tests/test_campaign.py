@@ -1,0 +1,171 @@
+"""Campaign runner: classification, crash isolation, watchdog, report."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser
+from repro.resilience import CampaignSpec, RunClass, run_campaign, smoke_spec
+from repro.resilience.campaign import classify_result, execute_run
+
+
+def ok_message(**overrides):
+    message = {
+        "status": "ok",
+        "outcome": "completed",
+        "matches_golden": True,
+        "recoveries": 0,
+        "faults_injected": 0,
+        "instructions": 1000,
+        "quarantined": [],
+        "escalations": {},
+        "failure": None,
+        "duration_s": 0.1,
+    }
+    message.update(overrides)
+    return message
+
+
+class TestClassification:
+    def test_masked(self):
+        cls, _ = classify_result(ok_message(faults_injected=3))
+        assert cls is RunClass.MASKED
+
+    def test_detected_recovered(self):
+        cls, _ = classify_result(ok_message(recoveries=2, faults_injected=2))
+        assert cls is RunClass.DETECTED_RECOVERED
+
+    def test_degraded_by_quarantine(self):
+        cls, detail = classify_result(ok_message(recoveries=3, quarantined=[4]))
+        assert cls is RunClass.DEGRADED
+        assert "4" in detail
+
+    def test_degraded_by_escalation(self):
+        cls, _ = classify_result(
+            ok_message(recoveries=9, escalations={"shrink": 1, "voltage": 2})
+        )
+        assert cls is RunClass.DEGRADED
+
+    def test_sdc(self):
+        cls, _ = classify_result(ok_message(matches_golden=False))
+        assert cls is RunClass.SDC
+
+    def test_livelock_and_fpf_are_hangs(self):
+        cls, _ = classify_result(ok_message(outcome="livelock"))
+        assert cls is RunClass.HANG
+        cls, detail = classify_result(
+            ok_message(
+                outcome="forward_progress_failure", failure="stuck-at bit 3"
+            )
+        )
+        assert cls is RunClass.HANG
+        assert "stuck-at" in detail
+
+    def test_sdc_outranks_degraded(self):
+        cls, _ = classify_result(
+            ok_message(matches_golden=False, quarantined=[1])
+        )
+        assert cls is RunClass.SDC
+
+
+class TestSpec:
+    def test_expand_cycles_models_over_runs(self):
+        spec = CampaignSpec(seeds=4, rates=(1e-4, 1e-3), models=("transient", "burst"))
+        payloads = spec.expand()
+        assert len(payloads) == 8
+        assert [p["model"] for p in payloads[:4]] == [
+            "transient", "burst", "transient", "burst",
+        ]
+        assert [p["run_id"] for p in payloads] == list(range(8))
+
+    def test_expand_rejects_unknown_models(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(models=("cosmic-ray",)).expand()
+
+    def test_smoke_spec_is_small(self):
+        spec = smoke_spec()
+        assert len(spec.expand()) <= 12
+
+
+class TestExecuteRun:
+    def test_single_run_in_process(self):
+        result = execute_run(
+            {
+                "run_id": 0,
+                "workload": "bitcount",
+                "scale": 0.2,
+                "seed": 1,
+                "rate": 1e-4,
+                "model": "transient",
+                "dvs": False,
+                "initial_margin": 0.15,
+            }
+        )
+        assert result["status"] == "ok"
+        assert result["outcome"] in (
+            "completed", "livelock", "forward_progress_failure",
+        )
+
+
+class TestIsolation:
+    def test_crash_hang_and_error_workers_are_contained(self):
+        spec = CampaignSpec(
+            seeds=3,
+            scale=0.2,
+            models=("transient",),
+            workers=3,
+            timeout_s=5.0,
+            hooks={0: "crash", 1: "error", 2: "hang"},
+        )
+        report = run_campaign(spec)
+        by_id = {r.run_id: r for r in report.records}
+        assert len(by_id) == 3
+        assert by_id[0].run_class is RunClass.CRASH
+        assert "exit code" in by_id[0].detail
+        assert by_id[1].run_class is RunClass.CRASH
+        assert "campaign error hook" in (by_id[1].traceback or "")
+        assert by_id[2].run_class is RunClass.HANG
+        assert "watchdog" in by_id[2].detail
+
+
+class TestEndToEnd:
+    def test_small_campaign_classifies_every_run(self, tmp_path):
+        spec = CampaignSpec(
+            seeds=4,
+            scale=0.2,
+            rates=(3e-4,),
+            models=("transient", "stuckat"),
+            timeout_s=60.0,
+            workers=4,
+        )
+        seen = []
+        report = run_campaign(spec, progress=seen.append)
+        assert len(report.records) == 4
+        assert len(seen) == 4
+        assert sum(report.counts.values()) == 4
+        assert report.counts[RunClass.CRASH.value] == 0
+        # The report round-trips through JSON.
+        path = tmp_path / "report.json"
+        report.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert len(data["records"]) == 4
+        assert set(data["counts"]) == {cls.value for cls in RunClass}
+        assert report.summary_table()
+
+
+class TestCli:
+    def test_campaign_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--smoke", "--json", "out.json", "--quiet"]
+        )
+        assert args.smoke and args.json == "out.json"
+        args = parser.parse_args(
+            ["campaign", "--seeds", "200", "--rate", "1e-4", "--models", "burst"]
+        )
+        assert args.seeds == 200 and args.rate == [1e-4]
+
+    def test_run_resilient_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "bitcount", "--resilient"])
+        assert args.resilient
