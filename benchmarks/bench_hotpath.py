@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Hot-path benchmark harness.
+
+Measures the three numbers the performance work is steered by and writes
+them to a ``BENCH_*.json`` file (see ``docs/PERFORMANCE.md`` for how to
+read one):
+
+* ``executor`` — functional-execution throughput (instructions/second of
+  the bare :class:`repro.isa.executor.Executor` step loop, via a golden
+  run);
+* ``engine`` — full protected-simulation throughput (useful
+  instructions/second of a ParaDox run, which exercises the executor,
+  the main-core timing model, the log and the checker pool together);
+* ``suite`` — wall-clock of the SPEC-proxy suite, serial versus
+  ``--jobs N`` process fan-out, and the resulting speedup.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick   # CI smoke
+
+The harness deliberately uses only public entry points so the same file
+can benchmark any revision of the simulator (the ``--jobs`` fan-out is
+skipped gracefully on revisions that predate it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_executor(iterations: int, repeats: int) -> Dict[str, Any]:
+    """Bare functional-execution throughput (no timing model, no checkers)."""
+    from repro.workloads import build_spec_workload, golden_run
+
+    workload = build_spec_workload("bzip2", iterations=iterations)
+    golden = golden_run(workload)  # warm-up + instruction count
+    seconds = _best_of(lambda: golden_run(workload), repeats)
+    return {
+        "workload": "bzip2",
+        "iterations": iterations,
+        "instructions": golden.instructions,
+        "seconds": round(seconds, 4),
+        "instr_per_sec": round(golden.instructions / seconds, 1),
+    }
+
+
+def bench_engine(iterations: int, repeats: int) -> Dict[str, Any]:
+    """Full protected run: executor + OoO timing + log + checker pool."""
+    from repro.core import ParaDoxSystem
+    from repro.workloads import build_spec_workload
+
+    workload = build_spec_workload("milc", iterations=iterations)
+    system = ParaDoxSystem()
+    result = system.run(workload, seed=12345)  # warm-up + instruction count
+    seconds = _best_of(lambda: system.run(workload, seed=12345), repeats)
+    return {
+        "workload": "milc",
+        "iterations": iterations,
+        "instructions": result.instructions,
+        "seconds": round(seconds, 4),
+        "instr_per_sec": round(result.instructions / seconds, 1),
+    }
+
+
+def bench_suite(
+    iterations: int, names: Optional[Sequence[str]], jobs: int
+) -> Dict[str, Any]:
+    """SPEC-proxy suite wall-clock: serial vs ``jobs``-way process fan-out."""
+    from repro.experiments.spec_runs import run_spec_suite
+
+    started = time.perf_counter()
+    serial = run_spec_suite(iterations=iterations, names=names)
+    serial_s = time.perf_counter() - started
+
+    entry: Dict[str, Any] = {
+        "iterations": iterations,
+        "workloads": len(serial.baseline),
+        "systems": 4,
+        "serial_s": round(serial_s, 3),
+    }
+    try:
+        started = time.perf_counter()
+        parallel = run_spec_suite(iterations=iterations, names=names, jobs=jobs)
+        parallel_s = time.perf_counter() - started
+    except TypeError:  # revision without the parallel execution layer
+        entry["parallel_s"] = None
+        entry["jobs"] = jobs
+        return entry
+    identical = all(
+        serial.paradox[name].wall_ns == parallel.paradox[name].wall_ns
+        and serial.paradox[name].instructions == parallel.paradox[name].instructions
+        and len(serial.paradox[name].recoveries)
+        == len(parallel.paradox[name].recoveries)
+        for name in serial.names()
+    )
+    entry.update(
+        {
+            "jobs": jobs,
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3),
+            "identical": identical,
+        }
+    )
+    return entry
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR2.json", help="output JSON path")
+    parser.add_argument("--jobs", type=int, default=4, help="fan-out width for the suite benchmark")
+    parser.add_argument("--iterations", type=int, default=12, help="workload iterations per run")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--suite-names",
+        default="bzip2,gcc,milc,gobmk,sjeng,lbm",
+        help="comma list of SPEC proxies for the suite benchmark ('all' = full 19)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizing: tiny workloads, one repeat",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label recorded in the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.iterations = min(args.iterations, 4)
+        args.repeats = 1
+        args.suite_names = "bzip2,milc"
+
+    names: Optional[List[str]]
+    if args.suite_names == "all":
+        names = None
+    else:
+        names = [name.strip() for name in args.suite_names.split(",") if name.strip()]
+
+    report: Dict[str, Any] = {
+        "label": args.label,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+    }
+    print("benchmarking executor ...", flush=True)
+    report["executor"] = bench_executor(args.iterations, args.repeats)
+    print(f"  {report['executor']['instr_per_sec']:.0f} instr/s", flush=True)
+    print("benchmarking engine ...", flush=True)
+    report["engine"] = bench_engine(args.iterations, args.repeats)
+    print(f"  {report['engine']['instr_per_sec']:.0f} instr/s", flush=True)
+    print(f"benchmarking suite (serial vs --jobs {args.jobs}) ...", flush=True)
+    report["suite"] = bench_suite(args.iterations, names, args.jobs)
+    suite = report["suite"]
+    print(f"  serial {suite['serial_s']:.2f}s", flush=True)
+    if suite.get("parallel_s"):
+        print(
+            f"  --jobs {suite['jobs']} {suite['parallel_s']:.2f}s "
+            f"(speedup {suite['speedup']:.2f}x, "
+            f"identical={suite['identical']})",
+            flush=True,
+        )
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Commands:
 * ``campaign`` — crash-isolated fault-injection campaign: seeds x rates
   x fault models over worker processes, six-outcome classification and a
   JSON report (``--smoke`` for the CI-sized variant).
+* ``suite`` — the shared SPEC-proxy suite behind figures 10/12/13, with
+  ``--jobs N`` sharding independent runs over worker processes
+  (bit-identical to ``--jobs 1``).
 """
 
 from __future__ import annotations
@@ -159,6 +162,71 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if crashes else 0
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .experiments.spec_runs import run_spec_suite
+
+    names = args.workloads.split(",") if args.workloads else None
+    if names:
+        unknown = [name for name in names if name not in SPEC_ORDER]
+        if unknown:
+            raise SystemExit(
+                f"unknown SPEC proxies {unknown}; choose from {list(SPEC_ORDER)}"
+            )
+    systems = tuple(args.systems.split(","))
+    started = time.perf_counter()
+    try:
+        runs = run_spec_suite(
+            iterations=args.iterations,
+            names=names,
+            seed=args.seed,
+            systems=systems,
+            jobs=args.jobs,
+        )
+    except ValueError as error:  # e.g. an unknown --systems entry
+        raise SystemExit(str(error))
+    wall_s = time.perf_counter() - started
+
+    header = f"{'workload':>12s}" + "".join(f"{s:>12s}" for s in systems)
+    print(header)
+    for name in runs.names():
+        cells = "".join(
+            f"{runs.by_system(system)[name].wall_ns / 1e3:12.2f}"
+            for system in systems
+        )
+        print(f"{name:>12s}{cells}")
+    print(
+        f"{len(runs.names()) * len(systems)} runs in {wall_s:.2f} s "
+        f"(jobs={args.jobs})"
+    )
+    if args.json:
+        payload = {
+            "iterations": args.iterations,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "wall_s": wall_s,
+            "systems": list(systems),
+            "runs": {
+                name: {
+                    system: {
+                        "wall_ns": runs.by_system(system)[name].wall_ns,
+                        "instructions": runs.by_system(system)[name].instructions,
+                        "recoveries": len(runs.by_system(system)[name].recoveries),
+                    }
+                    for system in systems
+                }
+                for name in runs.names()
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import fig08, fig09, fig10, fig11, fig12, fig13, sec6e
 
@@ -244,6 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="CI-sized campaign (overrides the grid flags)"
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    suite = sub.add_parser(
+        "suite", help="run the shared SPEC-proxy suite (figures 10/12/13)"
+    )
+    suite.add_argument("--iterations", type=int, default=30)
+    suite.add_argument("--seed", type=int, default=12345)
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = auto); results are "
+        "bit-identical at any width",
+    )
+    suite.add_argument(
+        "--workloads",
+        help="comma list of SPEC proxies (default: all nineteen)",
+    )
+    suite.add_argument(
+        "--systems",
+        default="baseline,detection,paramedic,paradox",
+        help="comma list of systems to simulate",
+    )
+    suite.add_argument("--json", help="write per-run wall times to this path")
+    suite.set_defaults(func=cmd_suite)
 
     return parser
 

@@ -67,7 +67,7 @@ from ..resilience.guard import (
 )
 from ..resilience.health import CheckerHealthTracker
 from ..scheduling import CheckerPool, DispatchRecord, SchedulingPolicy
-from ..stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown
+from ..stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown, StallBucket
 from ..stats.timeline import EventKind, Timeline
 
 
@@ -140,7 +140,9 @@ class SimulationEngine:
         self.state = ArchState()
         self.hierarchy = MemoryHierarchy(config)
         self.predictor = TournamentPredictor(config.branch_predictor)
-        self.timing = MainCoreTiming(config.main_core, self.hierarchy, self.predictor)
+        self.timing = MainCoreTiming(
+            config.main_core, self.hierarchy, self.predictor, program=program
+        )
         self.tracker = UncheckedLineTracker(config.memory.l1d)
         self.port = MainMemoryPort(self.memory, self.tracker, options.granularity)
         self.executor = Executor(program, self.state, self.port)
@@ -203,6 +205,10 @@ class SimulationEngine:
         self._segment: Optional[LogSegment] = None
         self._segment_start_wall: Dict[int, float] = {}
         self._pending: List[PendingCheck] = []
+        #: How many entries of ``_pending`` carry a detection.  Kept in
+        #: sync at dispatch and squash so the per-instruction detection
+        #: poll in the fill loop is a counter test, not a list scan.
+        self._pending_detected = 0
         self._last_commit_ns = 0.0
         self._checkpoint_lengths: List[int] = []
         #: (checkpoint instret, checker id) of the last detection, pending
@@ -228,6 +234,15 @@ class SimulationEngine:
         self.timeline: Optional[Timeline] = (
             Timeline() if options.record_timeline else None
         )
+        #: PCs of externally visible syscalls, precomputed so the fill
+        #: loop's per-instruction "is the next instruction external?"
+        #: test is one set-membership probe.
+        self._external_pcs = frozenset(
+            pc
+            for pc, instruction in enumerate(program.instructions)
+            if instruction.opcode is Opcode.SYSCALL
+            and instruction.imm in EXTERNAL_SYSCALLS
+        )
 
     # ------------------------------------------------------------------ time --
     @property
@@ -246,20 +261,20 @@ class SimulationEngine:
         self._frequency_hz = frequency_hz
         self._cycle_ns = 1e9 / frequency_hz
 
-    def _stall_to_wall(self, target_ns: float, bucket: str) -> None:
-        """Stall the main core until wall time ``target_ns``."""
+    def _stall_to_wall(self, target_ns: float, bucket: StallBucket) -> None:
+        """Stall the main core until wall time ``target_ns``.
+
+        ``bucket`` is a :class:`StallBucket`, not a string: every stall
+        lands in a named field of :attr:`stalls` (so ``total_ns`` is
+        total by construction), and an unknown bucket raises instead of
+        silently dropping time.
+        """
         now = self.wall_ns
         if target_ns <= now:
             return
         cycles = self._ns_to_cycles(target_ns - now)
         self.timing.stall_until(self.timing.now + cycles)
-        delta = target_ns - now
-        if bucket == "checker":
-            self.stalls.checker_wait_ns += delta
-        elif bucket == "conflict":
-            self.stalls.conflict_ns += delta
-        elif bucket == "rollback":
-            self.stalls.rollback_ns += delta
+        self.stalls.add(bucket, target_ns - now)
 
     # ------------------------------------------------------------- segments --
     def _open_segment(self, start_state: ArchState) -> None:
@@ -346,7 +361,7 @@ class SimulationEngine:
         avoid = {suspect[1]} if retrying else None
         core, start_ns = pool.select(self.wall_ns, avoid=avoid)
         if start_ns > self.wall_ns:
-            self._stall_to_wall(start_ns, "checker")
+            self._stall_to_wall(start_ns, StallBucket.CHECKER_WAIT)
         start_ns = max(start_ns, self.wall_ns)
         segment.checker_id = core.core_id
 
@@ -371,6 +386,8 @@ class SimulationEngine:
         self._pending.append(
             PendingCheck(segment, record, result, start_ns + duration_ns)
         )
+        if result.detected:
+            self._pending_detected += 1
         if self.timeline is not None:
             self.timeline.record(
                 start_ns,
@@ -404,6 +421,8 @@ class SimulationEngine:
 
     # -------------------------------------------------- commits & detections --
     def _next_detection(self) -> Optional[PendingCheck]:
+        if not self._pending_detected:
+            return None
         candidates = [p for p in self._pending if p.result.detected]
         if not candidates:
             return None
@@ -459,6 +478,7 @@ class SimulationEngine:
             if self.pool is not None:
                 self.pool.abort(squashed.record, now)
         self._pending = keep
+        self._pending_detected = sum(1 for p in keep if p.result.detected)
 
         # Restore architectural and tracker state.
         useful_before = self.state.instret
@@ -468,7 +488,7 @@ class SimulationEngine:
 
         # Account time: detection point, then the rollback walk.
         wasted_ns = now - self._segment_start_wall.get(faulty.seq, now)
-        self._stall_to_wall(now + rollback_ns, "rollback")
+        self._stall_to_wall(now + rollback_ns, StallBucket.ROLLBACK)
 
         self.recoveries.append(
             RecoveryEvent(
@@ -552,11 +572,11 @@ class SimulationEngine:
             head = self._pending[0]
             head_effective = max(head.end_ns, self._last_commit_ns)
             if detection is not None and detection.end_ns <= head_effective:
-                self._stall_to_wall(detection.end_ns, "checker")
+                self._stall_to_wall(detection.end_ns, StallBucket.CHECKER_WAIT)
                 self._handle_detection(detection)
                 self._trap_retries = 0
                 return
-            self._stall_to_wall(head_effective, "checker")
+            self._stall_to_wall(head_effective, StallBucket.CHECKER_WAIT)
             self._process_commits(head_effective)
         # No outstanding checks: the corruption is local to this segment.
         self._trap_retries += 1
@@ -570,6 +590,36 @@ class SimulationEngine:
                 f"recovery possible (deterministic bug?): {trap!r}"
             ) from trap
         filler = self._segment
+        if filler is None:
+            # The trap landed between a segment close and the next open
+            # (no filling segment): nothing was logged, so there is
+            # nothing to roll back.  Record a zero-cost recovery and
+            # restart filling from the current architectural state.
+            now = self.wall_ns
+            self.recoveries.append(
+                RecoveryEvent(
+                    segment_seq=self._next_seq,
+                    channel=DetectionChannel.MAIN_TRAP,
+                    detect_ns=now,
+                    wasted_execution_ns=0.0,
+                    rollback_ns=0.0,
+                    rollback_entries=0,
+                    segments_rolled_back=0,
+                )
+            )
+            self._dvfs_checkpoint(error=True)
+            if self.guard is not None:
+                try:
+                    self.guard.on_rollback(
+                        self.state.instret,
+                        self.wall_ns,
+                        channel=DetectionChannel.MAIN_TRAP.value,
+                    )
+                finally:
+                    self._sync_dvfs_outputs()
+            self._external_verified = False
+            self._open_segment(self.state.snapshot())
+            return
         rollback = rollback_memory(self.memory, [filler] if filler.store_count else [])
         rollback_ns = rollback.cycles * self._cycle_ns
         now = self.wall_ns
@@ -577,7 +627,7 @@ class SimulationEngine:
         self.state.restore(filler.start_state)
         self.tracker.drop_after(filler.seq - 1)
         self.timing.discard_inflight()
-        self._stall_to_wall(now + rollback_ns, "rollback")
+        self._stall_to_wall(now + rollback_ns, StallBucket.ROLLBACK)
         self.recoveries.append(
             RecoveryEvent(
                 segment_seq=filler.seq,
@@ -692,12 +742,18 @@ class SimulationEngine:
         state = self.state
         # Bypass the logging port entirely.
         self.executor.port = self.memory
+        # Hot loop: bind the per-instruction callees once.
+        step = self.executor.step
+        commit = self.timing.commit
+        unit_mix = self._unit_mix
+        executed = 0
         while not state.halted and state.instret < max_instructions:
-            info = self.executor.step()
-            self._executed_total += 1
-            self.timing.commit(info)
+            info = step()
+            executed += 1
+            commit(info)
             unit_name = info.instruction.unit.value
-            self._unit_mix[unit_name] = self._unit_mix.get(unit_name, 0) + 1
+            unit_mix[unit_name] = unit_mix.get(unit_name, 0) + 1
+        self._executed_total += executed
         return RunResult(
             system=self.system_name,
             workload=self.program.name,
@@ -714,13 +770,22 @@ class SimulationEngine:
         """Execute main-core instructions until halt or budget."""
         state = self.state
         segment_target = self.length_controller.target
+        # Hot loop: bind per-instruction callees and constants once.
+        # (self.executor and self.timing are never rebound while the
+        # protected path runs; self._unit_mix is mutated, not replaced.)
+        step = self.executor.step
+        commit = self.timing.commit
+        unit_mix = self._unit_mix
+        external_pcs = self._external_pcs
+        injector = self.injector
+        main_injection = injector is not None and injector.target == "main"
         while not state.halted and state.instret < max_instructions:
             if self._executed_total >= livelock_budget:
                 raise LivelockError(
                     f"{self._executed_total} instructions executed for only "
                     f"{state.instret} useful — recovery livelock"
                 )
-            if not self._external_verified and self._next_is_external():
+            if not self._external_verified and state.pc in external_pcs:
                 # External state escapes the rollback domain: close the
                 # current segment and block until every outstanding check
                 # has committed clean before letting the write proceed.
@@ -731,7 +796,7 @@ class SimulationEngine:
                     continue  # a detection rolled us back; retry
                 self._external_verified = True
             try:
-                info = self.executor.step()
+                info = step()
             except SegmentFull:
                 self._close_segment(SegmentCloseReason.LOG_CAPACITY)
                 segment_target = self.length_controller.target
@@ -748,13 +813,12 @@ class SimulationEngine:
                 continue
 
             self._executed_total += 1
-            self.timing.commit(info)
-            unit_name = info.instruction.unit.value
-            self._unit_mix[unit_name] = self._unit_mix.get(unit_name, 0) + 1
+            commit(info)
+            unit = info.instruction.unit
+            unit_name = unit.value
+            unit_mix[unit_name] = unit_mix.get(unit_name, 0) + 1
             segment = self._segment
-            segment.record_instruction(
-                info.instruction.unit, writes_register=info.dest is not None
-            )
+            segment.record_instruction(unit, writes_register=info.dest is not None)
             if self._external_verified:
                 # The external write just executed, *buffered*.  It is
                 # released to the outside world only once its own segment
@@ -773,16 +837,17 @@ class SimulationEngine:
                     )
                 segment_target = self.length_controller.target
                 continue
-            if self.injector is not None and self.injector.target == "main":
-                self.injector.after_instruction(state, info, segment.instruction_count)
+            if main_injection:
+                injector.after_instruction(state, info, segment.instruction_count)
 
             # Detections interrupt execution as soon as the main core's
             # wall clock passes the detection point.
-            detection = self._next_detection()
-            if detection is not None and detection.end_ns <= self.wall_ns:
-                self._handle_detection(detection)
-                segment_target = self.length_controller.target
-                continue
+            if self._pending_detected:
+                detection = self._next_detection()
+                if detection is not None and detection.end_ns <= self.wall_ns:
+                    self._handle_detection(detection)
+                    segment_target = self.length_controller.target
+                    continue
 
             if state.halted:
                 break
@@ -806,26 +871,19 @@ class SimulationEngine:
             if detection is not None and (
                 head_effective is None or detection.end_ns <= head_effective
             ):
-                self._stall_to_wall(detection.end_ns, "conflict")
+                self._stall_to_wall(detection.end_ns, StallBucket.CONFLICT)
                 self._handle_detection(detection)
                 return  # state rolled back; the conflicting store may not recur
             if head_effective is None:
                 raise RuntimeError(
                     f"unresolvable unchecked-line conflict at {address:#x}"
                 )
-            self._stall_to_wall(head_effective, "conflict")
+            self._stall_to_wall(head_effective, StallBucket.CONFLICT)
             self._process_commits(head_effective)
 
     def _next_is_external(self) -> bool:
         """Is the next instruction a syscall that updates external state?"""
-        pc = self.state.pc
-        if not 0 <= pc < len(self.program.instructions):
-            return False
-        instruction = self.program.instructions[pc]
-        return (
-            instruction.opcode is Opcode.SYSCALL
-            and instruction.imm in EXTERNAL_SYSCALLS
-        )
+        return self.state.pc in self._external_pcs
 
     def _drain_blocking(self) -> bool:
         """Stall the main core until all checks commit; True on rollback.
@@ -839,10 +897,10 @@ class SimulationEngine:
             head = self._pending[0]
             head_effective = max(head.end_ns, self._last_commit_ns)
             if detection is not None and detection.end_ns <= head_effective:
-                self._stall_to_wall(detection.end_ns, "checker")
+                self._stall_to_wall(detection.end_ns, StallBucket.CHECKER_WAIT)
                 self._handle_detection(detection)
                 return True
-            self._stall_to_wall(head_effective, "checker")
+            self._stall_to_wall(head_effective, StallBucket.CHECKER_WAIT)
             self._process_commits(head_effective)
         return False
 
@@ -859,7 +917,7 @@ class SimulationEngine:
             head = self._pending[0]
             head_effective = max(head.end_ns, self._last_commit_ns)
             if detection is not None and detection.end_ns <= head_effective:
-                self._stall_to_wall(detection.end_ns, "drain")
+                self._stall_to_wall(detection.end_ns, StallBucket.DRAIN)
                 self._handle_detection(detection)
                 return True
             self._last_commit_ns = head_effective

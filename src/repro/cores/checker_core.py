@@ -95,7 +95,16 @@ class CheckerCore:
         self.config = config
         self.program = program
         self._latency = {unit: CHECKER_FU_LATENCY[unit.value] for unit in FunctionalUnit}
+        #: Per-PC unit latency: static per instruction, so the replay
+        #: loop indexes a list instead of hashing an enum per step.
+        latency = self._latency
+        self._latency_by_pc = [
+            float(latency[instruction.unit]) for instruction in program.instructions
+        ]
         self._icache_cpi = icache_penalty(program.text_bytes, config).cycles_per_instruction
+        #: Histogram-keyed memo for :meth:`analytic_cycles`: loop-heavy
+        #: workloads close many segments with identical histograms.
+        self._analytic_cache: "dict[tuple, float]" = {}
         #: Wall-clock nanosecond at which this core finishes its current job.
         self.busy_until_ns: float = 0.0
         #: Lifetime busy time, for wake-rate statistics (figure 12).
@@ -105,10 +114,25 @@ class CheckerCore:
     # -- timing -------------------------------------------------------------------
     def analytic_cycles(self, segment: LogSegment) -> float:
         """Checking cost from the instruction histogram (fast path)."""
+        key = (
+            segment.instruction_count,
+            tuple(
+                sorted(
+                    (unit.value, count)
+                    for unit, count in segment.unit_histogram.items()
+                )
+            ),
+        )
+        cached = self._analytic_cache.get(key)
+        if cached is not None:
+            return cached
         cycles = 0.0
         for unit, count in segment.unit_histogram.items():
             cycles += count * self._latency[unit]
         cycles += segment.instruction_count * self._icache_cpi
+        if len(self._analytic_cache) >= 512:
+            self._analytic_cache.clear()
+        self._analytic_cache[key] = cycles
         return cycles
 
     def cycles_to_ns(self, cycles: float) -> float:
@@ -139,13 +163,15 @@ class CheckerCore:
         cycles = 0.0
         executed = 0
         detection: Optional[ErrorDetected] = None
+        latency_by_pc = self._latency_by_pc
+        step = executor.step
         try:
             while executed < target and not state.halted:
                 if hook is not None:
                     hook.before_instruction(state, executed)
-                info = executor.step()
+                info = step()
                 executed += 1
-                cycles += self._latency[info.instruction.unit]
+                cycles += latency_by_pc[info.pc_before]
                 if hook is not None:
                     hook.after_instruction(state, info, executed - 1)
                 if executed > budget:  # pragma: no cover - defensive

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 from ..config import MAIN_FU_LATENCY, MainCoreConfig
 from ..isa import StepInfo
 from ..memory.cache import MemoryHierarchy
 from .branch_predictor import TournamentPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..isa import Program
 
 
 @dataclass
@@ -53,11 +56,27 @@ class MainCoreTiming:
         config: MainCoreConfig,
         hierarchy: MemoryHierarchy,
         predictor: TournamentPredictor,
+        program: Optional["Program"] = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.predictor = predictor
         self._latency = {unit: MAIN_FU_LATENCY[unit.value] for unit in _ALL_UNITS}
+        #: Per-PC (unit latency, is_load, is_branch) when a program is
+        #: known: these are static instruction properties, so hoist the
+        #: enum/frozenset probes out of :meth:`commit`'s per-instruction
+        #: path.  Without a program the dynamic fallback is used.
+        self._static: Optional["list[Tuple[float, bool, bool]]"] = None
+        if program is not None:
+            latency = self._latency
+            self._static = [
+                (
+                    float(latency[instruction.unit]),
+                    instruction.is_load,
+                    instruction.is_branch,
+                )
+                for instruction in program.instructions
+            ]
         #: Completion cycle per register tag.
         self._reg_ready: Dict[Tuple[str, int], float] = {}
         #: Commit cycles of the youngest ``rob_entries`` instructions.
@@ -85,10 +104,16 @@ class MainCoreTiming:
             ready = self._rob[0]  # ROB full: wait for the oldest to commit
 
         instruction = info.instruction
-        latency = float(self._latency[instruction.unit])
+        static = self._static
+        if static is not None:
+            latency, is_load, is_branch = static[info.pc_before]
+        else:
+            latency = float(self._latency[instruction.unit])
+            is_load = instruction.is_load
+            is_branch = instruction.is_branch
         if info.address is not None:
             access = self.hierarchy.data_access(info.address, pc=info.pc_before)
-            if instruction.is_load:
+            if is_load:
                 latency = float(access.latency_cycles)
             # Stores retire into the store queue; their miss latency is
             # hidden, only occupancy matters (not modelled per-slot).
@@ -102,7 +127,7 @@ class MainCoreTiming:
         self.now = commit
         if info.dest is not None:
             self._reg_ready[info.dest] = complete
-        if instruction.is_branch:
+        if is_branch:
             mispredicted = self.predictor.access(
                 info.pc_before, instruction, bool(info.taken), info.pc_after
             )

@@ -89,8 +89,11 @@ def run(
     iterations: int = 30,
     names: Optional[Sequence[str]] = None,
     seed: int = 12345,
+    jobs: int = 1,
 ) -> Fig10Result:
-    return from_runs(run_spec_suite(iterations=iterations, names=names, seed=seed))
+    return from_runs(
+        run_spec_suite(iterations=iterations, names=names, seed=seed, jobs=jobs)
+    )
 
 
 def main() -> None:

@@ -89,12 +89,14 @@ def run(
     iterations: int = 30,
     names: Optional[Sequence[str]] = None,
     seed: int = 12345,
+    jobs: int = 1,
 ) -> Fig13Result:
     runs = run_spec_suite(
         iterations=iterations,
         names=names,
         seed=seed,
         systems=("baseline", "paramedic", "paradox"),
+        jobs=jobs,
     )
     return from_runs(runs)
 

@@ -4,17 +4,57 @@ All three figures sweep the same nineteen SPEC CPU2006 proxies; this
 module runs each proxy on the systems they need and caches the results in
 a :class:`SpecSuiteRuns` so the figure harnesses (and benchmarks) don't
 re-simulate.
+
+Execution is sharded into independent :class:`SuiteTask`\\ s — one
+``(workload, system, seed)`` simulation each — which either run inline
+(``jobs=1``, the serial reference path) or fan out across worker
+processes through :mod:`repro.parallel`.  A task carries every input its
+run needs, so results are bit-identical at any ``jobs`` width.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import BaselineSystem, DetectionOnlySystem, ParaDoxSystem, ParaMedicSystem
+from ..parallel import derive_seed, parallel_map
 from ..stats import RunResult
 from ..workloads import SPEC_ORDER, Workload, build_spec_workload
 from .common import steady_state_dvfs_config
+
+#: Systems a suite run may simulate, in figure order.
+SUITE_SYSTEMS = ("baseline", "detection", "paramedic", "paradox")
+
+#: Per-process memo of built workloads: the same (name, iterations, seed)
+#: program is simulated on up to four systems, and building it is a
+#: non-trivial share of short runs.  Workloads are treated as immutable
+#: by every consumer (``create_memory`` copies), so sharing is safe.
+_WORKLOAD_CACHE: Dict[Tuple[str, int, int], Workload] = {}
+
+
+def _cached_workload(name: str, iterations: int, seed: int) -> Workload:
+    key = (name, iterations, seed)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        if len(_WORKLOAD_CACHE) >= 64:
+            _WORKLOAD_CACHE.clear()
+        workload = build_spec_workload(name, iterations=iterations, seed=seed)
+        _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+@dataclass(frozen=True)
+class SuiteTask:
+    """One independent ``(workload, system, seed)`` simulation."""
+
+    workload: str
+    system: str
+    iterations: int
+    #: Seed the workload generator uses (shared across systems so every
+    #: system simulates the *same* program and data).
+    build_seed: int
+    #: Seed for the run's fault/scheduling randomness.
+    run_seed: int
 
 
 @dataclass
@@ -31,33 +71,95 @@ class SpecSuiteRuns:
     def names(self) -> List[str]:
         return [name for name in SPEC_ORDER if name in self.baseline]
 
+    def by_system(self, system: str) -> Dict[str, RunResult]:
+        return getattr(self, system)
+
+
+def build_suite_tasks(
+    names: Sequence[str],
+    systems: Sequence[str],
+    iterations: int,
+    seed: int,
+    spread_seeds: bool = False,
+) -> List[SuiteTask]:
+    """Expand the suite grid into independent tasks.
+
+    With ``spread_seeds`` each run's randomness is derived per
+    ``(workload, system)`` through :func:`repro.parallel.derive_seed`;
+    otherwise every run shares the base seed, the historical behaviour
+    of the figure harnesses.
+    """
+    unknown = [system for system in systems if system not in SUITE_SYSTEMS]
+    if unknown:
+        raise ValueError(f"unknown systems {unknown}; choose from {SUITE_SYSTEMS}")
+    return [
+        SuiteTask(
+            workload=name,
+            system=system,
+            iterations=iterations,
+            build_seed=seed,
+            run_seed=(
+                derive_seed(seed, name, system) if spread_seeds else seed
+            ),
+        )
+        for name in names
+        for system in SUITE_SYSTEMS
+        if system in systems
+    ]
+
+
+def execute_suite_task(task: SuiteTask) -> RunResult:
+    """Run one suite task; the unit of work for both serial and parallel.
+
+    Builds the workload and the system from the task's fields alone, so
+    a worker process reproduces exactly what the serial path computes.
+    """
+    from ..core import (
+        BaselineSystem,
+        DetectionOnlySystem,
+        ParaDoxSystem,
+        ParaMedicSystem,
+    )
+
+    workload = _cached_workload(task.workload, task.iterations, task.build_seed)
+    if task.system == "baseline":
+        return BaselineSystem().run(workload, seed=task.run_seed)
+    if task.system == "detection":
+        return DetectionOnlySystem().run(workload, seed=task.run_seed)
+    if task.system == "paramedic":
+        return ParaMedicSystem().run(workload, seed=task.run_seed)
+    if task.system == "paradox":
+        return ParaDoxSystem(config=steady_state_dvfs_config(), dvs=True).run(
+            workload, seed=task.run_seed
+        )
+    raise ValueError(f"unknown system {task.system!r}")
+
 
 def run_spec_suite(
     iterations: int = 30,
     names: Optional[Sequence[str]] = None,
     seed: int = 12345,
-    systems: Sequence[str] = ("baseline", "detection", "paramedic", "paradox"),
+    systems: Sequence[str] = SUITE_SYSTEMS,
+    jobs: int = 1,
+    spread_seeds: bool = False,
 ) -> SpecSuiteRuns:
     """Simulate the SPEC proxies on the requested systems.
 
     ``paradox`` here is the figure-10/13 configuration: dynamic voltage
     scaling warm-started near its steady state, so induced errors are
     present but rare (see :func:`common.steady_state_dvfs_config`).
+
+    ``jobs`` selects the execution width: ``1`` runs every task inline
+    (the serial reference), ``N > 1`` shards tasks over ``N`` worker
+    processes, and ``0`` auto-sizes to the machine.  Results are
+    bit-identical for any value.
     """
     names = list(names) if names is not None else list(SPEC_ORDER)
     runs = SpecSuiteRuns(iterations=iterations)
-    dvs_config = steady_state_dvfs_config()
+    tasks = build_suite_tasks(names, systems, iterations, seed, spread_seeds)
+    results = parallel_map(execute_suite_task, tasks, jobs=jobs)
     for name in names:
-        workload = build_spec_workload(name, iterations=iterations, seed=seed)
-        runs.workloads[name] = workload
-        if "baseline" in systems:
-            runs.baseline[name] = BaselineSystem().run(workload, seed=seed)
-        if "detection" in systems:
-            runs.detection[name] = DetectionOnlySystem().run(workload, seed=seed)
-        if "paramedic" in systems:
-            runs.paramedic[name] = ParaMedicSystem().run(workload, seed=seed)
-        if "paradox" in systems:
-            runs.paradox[name] = ParaDoxSystem(config=dvs_config, dvs=True).run(
-                workload, seed=seed
-            )
+        runs.workloads[name] = _cached_workload(name, iterations, seed)
+    for task, result in zip(tasks, results):
+        runs.by_system(task.system)[task.workload] = result
     return runs

@@ -89,6 +89,14 @@ class Executor:
         self.port = port
         self._dispatch: Dict[Opcode, Callable[[Instruction], StepInfo]] = {}
         self._build_dispatch()
+        # Per-PC decode table: the handler and the instruction are both
+        # pure functions of the PC, so resolve them once instead of an
+        # instruction fetch plus an enum-keyed dict probe per step.
+        dispatch = self._dispatch
+        self._decoded = [
+            (dispatch[instruction.opcode], instruction)
+            for instruction in program.instructions
+        ]
 
     # -- public API --------------------------------------------------------------
     def step(self) -> StepInfo:
@@ -97,10 +105,13 @@ class Executor:
         if state.halted:
             raise HaltTrap("stepping a halted core")
         pc = state.pc
-        if not 0 <= pc < len(self.program.instructions):
+        if pc < 0:
             raise InvalidPcTrap(pc)
-        instr = self.program.instructions[pc]
-        info = self._dispatch[instr.opcode](instr)
+        try:
+            handler, instr = self._decoded[pc]
+        except IndexError:
+            raise InvalidPcTrap(pc) from None
+        info = handler(instr)
         state.instret += 1
         return info
 

@@ -58,6 +58,21 @@ class MemoryImage:
         self._check(address)
         self.words[address] = value & MASK64
 
+    def preload(self, words: Dict[int, int]) -> None:
+        """Bulk-initialise from an address -> word mapping (workload setup).
+
+        Validates every address up front, then installs the words with a
+        single dict update instead of one checked :meth:`store` per word
+        — workload images run to hundreds of thousands of words.
+        """
+        size = self.size
+        for address in words:
+            if address % WORD_BYTES or not 0 <= address < size:
+                self._check(address)  # raises the precise trap
+        self.words.update(
+            (address, value & MASK64) for address, value in words.items()
+        )
+
     # -- float convenience ---------------------------------------------------
     def load_float(self, address: int) -> float:
         return bits_to_float(self.load(address))
@@ -67,8 +82,23 @@ class MemoryImage:
 
     # -- bulk access for workload setup and verification ----------------------
     def write_words(self, address: int, values: Iterable[int]) -> None:
-        for offset, value in enumerate(values):
-            self.store(address + offset * WORD_BYTES, value)
+        """Store consecutive words starting at ``address``.
+
+        Bounds/alignment are validated once per run, not per word, so
+        workload memory construction (hundreds of thousands of words) is
+        one dict update instead of that many checked stores.
+        """
+        values = list(values)
+        if not values:
+            return
+        self._check(address)
+        last = address + (len(values) - 1) * WORD_BYTES
+        if not 0 <= last < self.size:
+            raise MemoryBoundsTrap(last)
+        self.words.update(
+            (address + offset * WORD_BYTES, value & MASK64)
+            for offset, value in enumerate(values)
+        )
 
     def read_words(self, address: int, count: int) -> List[int]:
         return [self.load(address + i * WORD_BYTES) for i in range(count)]

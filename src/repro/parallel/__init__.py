@@ -1,0 +1,47 @@
+"""Parallel execution layer: deterministic process fan-out + seed derivation.
+
+``repro.parallel`` owns everything needed to shard independent
+simulations across worker processes while keeping results bit-identical
+to a serial run:
+
+* :func:`run_fanout` / :func:`parallel_map` — crash-isolated process
+  fan-out with ordered results (see :mod:`repro.parallel.fanout`);
+* :func:`derive_seed` — stable per-run seed derivation, so a run's
+  randomness is a pure function of ``(base seed, run key)`` and never of
+  scheduling order, worker identity or platform hash randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .fanout import (
+    FanoutError,
+    FanoutOutcome,
+    parallel_map,
+    resolve_jobs,
+    run_fanout,
+)
+
+__all__ = [
+    "FanoutError",
+    "FanoutOutcome",
+    "derive_seed",
+    "parallel_map",
+    "resolve_jobs",
+    "run_fanout",
+]
+
+
+def derive_seed(base_seed: int, *key: object) -> int:
+    """Derive a deterministic 31-bit seed from a base seed and a run key.
+
+    Uses SHA-256 rather than ``hash()`` so the result is identical
+    across processes (``PYTHONHASHSEED``-proof), platforms and Python
+    versions — a worker computes the same seed the parent would.  The
+    31-bit range keeps the value a valid seed for both
+    ``numpy.random.default_rng`` and legacy signed-int consumers.
+    """
+    text = "\x1f".join([repr(int(base_seed))] + [repr(part) for part in key])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF

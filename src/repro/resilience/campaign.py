@@ -19,11 +19,12 @@ into the standard injection-campaign taxonomy:
 * ``crash`` — the worker process died or raised: an unhandled exception
   anywhere in the simulator is a *bug*, never folded into another class.
 
-Each run executes in its own ``multiprocessing`` process with a private
-pipe, so a segfaulting or hanging simulation can neither take down the
-campaign nor stall it: the parent enforces a wall-clock deadline per run
-and terminates offenders.  (A pool is deliberately *not* used — a dying
-pool worker poisons the whole pool.)
+Each run executes in its own worker process with a private pipe via
+:func:`repro.parallel.run_fanout` (extracted from this module), so a
+segfaulting or hanging simulation can neither take down the campaign nor
+stall it: the fan-out enforces a wall-clock deadline per run and
+terminates offenders.  (A pool is deliberately *not* used — a dying pool
+worker poisons the whole pool.)
 
 The report is JSON-serialisable and carries the two acceptance signals
 of the resilience layer besides the class counts: how many checkers were
@@ -35,13 +36,12 @@ from __future__ import annotations
 
 import enum
 import json
-import multiprocessing
 import os
 import time
-import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..parallel import FanoutOutcome, resolve_jobs, run_fanout
 from .guard import ResilienceConfig
 
 #: Fault-model mixes a campaign run can use (cycled across runs).
@@ -86,9 +86,7 @@ class CampaignSpec:
     hooks: Dict[int, str] = field(default_factory=dict)
 
     def resolved_workers(self) -> int:
-        if self.workers > 0:
-            return self.workers
-        return max(1, min(8, os.cpu_count() or 1))
+        return resolve_jobs(self.workers)
 
     def expand(self) -> List[Dict[str, Any]]:
         """One payload dict per run, model mixes cycled across run IDs."""
@@ -369,18 +367,6 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _campaign_worker(payload: Dict[str, Any], conn) -> None:
-    """Process entry point: run one simulation, ship the result dict."""
-    try:
-        message = execute_run(payload)
-    except BaseException:
-        message = {"status": "error", "traceback": traceback.format_exc()}
-    try:
-        conn.send(message)
-    finally:
-        conn.close()
-
-
 # ---------------------------------------------------------------- parent side --
 
 
@@ -458,73 +444,34 @@ def run_campaign(
     """
     started = time.perf_counter()
     payloads = spec.expand()
-    ctx = multiprocessing.get_context()
     records: List[Optional[RunRecord]] = [None] * len(payloads)
-    workers = spec.resolved_workers()
-    running: List[Tuple[int, Any, Any, float]] = []
-    next_index = 0
 
-    def finish(slot: int, record: RunRecord) -> None:
-        records[slot] = record
+    def on_outcome(outcome: FanoutOutcome) -> None:
+        payload = payloads[outcome.index]
+        if outcome.status == "ok":
+            record = _record_from_message(payload, outcome.value)
+        elif outcome.status == "error":
+            record = _base_record(payload)
+            record.detail = "unhandled exception in worker"
+            record.traceback = outcome.traceback
+        elif outcome.status == "died":
+            record = _base_record(payload)
+            record.detail = f"worker died with exit code {outcome.exitcode}"
+        else:  # timeout: the fan-out's watchdog terminated the worker
+            record = _base_record(payload)
+            record.run_class = RunClass.HANG
+            record.detail = f"watchdog timeout after {spec.timeout_s:.0f} s"
+        records[outcome.index] = record
         if progress is not None:
             progress(record)
 
-    while next_index < len(payloads) or running:
-        while next_index < len(payloads) and len(running) < workers:
-            payload = payloads[next_index]
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_campaign_worker, args=(payload, child_conn), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            running.append(
-                (next_index, process, parent_conn, time.monotonic() + spec.timeout_s)
-            )
-            next_index += 1
-
-        still_running: List[Tuple[int, Any, Any, float]] = []
-        made_progress = False
-        for slot, process, conn, deadline in running:
-            payload = payloads[slot]
-            record: Optional[RunRecord] = None
-            if conn.poll():
-                try:
-                    message = conn.recv()
-                except EOFError:
-                    message = None
-                process.join(timeout=5.0)
-                if process.is_alive():  # sent a result but refuses to exit
-                    process.terminate()
-                    process.join(timeout=5.0)
-                record = _record_from_message(payload, message)
-                if message is None:  # EOF: the worker died mid-run
-                    record.detail = (
-                        f"worker died with exit code {process.exitcode}"
-                    )
-            elif not process.is_alive():
-                process.join()
-                record = _base_record(payload)
-                record.detail = f"worker died with exit code {process.exitcode}"
-            elif time.monotonic() >= deadline:
-                process.terminate()
-                process.join(timeout=5.0)
-                if process.is_alive():
-                    process.kill()
-                    process.join(timeout=5.0)
-                record = _base_record(payload)
-                record.run_class = RunClass.HANG
-                record.detail = f"watchdog timeout after {spec.timeout_s:.0f} s"
-            if record is None:
-                still_running.append((slot, process, conn, deadline))
-            else:
-                conn.close()
-                finish(slot, record)
-                made_progress = True
-        running = still_running
-        if running and not made_progress:
-            time.sleep(0.02)
-
+    run_fanout(
+        execute_run,
+        payloads,
+        jobs=spec.resolved_workers(),
+        timeout_s=spec.timeout_s,
+        on_outcome=on_outcome,
+    )
     final = [record for record in records if record is not None]
     return CampaignReport(
         spec=spec.to_dict(), records=final, wall_s=time.perf_counter() - started

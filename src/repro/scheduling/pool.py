@@ -161,10 +161,23 @@ class CheckerPool:
 
     # -- gating statistics -------------------------------------------------------------
     def wake_rates(self, total_ns: float) -> List[float]:
-        """Fraction of wall time each physical core spent awake (fig. 12)."""
+        """Fraction of wall time each physical core spent awake (fig. 12).
+
+        Computed from the dispatch records with every busy interval
+        clamped to ``[0, total_ns]``: checks still in flight when the
+        main core finishes overrun the run's end, and counting that
+        overhang (as the old ``busy_ns_total / total_ns`` did) could
+        report a physically meaningless wake rate above 1.0.
+        """
         if total_ns <= 0:
             return [0.0] * len(self.cores)
-        return [min(core.busy_ns_total / total_ns, 1.0) for core in self.cores]
+        busy = [0.0] * len(self.cores)
+        for record in self.dispatches:
+            start = min(max(record.start_ns, 0.0), total_ns)
+            end = min(max(record.end_ns, 0.0), total_ns)
+            if end > start:
+                busy[record.core_id] += end - start
+        return [min(b / total_ns, 1.0) for b in busy]
 
     def cores_ever_used(self) -> int:
         return sum(1 for core in self.cores if core.busy_ns_total > 0)

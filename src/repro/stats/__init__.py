@@ -1,6 +1,12 @@
 """Statistics records shared by the simulation engine and experiments."""
 
-from .run_stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown
+from .run_stats import (
+    RecoveryEvent,
+    RunOutcome,
+    RunResult,
+    StallBreakdown,
+    StallBucket,
+)
 from .timeline import (
     EventKind,
     Timeline,
@@ -15,6 +21,7 @@ __all__ = [
     "RunOutcome",
     "RunResult",
     "StallBreakdown",
+    "StallBucket",
     "Timeline",
     "TimelineEvent",
     "render_checker_gantt",

@@ -60,14 +60,51 @@ class RecoveryEvent:
         return self.wasted_execution_ns + self.rollback_ns
 
 
+class StallBucket(enum.Enum):
+    """Why the main core stalled.
+
+    Every stall the engine injects must name one of these buckets; the
+    accounting in :class:`StallBreakdown` is total by construction, so a
+    stall can never silently vanish from ``total_ns`` the way unknown
+    string buckets once did.
+    """
+
+    #: All checkers busy at a checkpoint boundary.
+    CHECKER_WAIT = "checker"
+    #: Unchecked-line eviction conflicts.
+    CONFLICT = "conflict"
+    #: 16-cycle register checkpoint blocks.
+    CHECKPOINT = "checkpoint"
+    #: Walking the log on recovery.
+    ROLLBACK = "rollback"
+    #: Waiting for in-flight checks to drain (end of run / quarantine).
+    DRAIN = "drain"
+
+
 @dataclass
 class StallBreakdown:
     """Where the main core lost time, in wall nanoseconds."""
 
-    checker_wait_ns: float = 0.0  # all checkers busy at a checkpoint
-    conflict_ns: float = 0.0  # unchecked-line eviction conflicts
-    checkpoint_ns: float = 0.0  # 16-cycle register checkpoint blocks
-    rollback_ns: float = 0.0  # walking the log on recovery
+    checker_wait_ns: float = 0.0
+    conflict_ns: float = 0.0
+    checkpoint_ns: float = 0.0
+    rollback_ns: float = 0.0
+    drain_ns: float = 0.0
+
+    def add(self, bucket: StallBucket, wall_ns: float) -> None:
+        """Accumulate a stall into its bucket; total by construction."""
+        if bucket is StallBucket.CHECKER_WAIT:
+            self.checker_wait_ns += wall_ns
+        elif bucket is StallBucket.CONFLICT:
+            self.conflict_ns += wall_ns
+        elif bucket is StallBucket.CHECKPOINT:
+            self.checkpoint_ns += wall_ns
+        elif bucket is StallBucket.ROLLBACK:
+            self.rollback_ns += wall_ns
+        elif bucket is StallBucket.DRAIN:
+            self.drain_ns += wall_ns
+        else:  # a new enum member without a field is a bug, not a no-op
+            raise ValueError(f"unmapped stall bucket {bucket!r}")
 
     @property
     def total_ns(self) -> float:
@@ -76,6 +113,7 @@ class StallBreakdown:
             + self.conflict_ns
             + self.checkpoint_ns
             + self.rollback_ns
+            + self.drain_ns
         )
 
 
@@ -176,7 +214,8 @@ class RunResult:
             f"  stalls: checker-wait {self.stalls.checker_wait_ns / 1e3:.1f} us, "
             f"conflict {self.stalls.conflict_ns / 1e3:.1f} us, "
             f"checkpoint {self.stalls.checkpoint_ns / 1e3:.1f} us, "
-            f"rollback {self.stalls.rollback_ns / 1e3:.1f} us",
+            f"rollback {self.stalls.rollback_ns / 1e3:.1f} us, "
+            f"drain {self.stalls.drain_ns / 1e3:.1f} us",
         ]
         if self.recoveries:
             lines.append(

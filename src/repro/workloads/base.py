@@ -35,8 +35,7 @@ class Workload:
 
     def create_memory(self) -> MemoryImage:
         memory = MemoryImage()
-        for address, value in self.initial_words.items():
-            memory.store(address, value)
+        memory.preload(self.initial_words)
         return memory
 
 

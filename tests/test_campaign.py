@@ -127,6 +127,39 @@ class TestIsolation:
         assert by_id[2].run_class is RunClass.HANG
         assert "watchdog" in by_id[2].detail
 
+    def test_hanging_worker_does_not_stall_other_slots(self):
+        """A worker sleeping past timeout_s is terminated and classified
+        ``hang`` while the remaining runs keep flowing through the other
+        slot: total campaign time stays near one watchdog period, not
+        near ``timeout_s`` per queued run."""
+        import time
+
+        spec = CampaignSpec(
+            seeds=6,
+            scale=0.2,
+            models=("transient",),
+            workers=2,
+            timeout_s=6.0,
+            hooks={0: "hang"},
+        )
+        started = time.monotonic()
+        order = []
+        report = run_campaign(spec, progress=lambda r: order.append(r.run_id))
+        elapsed = time.monotonic() - started
+        by_id = {r.run_id: r for r in report.records}
+        assert len(by_id) == 6
+        assert by_id[0].run_class is RunClass.HANG
+        assert "watchdog timeout" in by_id[0].detail
+        for run_id in range(1, 6):
+            assert by_id[run_id].run_class is not RunClass.HANG
+            assert by_id[run_id].run_class is not RunClass.CRASH
+        # Runs completed while the hung slot was still inside its
+        # watchdog window (they classify before run 0 does).
+        assert order.index(0) > 0
+        # One watchdog period plus the real runs — not 6 serialized
+        # timeouts (the generous bound absorbs slow CI machines).
+        assert elapsed < 4 * spec.timeout_s
+
 
 class TestEndToEnd:
     def test_small_campaign_classifies_every_run(self, tmp_path):

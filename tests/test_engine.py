@@ -297,8 +297,10 @@ class TestSchedulingIntegration:
         pd_used = sum(1 for rate in pd.checker_wake_rates if rate > 0)
         pm_used = sum(1 for rate in pm.checker_wake_rates if rate > 0)
         assert pd_used <= pm_used
-        # Round-robin touches a new core per segment until it wraps.
-        assert pm_used == min(16, pm.segments)
+        # Round-robin touches a new core per segment until it wraps.  The
+        # final segment's check starts at the run end, so its core shows
+        # no in-run wake time (rates are clamped to the run window).
+        assert min(16, pm.segments) - 1 <= pm_used <= min(16, pm.segments)
 
     def test_wake_rates_bounded(self, bitcount_small):
         result = ParaDoxSystem().run(bitcount_small)

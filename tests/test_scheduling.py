@@ -1,5 +1,8 @@
 """Checker pool scheduling: round-robin vs lowest-free-ID, gating stats."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.config import CheckerConfig
 from repro.cores import CheckerCore
 from repro.isa import ProgramBuilder
@@ -139,3 +142,48 @@ class TestStatistics:
 
         with pytest.raises(ValueError):
             CheckerPool([], SchedulingPolicy.ROUND_ROBIN)
+
+
+class TestWakeRateClamping:
+    """Wake rates are fractions of the *run*: overruns must clamp."""
+
+    def test_overrunning_dispatch_clamps_to_run_end(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        # The check starts inside the run but finishes far beyond it;
+        # raw busy/total would be 150/100 = 1.5.
+        pool.dispatch(pool.cores[0], 1, 50.0, 150.0)
+        rates = pool.wake_rates(100.0)
+        assert rates[0] == 0.5
+
+    def test_dispatch_entirely_after_run_end_counts_nothing(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        pool.dispatch(pool.cores[0], 1, 100.0, 50.0)
+        assert pool.wake_rates(100.0)[0] == 0.0
+
+    def test_multiple_overruns_still_bounded(self):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        now = 0.0
+        for seq in range(5):
+            pool.dispatch(pool.cores[0], seq, now, 40.0)
+            now += 40.0
+        rates = pool.wake_rates(90.0)  # run ends mid-third-check
+        assert rates[0] == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dispatches=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # core id
+                st.floats(min_value=0.0, max_value=1000.0),  # start
+                st.floats(min_value=0.0, max_value=500.0),  # duration
+            ),
+            max_size=20,
+        ),
+        total_ns=st.floats(min_value=0.0, max_value=800.0),
+    )
+    def test_rates_always_in_unit_interval(self, dispatches, total_ns):
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        for seq, (core_id, start, duration) in enumerate(dispatches):
+            pool.dispatch(pool.cores[core_id], seq, start, duration)
+        for rate in pool.wake_rates(total_ns):
+            assert 0.0 <= rate <= 1.0
