@@ -12,12 +12,20 @@ read one):
   instructions/second of a ParaDox run, which exercises the executor,
   the main-core timing model, the log and the checker pool together);
 * ``suite`` — wall-clock of the SPEC-proxy suite, serial versus
-  ``--jobs N`` process fan-out, and the resulting speedup.
+  ``--jobs N`` process fan-out, and the resulting speedup;
+* ``tracing`` — engine throughput with telemetry off vs on, so the
+  disabled-tracer guarantee ("tracing off costs nothing") is a measured
+  number, not a claim.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_PR3.json
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick   # CI smoke
+
+Always pass an explicit ``--out`` when recording a milestone: committed
+``BENCH_PR<N>.json`` files are the performance trajectory of the repo,
+and the default (``BENCH_HOTPATH.json``, gitignored territory) must
+never silently overwrite one.
 
 The harness deliberately uses only public entry points so the same file
 can benchmark any revision of the simulator (the ``--jobs`` fan-out is
@@ -79,6 +87,37 @@ def bench_engine(iterations: int, repeats: int) -> Dict[str, Any]:
     }
 
 
+def bench_tracing_overhead(iterations: int, repeats: int) -> Dict[str, Any]:
+    """Engine throughput with telemetry disabled vs enabled.
+
+    The disabled number is the one guarded against regressions: with
+    ``tracing=False`` no tracer object exists and every emission site is
+    a single ``is not None`` test at segment granularity, so the two
+    disabled/enabled runs bound the subsystem's cost from both sides.
+    """
+    from repro.core import ParaDoxSystem
+    from repro.workloads import build_spec_workload
+
+    workload = build_spec_workload("milc", iterations=iterations)
+    plain = ParaDoxSystem()
+    traced = ParaDoxSystem(tracing=True)
+    result = plain.run(workload, seed=12345)  # warm-up
+    disabled_s = _best_of(lambda: plain.run(workload, seed=12345), repeats)
+    enabled_s = _best_of(lambda: traced.run(workload, seed=12345), repeats)
+    events = traced.run(workload, seed=12345).trace
+    return {
+        "workload": "milc",
+        "iterations": iterations,
+        "instructions": result.instructions,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "disabled_instr_per_sec": round(result.instructions / disabled_s, 1),
+        "enabled_instr_per_sec": round(result.instructions / enabled_s, 1),
+        "enabled_overhead_pct": round(100.0 * (enabled_s / disabled_s - 1.0), 2),
+        "events": len(events or []),
+    }
+
+
 def bench_suite(
     iterations: int, names: Optional[Sequence[str]], jobs: int
 ) -> Dict[str, Any]:
@@ -123,7 +162,12 @@ def bench_suite(
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR2.json", help="output JSON path")
+    parser.add_argument(
+        "--out",
+        default="BENCH_HOTPATH.json",
+        help="output JSON path (pass BENCH_PR<N>.json explicitly when "
+        "recording a milestone; the default never collides with one)",
+    )
     parser.add_argument("--jobs", type=int, default=4, help="fan-out width for the suite benchmark")
     parser.add_argument("--iterations", type=int, default=12, help="workload iterations per run")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
@@ -167,6 +211,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("benchmarking engine ...", flush=True)
     report["engine"] = bench_engine(args.iterations, args.repeats)
     print(f"  {report['engine']['instr_per_sec']:.0f} instr/s", flush=True)
+    print("benchmarking tracing overhead ...", flush=True)
+    try:
+        report["tracing"] = bench_tracing_overhead(args.iterations, args.repeats)
+        print(
+            f"  disabled {report['tracing']['disabled_instr_per_sec']:.0f} "
+            f"instr/s, enabled {report['tracing']['enabled_instr_per_sec']:.0f} "
+            f"instr/s ({report['tracing']['enabled_overhead_pct']:+.1f}%)",
+            flush=True,
+        )
+    except TypeError:  # revision without the telemetry subsystem
+        report["tracing"] = None
+        print("  (telemetry not available in this revision)", flush=True)
     print(f"benchmarking suite (serial vs --jobs {args.jobs}) ...", flush=True)
     report["suite"] = bench_suite(args.iterations, names, args.jobs)
     suite = report["suite"]

@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from ..config import CheckpointConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import Tracer
 
 
 class LengthEvent(enum.Enum):
@@ -53,6 +57,8 @@ class CheckpointLengthController:
         self._target = float(config.initial_instructions)
         self._last_observed: int = config.initial_instructions
         self.stats = LengthControllerStats()
+        #: Telemetry bus (set by the engine when tracing is enabled).
+        self.tracer: Optional["Tracer"] = None
 
     @property
     def target(self) -> int:
@@ -77,6 +83,11 @@ class CheckpointLengthController:
             self.stats.decreases += 1
         if observed_length > 0:
             self._last_observed = observed_length
+        if self.tracer is not None:
+            self.tracer.emit(
+                "checkpoint", "target", value=float(self.target), detail=event.value
+            )
+            self.tracer.metrics.observe("checkpoint.observed_length", observed_length)
         return self.target
 
     def force_minimum(self) -> int:
@@ -90,4 +101,11 @@ class CheckpointLengthController:
         if self._target > float(self.config.min_instructions):
             self._target = float(self.config.min_instructions)
             self.stats.decreases += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "checkpoint",
+                    "target",
+                    value=float(self.target),
+                    detail="force_minimum",
+                )
         return self.target

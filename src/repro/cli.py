@@ -13,7 +13,11 @@ Commands:
   JSON report (``--smoke`` for the CI-sized variant).
 * ``suite`` — the shared SPEC-proxy suite behind figures 10/12/13, with
   ``--jobs N`` sharding independent runs over worker processes
-  (bit-identical to ``--jobs 1``).
+  (bit-identical to ``--jobs 1``) and ``--metrics-out`` merging every
+  run's telemetry into one metrics report.
+* ``trace`` — simulate one workload with telemetry enabled and export
+  the event stream as Perfetto-loadable JSON (``--out``), versioned
+  JSONL (``--jsonl-out``) and/or a metrics summary (``--metrics-out``).
 """
 
 from __future__ import annotations
@@ -120,6 +124,49 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import events_from_dicts, to_perfetto, write_jsonl_path
+
+    workload = resolve_workload(args.workload, args.scale)
+    config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
+    if args.resilient and args.system != "paradox":
+        raise SystemExit("--resilient is only meaningful with --system paradox")
+    # DVS defaults on (for paradox) so the trace carries a voltage
+    # counter track; --no-dvs pins the nominal supply.
+    dvs = args.system == "paradox" and not args.no_dvs
+    system = SYSTEMS[args.system](config, dvs, args.resilient)
+    system.tracing = True
+    result = system.run(workload, seed=args.seed)
+    print(result.summary())
+    events = events_from_dicts(result.trace or [])
+    label = f"{result.system}/{result.workload}"
+    if args.out:
+        document = to_perfetto(events, label=label)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        print(
+            f"{len(events)} events -> {args.out} "
+            f"(open with the Perfetto UI, https://ui.perfetto.dev)"
+        )
+    if args.jsonl_out:
+        meta = {
+            "system": result.system,
+            "workload": result.workload,
+            "seed": args.seed,
+        }
+        count = write_jsonl_path(args.jsonl_out, events, meta=meta)
+        print(f"{count} events -> {args.jsonl_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics or {}, handle, indent=2)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .resilience import CampaignSpec, RunClass, run_campaign, smoke_spec
 
@@ -137,6 +184,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             workers=args.workers,
         )
+    if args.metrics_out or args.trace_out:
+        spec.tracing = True
     try:
         spec.expand()
     except ValueError as error:  # e.g. an unknown --models mix
@@ -156,6 +205,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         report.write_json(args.json)
         print(f"report written to {args.json}")
+    if args.metrics_out:
+        report.write_metrics_json(args.metrics_out)
+        print(f"merged metrics written to {args.metrics_out}")
+    if args.trace_out:
+        report.write_perfetto(args.trace_out)
+        print(f"merged Perfetto trace written to {args.trace_out}")
     for trace in report.crash_tracebacks:
         print("\nworker traceback:\n" + trace, file=sys.stderr)
     crashes = report.counts[RunClass.CRASH.value]
@@ -176,6 +231,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 f"unknown SPEC proxies {unknown}; choose from {list(SPEC_ORDER)}"
             )
     systems = tuple(args.systems.split(","))
+    tracing = args.trace or bool(args.metrics_out)
     started = time.perf_counter()
     try:
         runs = run_spec_suite(
@@ -184,6 +240,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             seed=args.seed,
             systems=systems,
             jobs=args.jobs,
+            tracing=tracing,
         )
     except ValueError as error:  # e.g. an unknown --systems entry
         raise SystemExit(str(error))
@@ -224,6 +281,15 @@ def cmd_suite(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"report written to {args.json}")
+    if args.metrics_out:
+        merged = runs.merged_metrics()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"merged metrics ({merged.get('merged_runs', 0)} runs) "
+            f"written to {args.metrics_out}"
+        )
     return 0
 
 
@@ -307,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--timeout", type=float, default=60.0, help="per-run watchdog seconds")
     campaign.add_argument("--workers", type=int, default=0, help="worker processes (0 = auto)")
     campaign.add_argument("--json", help="write the full JSON report to this path")
+    campaign.add_argument(
+        "--metrics-out",
+        help="write the merged telemetry metrics of all runs (enables tracing)",
+    )
+    campaign.add_argument(
+        "--trace-out",
+        help="write one merged Perfetto trace, one process per run "
+        "(enables tracing)",
+    )
     campaign.add_argument("--quiet", action="store_true", help="suppress per-run lines")
     campaign.add_argument(
         "--smoke", action="store_true", help="CI-sized campaign (overrides the grid flags)"
@@ -335,7 +410,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list of systems to simulate",
     )
     suite.add_argument("--json", help="write per-run wall times to this path")
+    suite.add_argument(
+        "--trace", action="store_true", help="record telemetry for every run"
+    )
+    suite.add_argument(
+        "--metrics-out",
+        help="write the suite's merged metrics report (implies --trace)",
+    )
     suite.set_defaults(func=cmd_suite)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one workload with telemetry and export the trace",
+    )
+    trace.add_argument("workload")
+    trace.add_argument("--system", choices=list(SYSTEMS), default="paradox")
+    trace.add_argument("--error-rate", type=float, default=0.0)
+    trace.add_argument(
+        "--no-dvs",
+        action="store_true",
+        help="disable dynamic voltage scaling (paradox defaults to DVS on "
+        "so the trace carries a voltage counter track)",
+    )
+    trace.add_argument("--seed", type=int, default=12345)
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable the resilience layer (paradox only)",
+    )
+    trace.add_argument(
+        "--out", help="write Perfetto trace_event JSON to this path"
+    )
+    trace.add_argument(
+        "--jsonl-out", help="write the versioned JSONL event stream to this path"
+    )
+    trace.add_argument(
+        "--metrics-out", help="write the run's metrics summary to this path"
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -69,6 +69,7 @@ from ..resilience.health import CheckerHealthTracker
 from ..scheduling import CheckerPool, DispatchRecord, SchedulingPolicy
 from ..stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown, StallBucket
 from ..stats.timeline import EventKind, Timeline
+from ..telemetry import Tracer
 
 
 class LivelockError(RuntimeError):
@@ -109,6 +110,13 @@ class EngineOptions:
     #: Record a :class:`repro.stats.timeline.Timeline` of segment/checker
     #: lifecycle events (debugging and documentation aid).
     record_timeline: bool = False
+    #: Record a structured :class:`repro.telemetry.Tracer` event stream
+    #: plus a metrics registry, returned on ``RunResult.trace`` /
+    #: ``RunResult.metrics`` and exportable as JSONL or Perfetto JSON.
+    #: Disabled (the default) costs nothing: no tracer object exists and
+    #: every emission site is one ``is not None`` test at segment
+    #: granularity.
+    tracing: bool = False
     #: Enable the resilience layer: forward-progress escalation instead
     #: of livelock aborts, plus checker health tracking and quarantine.
     #: None preserves the legacy detect-and-rollback-or-die behaviour.
@@ -234,6 +242,26 @@ class SimulationEngine:
         self.timeline: Optional[Timeline] = (
             Timeline() if options.record_timeline else None
         )
+        #: Optional structured telemetry (EngineOptions.tracing): one
+        #: tracer per engine, shared by every instrumented subcomponent.
+        self.tracer: Optional[Tracer] = None
+        if options.tracing:
+            self.tracer = Tracer(
+                system=system_name,
+                workload=program.name,
+                seed=config.fault.seed,
+            )
+            self.length_controller.tracer = self.tracer
+            if self.pool is not None:
+                self.pool.tracer = self.tracer
+            if self.dvfs is not None:
+                self.dvfs.tracer = self.tracer
+            if self.injector is not None:
+                self.injector.tracer = self.tracer
+            if self.guard is not None:
+                self.guard.tracer = self.tracer
+            if self.health is not None:
+                self.health.tracer = self.tracer
         #: PCs of externally visible syscalls, precomputed so the fill
         #: loop's per-instruction "is the next instruction external?"
         #: test is one set-membership probe.
@@ -294,6 +322,9 @@ class SimulationEngine:
         self._segment_start_wall[seq] = self.wall_ns
         if self.timeline is not None:
             self.timeline.record(self.wall_ns, EventKind.SEGMENT_OPEN, seq)
+        if self.tracer is not None:
+            self.tracer.now_ns = self.wall_ns
+            self.tracer.emit("engine", "segment_open", segment=seq)
 
     def _close_segment(self, reason: SegmentCloseReason) -> None:
         segment = self._segment
@@ -302,6 +333,15 @@ class SimulationEngine:
         if self.timeline is not None:
             self.timeline.record(
                 self.wall_ns, EventKind.SEGMENT_CLOSE, segment.seq, detail=reason.value
+            )
+        if self.tracer is not None:
+            self.tracer.now_ns = self.wall_ns
+            self.tracer.emit(
+                "engine",
+                "segment_close",
+                segment=segment.seq,
+                value=float(segment.instruction_count),
+                detail=reason.value,
             )
         self.close_reasons[reason] = self.close_reasons.get(reason, 0) + 1
         self._segments_closed += 1
@@ -396,6 +436,15 @@ class SimulationEngine:
                 core=core.core_id,
                 detail=f"{start_ns:.1f}..{start_ns + duration_ns:.1f}",
             )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "engine",
+                "dispatch",
+                time_ns=start_ns,
+                segment=segment.seq,
+                core=core.core_id,
+                value=duration_ns,
+            )
 
     def _check(self, core: CheckerCore, segment: LogSegment) -> CheckResult:
         injector = self.injector
@@ -450,6 +499,10 @@ class SimulationEngine:
                 self.guard.on_commit(head.segment.end_state.instret)
             if self.timeline is not None:
                 self.timeline.record(effective, EventKind.COMMIT, head.segment.seq)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "engine", "commit", time_ns=effective, segment=head.segment.seq
+                )
 
     def _handle_detection(self, pending: PendingCheck) -> None:
         """Roll back to the start of the faulty segment and resume."""
@@ -515,6 +568,29 @@ class SimulationEngine:
                 faulty.seq,
                 detail=f"{rollback.entries_restored} entries, "
                 f"{rollback.segments_walked} segments",
+            )
+        if self.tracer is not None:
+            self.tracer.now_ns = now
+            self.tracer.emit(
+                "engine",
+                "detect",
+                time_ns=now,
+                segment=faulty.seq,
+                core=pending.record.core_id,
+                detail=pending.result.detection.channel.value,
+            )
+            self.tracer.emit(
+                "engine",
+                "rollback",
+                time_ns=now + rollback_ns,
+                segment=faulty.seq,
+                value=rollback_ns,
+                detail=f"{rollback.entries_restored} entries, "
+                f"{rollback.segments_walked} segments",
+            )
+            self.tracer.metrics.observe("engine.rollback_ns", rollback_ns)
+            self.tracer.metrics.observe(
+                "engine.wasted_ns", max(wasted_ns, 0.0)
             )
         for seq in list(self._segment_start_wall):
             if seq >= faulty.seq:
@@ -735,7 +811,50 @@ class SimulationEngine:
                 else []
             ),
         )
+        self._finalize_telemetry(result)
         return result
+
+    def _finalize_telemetry(self, result: RunResult) -> None:
+        """Fold run-level statistics into the metrics registry and attach
+        the serialized trace + metrics to the result.
+
+        Serialization happens here (not at export time) so the artifacts
+        survive pickling through the parallel fan-out's result pipe.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        metrics = tracer.metrics
+        metrics.inc("engine.instructions", float(result.instructions))
+        metrics.inc(
+            "engine.instructions_executed", float(result.instructions_executed)
+        )
+        metrics.inc("engine.segments", float(result.segments))
+        metrics.inc("engine.detections", float(len(result.recoveries)))
+        metrics.inc("engine.faults_injected", float(result.faults_injected))
+        metrics.gauge("engine.wall_ns", result.wall_ns)
+        metrics.gauge("engine.ipc_aggregate", result.ipc_aggregate)
+        metrics.gauge(
+            "engine.mean_checkpoint_length", result.mean_checkpoint_length
+        )
+        metrics.gauge(
+            "checkpoint.final_target", float(result.final_checkpoint_target)
+        )
+        metrics.gauge("dvfs.mean_voltage", result.mean_voltage)
+        stalls = result.stalls
+        metrics.gauge("stalls.checker_wait_ns", stalls.checker_wait_ns)
+        metrics.gauge("stalls.conflict_ns", stalls.conflict_ns)
+        metrics.gauge("stalls.checkpoint_ns", stalls.checkpoint_ns)
+        metrics.gauge("stalls.rollback_ns", stalls.rollback_ns)
+        metrics.gauge("stalls.drain_ns", stalls.drain_ns)
+        metrics.gauge("stalls.total_ns", stalls.total_ns)
+        if result.checker_wake_rates:
+            metrics.set_per_checker(
+                "scheduling.wake_rates", result.checker_wake_rates
+            )
+        metrics.inc(f"engine.outcome.{result.outcome.value}")
+        result.metrics = metrics.to_dict()
+        result.trace = tracer.to_dicts()
 
     def _run_unprotected(self, max_instructions: int) -> RunResult:
         """Baseline: the main core alone, no checkers, no checkpoints."""
@@ -754,7 +873,7 @@ class SimulationEngine:
             unit_name = info.instruction.unit.value
             unit_mix[unit_name] = unit_mix.get(unit_name, 0) + 1
         self._executed_total += executed
-        return RunResult(
+        result = RunResult(
             system=self.system_name,
             workload=self.program.name,
             wall_ns=self.wall_ns,
@@ -765,6 +884,8 @@ class SimulationEngine:
             mean_voltage=self.config.dvfs.nominal_voltage,
             unit_mix=dict(self._unit_mix),
         )
+        self._finalize_telemetry(result)
+        return result
 
     def _fill_loop(self, max_instructions: int, livelock_budget: int) -> None:
         """Execute main-core instructions until halt or budget."""
@@ -834,6 +955,13 @@ class SimulationEngine:
                 if self.timeline is not None:
                     self.timeline.record(
                         self.wall_ns, EventKind.EXTERNAL_FLUSH, detail=pending_text
+                    )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "engine",
+                        "external_flush",
+                        time_ns=self.wall_ns,
+                        detail=pending_text,
                     )
                 segment_target = self.length_controller.target
                 continue
@@ -929,5 +1057,12 @@ class SimulationEngine:
             if self.timeline is not None:
                 self.timeline.record(
                     head_effective, EventKind.COMMIT, head.segment.seq
+                )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "engine",
+                    "commit",
+                    time_ns=head_effective,
+                    segment=head.segment.seq,
                 )
         return False

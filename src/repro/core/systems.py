@@ -58,6 +58,10 @@ class System:
 
     config: SystemConfig = field(default_factory=table1_config)
     name: str = "system"
+    #: Record a structured telemetry trace + metrics for every run built
+    #: by this system (see :mod:`repro.telemetry`).  Off by default: the
+    #: disabled path costs nothing.
+    tracing: bool = False
 
     def _options(self) -> EngineOptions:
         raise NotImplementedError
@@ -78,10 +82,13 @@ class System:
         seed = self.config.fault.seed if seed is None else seed
         if injector is None:
             injector = self._injector(seed)
+        options = self._options()
+        if self.tracing:
+            options.tracing = True
         return SimulationEngine(
             workload.program,
             self.config,
-            self._options(),
+            options,
             injector=injector,
             memory=workload.create_memory(),
             system_name=self.name,

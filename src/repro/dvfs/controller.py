@@ -23,9 +23,12 @@ fault-tolerance machinery to mop up the consequences:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..config import DvfsConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import Tracer
 
 
 @dataclass
@@ -82,6 +85,9 @@ class VoltageController:
         #: otherwise outrun the escalation and pin the supply low.
         self._escalation_hold = False
         self.stats = DvfsStats()
+        #: Telemetry bus (set by the engine when tracing is enabled);
+        #: emission sites are checkpoint-granular, never per instruction.
+        self.tracer: Optional["Tracer"] = None
 
     # -- voltage state ----------------------------------------------------------
     @property
@@ -117,11 +123,16 @@ class VoltageController:
         """Advance the AIMD law at a checkpoint boundary."""
         self.advance_to(now_ns)
         config = self.config
+        tracer = self.tracer
         if error_observed:
             self.stats.errors_observed += 1
             self._errors_since_reset += 1
             if self._actual > self._tide_mark:
                 self._tide_mark = self._actual
+                if tracer is not None:
+                    tracer.emit(
+                        "dvfs", "tide_mark", time_ns=now_ns, value=self._tide_mark
+                    )
             if self._actual > self.stats.highest_error_voltage:
                 self.stats.highest_error_voltage = self._actual
             # Multiplicative recovery towards the safe voltage.
@@ -130,6 +141,9 @@ class VoltageController:
                 self._tide_mark = 0.0
                 self._errors_since_reset = 0
                 self.stats.tide_resets += 1
+                if tracer is not None:
+                    tracer.emit("dvfs", "tide_reset", time_ns=now_ns)
+                    tracer.metrics.inc("dvfs.tide_resets")
         elif not self._escalation_hold:
             step = config.step_volts
             if self.dynamic_decrease and self.target_voltage <= self._tide_mark:
@@ -139,6 +153,17 @@ class VoltageController:
         if self._difference > max_difference:
             self._difference = max_difference
         self.stats.trace.append((now_ns, self._actual))
+        if tracer is not None:
+            tracer.emit(
+                "dvfs",
+                "voltage",
+                time_ns=now_ns,
+                value=self._actual,
+                detail="error" if error_observed else "",
+            )
+            tracer.metrics.inc("dvfs.checkpoints")
+            if error_observed:
+                tracer.metrics.inc("dvfs.errors_observed")
 
     # -- forward-progress escalation ---------------------------------------------
     @property
@@ -167,10 +192,17 @@ class VoltageController:
             self._difference = 0.0
         self.stats.escalations += 1
         self.stats.trace.append((now_ns, self._actual))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dvfs", "escalate", time_ns=now_ns, value=self.target_voltage
+            )
+            self.tracer.metrics.inc("dvfs.escalations")
         return self.target_voltage
 
     def release_hold(self) -> None:
         """Forward progress resumed: let the AIMD law seek errors again."""
+        if self._escalation_hold and self.tracer is not None:
+            self.tracer.emit("dvfs", "hold_release")
         self._escalation_hold = False
 
     def advance_to(self, now_ns: float) -> None:

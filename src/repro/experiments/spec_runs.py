@@ -55,6 +55,10 @@ class SuiteTask:
     build_seed: int
     #: Seed for the run's fault/scheduling randomness.
     run_seed: int
+    #: Record telemetry (trace + metrics) for this run; the artifacts
+    #: come back on ``RunResult.trace`` / ``RunResult.metrics`` and so
+    #: survive the worker pipe unchanged.
+    tracing: bool = False
 
 
 @dataclass
@@ -74,6 +78,24 @@ class SpecSuiteRuns:
     def by_system(self, system: str) -> Dict[str, RunResult]:
         return getattr(self, system)
 
+    def all_results(self) -> List[Tuple[str, str, RunResult]]:
+        """Every ``(system, workload, result)`` in deterministic order."""
+        out: List[Tuple[str, str, RunResult]] = []
+        for system in ("baseline", "detection", "paramedic", "paradox"):
+            for workload, result in sorted(self.by_system(system).items()):
+                out.append((system, workload, result))
+        return out
+
+    def merged_metrics(self) -> Dict:
+        """One metrics report aggregating every traced run in the suite.
+
+        Runs executed without tracing contribute nothing (they are
+        counted in the report's ``skipped_runs``).
+        """
+        from ..telemetry import merge_metrics
+
+        return merge_metrics([r.metrics for _, _, r in self.all_results()])
+
 
 def build_suite_tasks(
     names: Sequence[str],
@@ -81,6 +103,7 @@ def build_suite_tasks(
     iterations: int,
     seed: int,
     spread_seeds: bool = False,
+    tracing: bool = False,
 ) -> List[SuiteTask]:
     """Expand the suite grid into independent tasks.
 
@@ -101,6 +124,7 @@ def build_suite_tasks(
             run_seed=(
                 derive_seed(seed, name, system) if spread_seeds else seed
             ),
+            tracing=tracing,
         )
         for name in names
         for system in SUITE_SYSTEMS
@@ -122,16 +146,19 @@ def execute_suite_task(task: SuiteTask) -> RunResult:
     )
 
     workload = _cached_workload(task.workload, task.iterations, task.build_seed)
+    tracing = task.tracing
     if task.system == "baseline":
-        return BaselineSystem().run(workload, seed=task.run_seed)
+        return BaselineSystem(tracing=tracing).run(workload, seed=task.run_seed)
     if task.system == "detection":
-        return DetectionOnlySystem().run(workload, seed=task.run_seed)
-    if task.system == "paramedic":
-        return ParaMedicSystem().run(workload, seed=task.run_seed)
-    if task.system == "paradox":
-        return ParaDoxSystem(config=steady_state_dvfs_config(), dvs=True).run(
+        return DetectionOnlySystem(tracing=tracing).run(
             workload, seed=task.run_seed
         )
+    if task.system == "paramedic":
+        return ParaMedicSystem(tracing=tracing).run(workload, seed=task.run_seed)
+    if task.system == "paradox":
+        return ParaDoxSystem(
+            config=steady_state_dvfs_config(), dvs=True, tracing=tracing
+        ).run(workload, seed=task.run_seed)
     raise ValueError(f"unknown system {task.system!r}")
 
 
@@ -142,6 +169,7 @@ def run_spec_suite(
     systems: Sequence[str] = SUITE_SYSTEMS,
     jobs: int = 1,
     spread_seeds: bool = False,
+    tracing: bool = False,
 ) -> SpecSuiteRuns:
     """Simulate the SPEC proxies on the requested systems.
 
@@ -156,7 +184,9 @@ def run_spec_suite(
     """
     names = list(names) if names is not None else list(SPEC_ORDER)
     runs = SpecSuiteRuns(iterations=iterations)
-    tasks = build_suite_tasks(names, systems, iterations, seed, spread_seeds)
+    tasks = build_suite_tasks(
+        names, systems, iterations, seed, spread_seeds, tracing=tracing
+    )
     results = parallel_map(execute_suite_task, tasks, jobs=jobs)
     for name in names:
         runs.workloads[name] = _cached_workload(name, iterations, seed)

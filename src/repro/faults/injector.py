@@ -22,9 +22,12 @@ execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import Tracer
 
 from ..isa import StepInfo
 from ..isa.state import ArchState
@@ -64,6 +67,24 @@ class FaultInjector:
         #: via :meth:`begin_check` so core-bound models only fire on
         #: their own hardware (None during main-core injection).
         self.current_checker_id: int | None = None
+        #: Telemetry bus (set by the engine when tracing is enabled).
+        #: Emission happens only when a fault actually fires — never on
+        #: the per-operation clean path.
+        self.tracer: "Tracer | None" = None
+
+    def _trace_fault(self, site: str, model: "FaultModel") -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        core = self.current_checker_id
+        tracer.emit(
+            "faults",
+            "inject",
+            core=core if core is not None else -1,
+            detail=f"{site}:{type(model).__name__}",
+        )
+        tracer.metrics.inc("faults.injected")
+        tracer.metrics.inc(f"faults.injected.{site}")
 
     # -- configuration ---------------------------------------------------------------
     def set_rate(self, rate: float) -> None:
@@ -136,6 +157,7 @@ class FaultInjector:
         for model in self.models:
             if self._applies(model) and model.on_instruction(state, info):
                 self.stats.instruction_faults += 1
+                self._trace_fault("instruction", model)
 
     def corrupt_load(self, op_index: int, value: int) -> int:
         # At most one fault per operation: once a model corrupts the
@@ -147,6 +169,7 @@ class FaultInjector:
             value, fired = model.on_load(value)
             if fired:
                 self.stats.load_faults += 1
+                self._trace_fault("load", model)
                 break
         return value
 
@@ -157,6 +180,7 @@ class FaultInjector:
             value, fired = model.on_store(value)
             if fired:
                 self.stats.store_faults += 1
+                self._trace_fault("store", model)
                 break
         return value
 

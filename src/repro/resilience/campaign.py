@@ -80,6 +80,10 @@ class CampaignSpec:
     timeout_s: float = 60.0
     #: Concurrent worker processes (0 = auto).
     workers: int = 0
+    #: Record telemetry for every run: each worker ships its trace and
+    #: metrics back through the result pipe, and the report can merge
+    #: them into one metrics summary / one Perfetto artifact.
+    tracing: bool = False
     #: Fault drills: run_id -> "crash" | "hang" | "error".  The worker
     #: misbehaves accordingly, proving the campaign's isolation without
     #: waiting for a real simulator bug.
@@ -108,6 +112,7 @@ class CampaignSpec:
                     "model": self.models[run_id % len(self.models)],
                     "dvs": self.dvs,
                     "initial_margin": self.initial_margin,
+                    "tracing": self.tracing,
                 }
                 if run_id in self.hooks:
                     payload["hook"] = self.hooks[run_id]
@@ -148,6 +153,9 @@ class RunRecord:
     duration_s: float = 0.0
     #: Worker traceback for ``crash`` records.
     traceback: Optional[str] = None
+    #: Telemetry artifacts, present only when the campaign traced runs.
+    metrics: Optional[Dict[str, Any]] = None
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def voltage_escalations(self) -> int:
@@ -156,6 +164,9 @@ class RunRecord:
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["run_class"] = self.run_class.value
+        # The raw event stream is exported separately (JSONL/Perfetto);
+        # inlining thousands of events would bloat the report JSON.
+        data.pop("trace", None)
         return data
 
 
@@ -190,6 +201,40 @@ class CampaignReport:
     @property
     def crash_tracebacks(self) -> List[str]:
         return [r.traceback for r in self.records if r.traceback]
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """One metrics report aggregating every traced run.
+
+        Untraced runs (and crashed workers, which shipped nothing) are
+        counted in the report's ``skipped_runs``.
+        """
+        from ..telemetry import merge_metrics
+
+        return merge_metrics([record.metrics for record in self.records])
+
+    def merged_trace(self) -> Dict[str, Any]:
+        """One Perfetto-loadable artifact: each traced run as a process."""
+        from ..telemetry import events_from_dicts, merge_traces
+
+        runs = [
+            (
+                f"run-{record.run_id} seed={record.seed} {record.model}",
+                events_from_dicts(record.trace),
+            )
+            for record in self.records
+            if record.trace
+        ]
+        return merge_traces(runs)
+
+    def write_metrics_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.merged_metrics(), handle, indent=2)
+            handle.write("\n")
+
+    def write_perfetto(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.merged_trace(), handle)
+            handle.write("\n")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -324,6 +369,7 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         # No voltage->rate model: the campaign pins the requested rate so
         # runs are comparable across the rate grid.
         voltage_model=None,
+        tracing=bool(payload.get("tracing", False)),
         resilience=ResilienceConfig(),
     )
     engine = SimulationEngine(
@@ -364,6 +410,8 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         "escalations": stages,
         "failure": result.failure.summary() if result.failure else None,
         "duration_s": time.perf_counter() - started,
+        "metrics": result.metrics,
+        "trace": result.trace,
     }
 
 
@@ -429,6 +477,8 @@ def _record_from_message(
     record.quarantined = list(message["quarantined"])
     record.escalations = dict(message["escalations"])
     record.duration_s = message["duration_s"]
+    record.metrics = message.get("metrics")
+    record.trace = message.get("trace")
     return record
 
 

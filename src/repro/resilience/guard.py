@@ -31,11 +31,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..checkpoint import CheckpointLengthController
 from ..dvfs import VoltageController
 from ..faults.injector import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import Tracer
 
 
 @dataclass(frozen=True)
@@ -146,6 +149,20 @@ class ForwardProgressGuard:
         self._checkers: Counter = Counter()
         #: Set by the engine so failure diagnostics can report quarantines.
         self.quarantined_provider = lambda: []
+        #: Telemetry bus (set by the engine when tracing is enabled).
+        self.tracer: Optional["Tracer"] = None
+
+    def _trace_escalation(self, event: EscalationEvent) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            "resilience",
+            "escalation",
+            time_ns=event.at_ns,
+            value=event.voltage,
+            detail=event.stage,
+        )
+        self.tracer.metrics.inc(f"resilience.escalations.{event.stage}")
 
     # -- state -------------------------------------------------------------------
     @property
@@ -209,28 +226,28 @@ class ForwardProgressGuard:
         config = self.config
         if self._streak == config.shrink_after:
             self.length_controller.force_minimum()
-            self.events.append(
-                EscalationEvent(
-                    now_ns, "shrink", checkpoint_instret, self._streak,
-                    self._voltage_now(),
-                )
+            event = EscalationEvent(
+                now_ns, "shrink", checkpoint_instret, self._streak,
+                self._voltage_now(),
             )
+            self.events.append(event)
+            self._trace_escalation(event)
         if self._streak >= config.escalate_after and self.dvfs is not None:
             if not self.dvfs.at_safe_voltage:
                 self.dvfs.escalate(now_ns, config.voltage_escalation_factor)
-                self.events.append(
-                    EscalationEvent(
-                        now_ns, "voltage", checkpoint_instret, self._streak,
-                        self._voltage_now(),
-                    )
-                )
-        if self._streak >= config.fail_after and self._at_safe():
-            self.events.append(
-                EscalationEvent(
-                    now_ns, "fail", checkpoint_instret, self._streak,
+                event = EscalationEvent(
+                    now_ns, "voltage", checkpoint_instret, self._streak,
                     self._voltage_now(),
                 )
+                self.events.append(event)
+                self._trace_escalation(event)
+        if self._streak >= config.fail_after and self._at_safe():
+            event = EscalationEvent(
+                now_ns, "fail", checkpoint_instret, self._streak,
+                self._voltage_now(),
             )
+            self.events.append(event)
+            self._trace_escalation(event)
             raise ForwardProgressFailure(self._diagnostics(checkpoint_instret))
 
     def _diagnostics(self, checkpoint_instret: int) -> ForwardProgressDiagnostics:

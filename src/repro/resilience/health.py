@@ -20,7 +20,10 @@ log, not in the checker.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry import Tracer
 
 
 @dataclass
@@ -60,6 +63,8 @@ class CheckerHealthTracker:
             core_id: CheckerHealth() for core_id in range(core_count)
         }
         self.events: List[QuarantineEvent] = []
+        #: Telemetry bus (set by the engine when tracing is enabled).
+        self.tracer: Optional["Tracer"] = None
 
     # -- queries -----------------------------------------------------------------
     def is_quarantined(self, core_id: int) -> bool:
@@ -88,6 +93,9 @@ class CheckerHealthTracker:
         # vindication count so an honest checker near the threshold is
         # not quarantined for doing its job during a main-core storm.
         health.vindications = 0
+        if self.tracer is not None:
+            self.tracer.emit("resilience", "absolution", core=core_id)
+            self.tracer.metrics.inc("resilience.absolutions")
 
     def record_vindication(self, core_id: int, at_ns: float) -> "QuarantineEvent | None":
         """A clean re-run elsewhere proved this core's detection false.
@@ -97,6 +105,9 @@ class CheckerHealthTracker:
         """
         health = self.health[core_id]
         health.vindications += 1
+        if self.tracer is not None:
+            self.tracer.emit("resilience", "vindication", time_ns=at_ns, core=core_id)
+            self.tracer.metrics.inc("resilience.vindications")
         if health.quarantined:
             return None
         if health.vindications < self.quarantine_vindications:
@@ -111,4 +122,13 @@ class CheckerHealthTracker:
             detections=health.detections,
         )
         self.events.append(event)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "resilience",
+                "quarantine",
+                time_ns=at_ns,
+                core=core_id,
+                value=float(health.vindications),
+            )
+            self.tracer.metrics.inc("resilience.quarantines")
         return event

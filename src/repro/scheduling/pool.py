@@ -21,6 +21,7 @@ from ..cores.checker_core import CheckerCore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.health import CheckerHealthTracker
+    from ..telemetry import Tracer
 
 
 class SchedulingPolicy(enum.Enum):
@@ -62,6 +63,9 @@ class CheckerPool:
         self.health = health
         self._rr_pointer = 0
         self.dispatches: List[DispatchRecord] = []
+        #: Telemetry bus (set by the engine when tracing is enabled);
+        #: emits one busy interval per dispatch, one event per squash.
+        self.tracer: Optional["Tracer"] = None
         #: ID (physical index) of the previously allocated core, stored at
         #: the end of each log segment for continuity (figure 5).
         self.last_core_id: Optional[int] = None
@@ -148,6 +152,17 @@ class CheckerPool:
         record = DispatchRecord(core.core_id, segment_seq, start_ns, end_ns)
         self.dispatches.append(record)
         self.last_core_id = core.core_id
+        if self.tracer is not None:
+            self.tracer.emit(
+                "scheduling",
+                "busy",
+                time_ns=start_ns,
+                segment=segment_seq,
+                core=core.core_id,
+                value=duration_ns,
+            )
+            self.tracer.metrics.inc("scheduling.dispatches")
+            self.tracer.metrics.observe("scheduling.busy_ns", duration_ns)
         return record
 
     def abort(self, record: DispatchRecord, at_ns: float) -> None:
@@ -158,6 +173,16 @@ class CheckerPool:
             core.busy_ns_total -= reclaimed
             core.busy_until_ns = min(core.busy_until_ns, at_ns)
             record.end_ns = max(at_ns, record.start_ns)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "scheduling",
+                    "abort",
+                    time_ns=at_ns,
+                    segment=record.segment_seq,
+                    core=record.core_id,
+                    value=reclaimed,
+                )
+                self.tracer.metrics.inc("scheduling.aborts")
 
     # -- gating statistics -------------------------------------------------------------
     def wake_rates(self, total_ns: float) -> List[float]:

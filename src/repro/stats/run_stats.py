@@ -169,6 +169,13 @@ class RunResult:
     #: Executed instructions per functional-unit class (including wasted
     #: re-execution) — input to activity-based energy accounting.
     unit_mix: Dict[str, int] = field(default_factory=dict)
+    #: Telemetry metrics summary (``MetricsRegistry.to_dict()``), present
+    #: only when the run was traced (``EngineOptions.tracing``).  Plain
+    #: dicts, so the result pickles cheaply across worker processes.
+    metrics: Optional[Dict] = None
+    #: Telemetry event stream (compact ``TraceEvent.to_dict()`` records,
+    #: time-ordered), present only when the run was traced.
+    trace: Optional[List[Dict]] = None
 
     # -- derived metrics ------------------------------------------------------------
     @property

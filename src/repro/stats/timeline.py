@@ -71,9 +71,18 @@ class Timeline:
         return len(self.events)
 
     def span_ns(self) -> float:
+        """Wall time covered by the recorded events (earliest to latest).
+
+        Computed over the *time-ordered* events: the raw list is in
+        recording order, and lazily processed commits carry earlier
+        effective timestamps than the events recorded around them — a
+        first/last subtraction over recording order can under-report the
+        span (or even go negative).
+        """
         if not self.events:
             return 0.0
-        return self.events[-1].time_ns - self.events[0].time_ns
+        times = [event.time_ns for event in self.events]
+        return max(times) - min(times)
 
     def validate_ordering(self) -> None:
         """Raise if per-segment events violate the lifecycle order.

@@ -1,0 +1,219 @@
+"""Counters, gauges and histograms for one run — and their cross-run merge.
+
+A :class:`MetricsRegistry` is deliberately dumb: string-named counters
+(monotonic sums), gauges (last-write-wins scalars) and fixed-bucket
+histograms.  The simulator's hot path never touches it — controllers
+increment at checkpoint/dispatch granularity, and the engine derives the
+bulk of the summary from run statistics it already keeps — so a run with
+telemetry disabled pays nothing, and a run with it enabled pays only at
+segment boundaries.
+
+:func:`merge_metrics` folds many runs' serialized registries into one
+report: counters and histograms add; gauges aggregate into
+``{min, max, mean}`` because "final voltage" of eight workers has no
+single truthful value.  The merged shape is distinguishable from a
+single run's by its ``merged_runs`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import SCHEMA_NAME, SCHEMA_VERSION, SchemaError
+
+#: Default histogram bucket edges (unit-agnostic, roughly log-spaced).
+#: A value lands in the first bucket whose edge is >= value; the last
+#: bucket is the overflow.
+DEFAULT_EDGES: Tuple[float, ...] = (
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram; merging two is bucket-wise addition."""
+
+    edges: Tuple[float, ...] = DEFAULT_EDGES
+    counts: List[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+        if len(self.counts) != len(self.edges) + 1:
+            raise ValueError(
+                f"histogram needs {len(self.edges) + 1} buckets, "
+                f"got {len(self.counts)}"
+            )
+
+    def observe(self, value: float) -> None:
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        return cls(
+            edges=tuple(data["edges"]),
+            counts=list(data["counts"]),
+            total=int(data["total"]),
+            sum=float(data["sum"]),
+        )
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.edges) != tuple(self.edges):
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: Per-checker lists (utilization, dispatch counts...), keyed by
+        #: metric name; merged element-wise across runs.
+        self.per_checker: Dict[str, List[float]] = {}
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(edges=tuple(edges))
+        histogram.observe(value)
+
+    def set_per_checker(self, name: str, values: Sequence[float]) -> None:
+        self.per_checker[name] = [float(v) for v in values]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in self.histograms.items()
+            },
+            "per_checker": {
+                name: list(values) for name, values in self.per_checker.items()
+            },
+        }
+
+
+def _require_metrics_dict(data: Mapping[str, Any]) -> None:
+    if data.get("schema") != SCHEMA_NAME:
+        raise SchemaError(f"not a telemetry metrics dict: {data.get('schema')!r}")
+    if data.get("version") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"metrics schema version {data.get('version')!r} "
+            f"!= supported {SCHEMA_VERSION}"
+        )
+
+
+def merge_metrics(
+    runs: Sequence[Optional[Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Aggregate many runs' ``MetricsRegistry.to_dict()`` payloads.
+
+    ``None`` entries (runs without telemetry, crashed workers) are
+    skipped but counted in ``skipped_runs`` so a merged report never
+    silently claims more coverage than it has.
+    """
+    present = [run for run in runs if run is not None]
+    for run in present:
+        _require_metrics_dict(run)
+
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Histogram] = {}
+    per_checker: Dict[str, List[float]] = {}
+    per_checker_runs: Dict[str, int] = {}
+
+    for run in present:
+        for name, value in run.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in run.get("gauges", {}).items():
+            stats = gauges.setdefault(
+                name, {"min": value, "max": value, "mean": 0.0, "_n": 0}
+            )
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+            stats["mean"] += value
+            stats["_n"] += 1
+        for name, payload in run.get("histograms", {}).items():
+            incoming = Histogram.from_dict(payload)
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        for name, values in run.get("per_checker", {}).items():
+            summed = per_checker.setdefault(name, [0.0] * len(values))
+            if len(summed) < len(values):
+                summed.extend([0.0] * (len(values) - len(summed)))
+            for index, value in enumerate(values):
+                summed[index] += value
+            per_checker_runs[name] = per_checker_runs.get(name, 0) + 1
+
+    for stats in gauges.values():
+        n = stats.pop("_n")
+        stats["mean"] = stats["mean"] / n if n else 0.0
+    # Per-checker lists are mean-per-core across runs (a utilization sum
+    # over eight runs is not a utilization).
+    for name, summed in per_checker.items():
+        n = per_checker_runs[name] or 1
+        per_checker[name] = [value / n for value in summed]
+
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "merged_runs": len(present),
+        "skipped_runs": len(runs) - len(present),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {
+            name: histogram.to_dict() for name, histogram in histograms.items()
+        },
+        "per_checker": per_checker,
+    }

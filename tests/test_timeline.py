@@ -88,3 +88,13 @@ class TestRendering:
     def test_span(self, bitcount_small):
         timeline, result = run_with_timeline(bitcount_small)
         assert 0 < timeline.span_ns() <= result.wall_ns * 2
+
+    def test_span_is_recording_order_independent(self):
+        # Lazily processed commits are recorded *after* later events but
+        # carry earlier effective timestamps; span_ns must cover the
+        # true earliest..latest range, not first-recorded..last-recorded.
+        timeline = Timeline()
+        timeline.record(100.0, EventKind.SEGMENT_OPEN, 1)
+        timeline.record(900.0, EventKind.SEGMENT_CLOSE, 1)
+        timeline.record(50.0, EventKind.COMMIT, 1)  # out of order
+        assert timeline.span_ns() == 850.0
