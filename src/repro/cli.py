@@ -18,6 +18,14 @@ Commands:
 * ``trace`` — simulate one workload with telemetry enabled and export
   the event stream as Perfetto-loadable JSON (``--out``), versioned
   JSONL (``--jsonl-out``) and/or a metrics summary (``--metrics-out``).
+* ``diffcheck`` — differentially execute one workload three ways
+  (reference ISS, executor + log fill, checker replay) and diff full
+  architectural state at every checkpoint boundary.
+* ``fuzz`` — seeded, shrinkable ISA program fuzzing fed through the
+  differential oracle; fails (exit 1) on any divergence.
+
+``run`` and ``suite`` accept ``--paranoid`` to assert engine
+bookkeeping invariants at every segment boundary (see docs/ORACLE.md).
 """
 
 from __future__ import annotations
@@ -91,6 +99,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resilient and args.system != "paradox":
         raise SystemExit("--resilient is only meaningful with --system paradox")
     system = SYSTEMS[args.system](config, args.dvs, args.resilient)
+    system.paranoid = args.paranoid
     engine = system.engine(workload, seed=args.seed)
     if args.timeline:
         from .stats import Timeline
@@ -241,6 +250,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             systems=systems,
             jobs=args.jobs,
             tracing=tracing,
+            paranoid=args.paranoid,
         )
     except ValueError as error:  # e.g. an unknown --systems entry
         raise SystemExit(str(error))
@@ -293,6 +303,139 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_granularities(value: str):
+    from .lslog.segment import RollbackGranularity
+
+    if value == "all":
+        return list(RollbackGranularity)
+    try:
+        return [RollbackGranularity(value)]
+    except ValueError:
+        choices = [g.value for g in RollbackGranularity] + ["all"]
+        raise SystemExit(f"unknown granularity {value!r}; choose from {choices}")
+
+
+def cmd_diffcheck(args: argparse.Namespace) -> int:
+    import json
+
+    from .oracle import DifferentialRunner
+    from .telemetry import Tracer, write_jsonl_path
+
+    workload = resolve_workload(args.workload, args.scale)
+    granularities = _parse_granularities(args.granularity)
+    tracer = Tracer(command="diffcheck", workload=workload.name) if args.jsonl_out else None
+    reports = []
+    failed = False
+    for granularity in granularities:
+        runner = DifferentialRunner(
+            workload,
+            granularity=granularity,
+            checkpoint_interval=args.checkpoint_interval,
+            tracer=tracer,
+        )
+        report = runner.run(max_instructions=args.max_instructions)
+        reports.append(report)
+        status = "ok" if report.ok else "DIVERGED"
+        print(
+            f"{workload.name:>12s} {granularity.value:>5s} "
+            f"{report.instructions:8d} instr {report.segments:6d} segments "
+            f"{status}"
+        )
+        if not report.ok:
+            failed = True
+            print(f"  {report.divergence.describe()}")
+            for line in report.divergence.trace[-8:]:
+                print(f"    {line}")
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "checkpoint_interval": args.checkpoint_interval,
+            "ok": not failed,
+            "reports": [report.to_dict() for report in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if tracer is not None:
+        count = write_jsonl_path(args.jsonl_out, tracer.events, meta=tracer.meta)
+        print(f"{count} oracle events written to {args.jsonl_out}")
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .oracle import run_fuzz
+    from .oracle.fuzzer import PROFILES
+
+    profiles = tuple(args.profiles.split(",")) if args.profiles else tuple(PROFILES)
+    unknown = [p for p in profiles if p not in PROFILES]
+    if unknown:
+        raise SystemExit(f"unknown profiles {unknown}; choose from {list(PROFILES)}")
+    granularities = _parse_granularities(args.granularity)
+    seeds = range(args.first_seed, args.first_seed + args.seeds)
+
+    def progress(result) -> None:
+        if not result.ok:
+            print(
+                f"DIVERGED seed {result.case.seed} profile "
+                f"{result.case.profile}: {result.report.divergence.describe()}"
+            )
+            if result.shrunk_report is not None:
+                print(
+                    f"  shrunk to {len(result.shrunk.atoms)} atoms: "
+                    f"{result.shrunk_report.divergence.describe()}"
+                )
+        elif args.verbose:
+            print(
+                f"ok seed {result.case.seed} {result.case.profile} "
+                f"({result.report.instructions} instr)"
+            )
+
+    started = time.perf_counter()
+    campaigns = []
+    failures = 0
+    for granularity in granularities:
+        campaign = run_fuzz(
+            seeds,
+            profiles=profiles,
+            granularity=granularity,
+            checkpoint_interval=args.checkpoint_interval,
+            shrink=not args.no_shrink,
+            progress=progress,
+        )
+        campaigns.append((granularity, campaign))
+        failures += len(campaign.failures)
+    wall_s = time.perf_counter() - started
+    cases = sum(c.cases for _, c in campaigns)
+    instructions = sum(c.instructions for _, c in campaigns)
+    print(
+        f"{cases} programs ({args.seeds} seeds x {len(profiles)} profiles "
+        f"x {len(granularities)} granularities), {instructions} "
+        f"instructions differentially checked in {wall_s:.1f} s: "
+        f"{failures} divergences"
+    )
+    if args.json:
+        payload = {
+            "seeds": args.seeds,
+            "first_seed": args.first_seed,
+            "profiles": list(profiles),
+            "wall_s": wall_s,
+            "ok": failures == 0,
+            "campaigns": {
+                granularity.value: campaign.to_dict()
+                for granularity, campaign in campaigns
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 1 if failures else 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import fig08, fig09, fig10, fig11, fig12, fig13, sec6e
 
@@ -332,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient",
         action="store_true",
         help="enable the resilience layer (forward-progress guard + quarantine)",
+    )
+    run.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="assert engine bookkeeping invariants at every segment boundary",
     )
     run.set_defaults(func=cmd_run)
 
@@ -417,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="write the suite's merged metrics report (implies --trace)",
     )
+    suite.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="assert engine bookkeeping invariants during every run",
+    )
     suite.set_defaults(func=cmd_suite)
 
     trace = sub.add_parser(
@@ -449,6 +602,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", help="write the run's metrics summary to this path"
     )
     trace.set_defaults(func=cmd_trace)
+
+    diffcheck = sub.add_parser(
+        "diffcheck",
+        help="differentially execute a workload: reference ISS vs "
+        "executor vs checker replay",
+    )
+    diffcheck.add_argument("workload")
+    diffcheck.add_argument("--scale", type=float, default=1.0)
+    diffcheck.add_argument(
+        "--granularity",
+        default="all",
+        help="rollback granularity to log under: word, line, none, or all",
+    )
+    diffcheck.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=61,
+        help="instructions per checkpoint boundary",
+    )
+    diffcheck.add_argument(
+        "--max-instructions", type=int, default=None, help="cap the run length"
+    )
+    diffcheck.add_argument("--json", help="write the JSON report to this path")
+    diffcheck.add_argument(
+        "--jsonl-out", help="write oracle telemetry events to this path"
+    )
+    diffcheck.set_defaults(func=cmd_diffcheck)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based ISA program fuzzing through the "
+        "differential oracle",
+    )
+    fuzz.add_argument("--seeds", type=int, default=50, help="number of seeds")
+    fuzz.add_argument("--first-seed", type=int, default=1)
+    fuzz.add_argument(
+        "--profiles",
+        default="",
+        help="comma-separated program profiles (default: all)",
+    )
+    fuzz.add_argument(
+        "--granularity",
+        default="line",
+        help="rollback granularity: word, line, none, or all",
+    )
+    fuzz.add_argument("--checkpoint-interval", type=int, default=61)
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimisation of diverging programs",
+    )
+    fuzz.add_argument("--json", help="write the JSON report to this path")
+    fuzz.add_argument(
+        "-v", "--verbose", action="store_true", help="print every seed"
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -34,7 +34,7 @@ buffering of unchecked stores that multicore correctness requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -70,6 +70,9 @@ from ..scheduling import CheckerPool, DispatchRecord, SchedulingPolicy
 from ..stats import RecoveryEvent, RunOutcome, RunResult, StallBreakdown, StallBucket
 from ..stats.timeline import EventKind, Timeline
 from ..telemetry import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..oracle.invariants import ParanoidChecker
 
 
 class LivelockError(RuntimeError):
@@ -121,6 +124,14 @@ class EngineOptions:
     #: of livelock aborts, plus checker health tracking and quarantine.
     #: None preserves the legacy detect-and-rollback-or-die behaviour.
     resilience: Optional[ResilienceConfig] = None
+    #: Re-derive and assert engine bookkeeping invariants (segment seq
+    #: monotonicity, tracker/segment agreement, quarantine consistency,
+    #: DVFS bounds) at segment granularity, raising
+    #: :class:`repro.oracle.invariants.EngineInvariantError` on the
+    #: first violation.  Disabled (the default) costs nothing: no
+    #: checker object exists and every hook site is one ``is not None``
+    #: test at segment granularity, exactly like ``tracing``.
+    paranoid: bool = False
 
 
 class SimulationEngine:
@@ -262,6 +273,15 @@ class SimulationEngine:
                 self.guard.tracer = self.tracer
             if self.health is not None:
                 self.health.tracer = self.tracer
+        #: Optional invariant checker (EngineOptions.paranoid): absent
+        #: by default, so every hook site is one ``is not None`` test at
+        #: segment granularity — the tracing discipline.  Imported
+        #: lazily to keep the oracle package out of production imports.
+        self.paranoid: Optional["ParanoidChecker"] = None
+        if options.paranoid:
+            from ..oracle.invariants import ParanoidChecker
+
+            self.paranoid = ParanoidChecker()
         #: PCs of externally visible syscalls, precomputed so the fill
         #: loop's per-instruction "is the next instruction external?"
         #: test is one set-membership probe.
@@ -366,6 +386,9 @@ class SimulationEngine:
             else LengthEvent.CLEAN
         )
         self.length_controller.observe(segment.instruction_count, event)
+
+        if self.paranoid is not None:
+            self.paranoid.on_close(self, segment)
 
         # Next segment continues from this checkpoint.
         self._open_segment(segment.end_state)
@@ -484,6 +507,7 @@ class SimulationEngine:
         waiting state of figure 2); commit releases its unchecked lines.
         A pending *detection* blocks commits of everything younger.
         """
+        committed = False
         while self._pending:
             head = self._pending[0]
             if head.result.detected:
@@ -495,6 +519,7 @@ class SimulationEngine:
             self.tracker.release_through(head.segment.seq)
             self._pending.pop(0)
             self._segment_start_wall.pop(head.segment.seq, None)
+            committed = True
             if self.guard is not None:
                 self.guard.on_commit(head.segment.end_state.instret)
             if self.timeline is not None:
@@ -503,6 +528,8 @@ class SimulationEngine:
                 self.tracer.emit(
                     "engine", "commit", time_ns=effective, segment=head.segment.seq
                 )
+        if committed and self.paranoid is not None:
+            self.paranoid.on_commit(self)
 
     def _handle_detection(self, pending: PendingCheck) -> None:
         """Roll back to the start of the faulty segment and resume."""
@@ -625,6 +652,8 @@ class SimulationEngine:
         # Resume filling from the restored state.
         self._external_verified = False
         self._open_segment(faulty.start_state.snapshot())
+        if self.paranoid is not None:
+            self.paranoid.on_rollback(self, faulty.seq - 1)
         del useful_before
 
     def _handle_main_trap(self, trap: SimTrap) -> None:
@@ -728,6 +757,8 @@ class SimulationEngine:
                 self._sync_dvfs_outputs()
         self._external_verified = False
         self._open_segment(filler.start_state.snapshot())
+        if self.paranoid is not None:
+            self.paranoid.on_rollback(self, filler.seq - 1)
 
     # ------------------------------------------------------------------- run --
     def run(self, max_instructions: int = 1_000_000) -> RunResult:
@@ -1065,4 +1096,6 @@ class SimulationEngine:
                     time_ns=head_effective,
                     segment=head.segment.seq,
                 )
+        if self.paranoid is not None:
+            self.paranoid.on_commit(self)
         return False

@@ -62,6 +62,11 @@ class System:
     #: by this system (see :mod:`repro.telemetry`).  Off by default: the
     #: disabled path costs nothing.
     tracing: bool = False
+    #: Assert engine bookkeeping invariants at segment granularity for
+    #: every run built by this system (see
+    #: :mod:`repro.oracle.invariants`).  Off by default, same zero-cost
+    #: discipline as ``tracing``.
+    paranoid: bool = False
 
     def _options(self) -> EngineOptions:
         raise NotImplementedError
@@ -85,6 +90,8 @@ class System:
         options = self._options()
         if self.tracing:
             options.tracing = True
+        if self.paranoid:
+            options.paranoid = True
         return SimulationEngine(
             workload.program,
             self.config,

@@ -59,6 +59,9 @@ class SuiteTask:
     #: come back on ``RunResult.trace`` / ``RunResult.metrics`` and so
     #: survive the worker pipe unchanged.
     tracing: bool = False
+    #: Assert engine bookkeeping invariants at segment granularity
+    #: during this run (see :mod:`repro.oracle.invariants`).
+    paranoid: bool = False
 
 
 @dataclass
@@ -104,6 +107,7 @@ def build_suite_tasks(
     seed: int,
     spread_seeds: bool = False,
     tracing: bool = False,
+    paranoid: bool = False,
 ) -> List[SuiteTask]:
     """Expand the suite grid into independent tasks.
 
@@ -125,6 +129,7 @@ def build_suite_tasks(
                 derive_seed(seed, name, system) if spread_seeds else seed
             ),
             tracing=tracing,
+            paranoid=paranoid,
         )
         for name in names
         for system in SUITE_SYSTEMS
@@ -147,17 +152,25 @@ def execute_suite_task(task: SuiteTask) -> RunResult:
 
     workload = _cached_workload(task.workload, task.iterations, task.build_seed)
     tracing = task.tracing
+    paranoid = task.paranoid
     if task.system == "baseline":
-        return BaselineSystem(tracing=tracing).run(workload, seed=task.run_seed)
+        return BaselineSystem(tracing=tracing, paranoid=paranoid).run(
+            workload, seed=task.run_seed
+        )
     if task.system == "detection":
-        return DetectionOnlySystem(tracing=tracing).run(
+        return DetectionOnlySystem(tracing=tracing, paranoid=paranoid).run(
             workload, seed=task.run_seed
         )
     if task.system == "paramedic":
-        return ParaMedicSystem(tracing=tracing).run(workload, seed=task.run_seed)
+        return ParaMedicSystem(tracing=tracing, paranoid=paranoid).run(
+            workload, seed=task.run_seed
+        )
     if task.system == "paradox":
         return ParaDoxSystem(
-            config=steady_state_dvfs_config(), dvs=True, tracing=tracing
+            config=steady_state_dvfs_config(),
+            dvs=True,
+            tracing=tracing,
+            paranoid=paranoid,
         ).run(workload, seed=task.run_seed)
     raise ValueError(f"unknown system {task.system!r}")
 
@@ -170,6 +183,7 @@ def run_spec_suite(
     jobs: int = 1,
     spread_seeds: bool = False,
     tracing: bool = False,
+    paranoid: bool = False,
 ) -> SpecSuiteRuns:
     """Simulate the SPEC proxies on the requested systems.
 
@@ -185,7 +199,8 @@ def run_spec_suite(
     names = list(names) if names is not None else list(SPEC_ORDER)
     runs = SpecSuiteRuns(iterations=iterations)
     tasks = build_suite_tasks(
-        names, systems, iterations, seed, spread_seeds, tracing=tracing
+        names, systems, iterations, seed, spread_seeds, tracing=tracing,
+        paranoid=paranoid,
     )
     results = parallel_map(execute_suite_task, tasks, jobs=jobs)
     for name in names:

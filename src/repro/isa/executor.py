@@ -20,6 +20,8 @@ simulator crashes):
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, Tuple
 
@@ -188,7 +190,11 @@ class Executor:
 
         def fdiv(a: float, b: float) -> float:
             if b == 0.0:
-                return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+                # IEEE 754: x/±0 is ±inf with the XOR of the operand
+                # signs (so 1.0/-0.0 is -inf), and 0/0 or NaN/0 is NaN.
+                if a == 0.0 or math.isnan(a):
+                    return float("nan")
+                return math.copysign(float("inf"), a) * math.copysign(1.0, b)
             return a / b
 
         d[Opcode.ADD] = binop(lambda a, b: a + b)

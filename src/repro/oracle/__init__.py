@@ -1,0 +1,56 @@
+"""Differential-execution oracle: the harness that checks the simulator.
+
+ParaDox's coverage and false-detection numbers are only as trustworthy
+as the claim that main-core execution, checker log-replay and the
+functional ISA all agree.  This package cross-checks that claim:
+
+* :mod:`~repro.oracle.reference` — a deliberately simple golden-model
+  ISS, written independently of the production executor;
+* :mod:`~repro.oracle.differential` — runs a workload three ways and
+  diffs full architectural state at every checkpoint boundary;
+* :mod:`~repro.oracle.fuzzer` — seeded, shrinkable ISA program
+  generation feeding the differential runner (``repro fuzz``);
+* :mod:`~repro.oracle.invariants` — opt-in paranoid-mode engine
+  invariant assertions (``EngineOptions.paranoid``).
+
+See ``docs/ORACLE.md`` for the design and the reproduction workflow.
+"""
+
+from .differential import (
+    DiffReport,
+    DifferentialRunner,
+    Divergence,
+    diff_workload,
+    memory_digest,
+)
+from .fuzzer import (
+    FuzzCampaign,
+    FuzzCase,
+    FuzzResult,
+    build_workload,
+    generate_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from .invariants import EngineInvariantError, ParanoidChecker
+from .reference import ReferenceISS
+
+__all__ = [
+    "DiffReport",
+    "DifferentialRunner",
+    "Divergence",
+    "EngineInvariantError",
+    "FuzzCampaign",
+    "FuzzCase",
+    "FuzzResult",
+    "ParanoidChecker",
+    "ReferenceISS",
+    "build_workload",
+    "diff_workload",
+    "generate_case",
+    "memory_digest",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+]

@@ -1,0 +1,501 @@
+"""Property-based ISA program fuzzer feeding the differential oracle.
+
+Programs are assembled from a seeded list of self-contained **atoms** —
+short instruction bursts (ALU, branchy, memory, FP, syscall, subroutine
+call) whose labels and control flow are wholly internal, so any subset
+of atoms still assembles and terminates.  That closure property is what
+makes shrinking trivial: a failing program is minimised by greedily
+dropping atoms while the divergence persists, with no constraint solver.
+
+Termination is by construction, not by budget:
+
+* the only backward edge is the loop tail ``cbnz x29`` on a counter that
+  is strictly decremented once per iteration and never otherwise
+  written;
+* every branch inside an atom is forward, to a label defined within the
+  same atom;
+* subroutines are straight-line and return through ``x30``.
+
+Register convention: ``x28`` holds the data-region base and ``x29`` the
+loop counter (no atom writes either), ``x30`` is the link register,
+``x1..x26`` and ``f0..f15`` are fuzz scratch.  Memory atoms address only
+``x28 + 8*k`` for ``k`` in ``[0, 64)``, so accesses are always aligned
+and in bounds — the oracle hunts for semantic divergence, not traps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import MASK64, Opcode, ProgramBuilder, Syscall, float_to_bits
+from ..lslog.segment import RollbackGranularity
+from ..workloads.base import Workload
+from .differential import DiffReport, DifferentialRunner
+
+#: Word-aligned base of the fuzz data region.
+DATA_BASE = 0x1000
+#: Number of words in the data region; all addressing stays inside it.
+DATA_WORDS = 64
+
+#: Registers the skeleton reserves; atoms must not write them.
+REG_BASE = 28
+REG_COUNTER = 29
+REG_LINK = 30
+SCRATCH_X = tuple(range(1, 27))
+SCRATCH_F = tuple(range(16))
+
+#: Integer operands that sit on the corner cases of 64-bit arithmetic.
+INTERESTING_INTS = (
+    0,
+    1,
+    -1,
+    2,
+    -2,
+    63,
+    64,
+    (1 << 63) - 1,
+    -(1 << 63),
+    1 << 62,
+    MASK64,
+    0x5555_5555_5555_5555,
+    0xAAAA_AAAA_AAAA_AAAA,
+)
+
+#: Float operands covering signed zero, infinities, NaN and denormals.
+INTERESTING_FLOATS = (
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    1.5,
+    -2.75,
+    float("inf"),
+    float("-inf"),
+    float("nan"),
+    1e308,
+    -1e308,
+    5e-324,
+    9.223372036854776e18,
+    -9.223372036854776e18,
+)
+
+#: Atom kinds and their weights per fuzz profile.
+PROFILES: Dict[str, Dict[str, int]] = {
+    "mixed": {
+        "alu": 4,
+        "alu_imm": 3,
+        "branchy": 3,
+        "mem": 3,
+        "fp": 2,
+        "fp_branch": 1,
+        "syscall": 1,
+        "subcall": 1,
+    },
+    "branchy": {
+        "alu": 2,
+        "alu_imm": 1,
+        "branchy": 6,
+        "mem": 1,
+        "fp": 1,
+        "fp_branch": 2,
+        "syscall": 1,
+        "subcall": 2,
+    },
+    "memory": {
+        "alu": 2,
+        "alu_imm": 1,
+        "branchy": 1,
+        "mem": 7,
+        "fp": 1,
+        "fp_branch": 0,
+        "syscall": 1,
+        "subcall": 1,
+    },
+    "fp": {
+        "alu": 1,
+        "alu_imm": 1,
+        "branchy": 1,
+        "mem": 2,
+        "fp": 6,
+        "fp_branch": 3,
+        "syscall": 1,
+        "subcall": 0,
+    },
+    "syscall": {
+        "alu": 2,
+        "alu_imm": 1,
+        "branchy": 1,
+        "mem": 2,
+        "fp": 1,
+        "fp_branch": 1,
+        "syscall": 6,
+        "subcall": 1,
+    },
+}
+
+_ALU_OPS = ("add", "sub", "and_", "orr", "eor", "lsl", "lsr", "mul", "div", "rem")
+_ALU_IMM_OPS = ("addi", "subi", "andi", "orri", "eori", "lsli", "lsri", "asri")
+_FP_OPS = ("fadd", "fsub", "fmul", "fdiv")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bgt", "ble")
+_SYSCALLS = (
+    int(Syscall.PRINT_INT),
+    int(Syscall.PRINT_FLOAT),
+    int(Syscall.GET_INSTRET),
+    int(Syscall.WRITE_EXTERNAL),
+    99,  # unknown numbers must behave as NOPs on every layer
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One self-contained burst: rebuildable from (kind, seed) alone."""
+
+    kind: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A fully-determined fuzz program: seed + derived shape."""
+
+    seed: int
+    profile: str
+    iterations: int
+    atoms: Tuple[Atom, ...]
+    #: Number of straight-line subroutines appended after ``halt``.
+    subroutines: int
+
+
+# -- atom emitters -------------------------------------------------------------
+def _emit_alu(b: ProgramBuilder, rng: random.Random) -> None:
+    for _ in range(rng.randint(2, 5)):
+        op = rng.choice(_ALU_OPS)
+        rd = rng.choice(SCRATCH_X)
+        rs1 = rng.choice(SCRATCH_X)
+        rs2 = rng.choice(SCRATCH_X)
+        getattr(b, op)(rd, rs1, rs2)
+    b.cmp(rng.choice(SCRATCH_X), rng.choice(SCRATCH_X))
+
+
+def _emit_alu_imm(b: ProgramBuilder, rng: random.Random) -> None:
+    for _ in range(rng.randint(2, 5)):
+        op = rng.choice(_ALU_IMM_OPS)
+        rd = rng.choice(SCRATCH_X)
+        rs1 = rng.choice(SCRATCH_X)
+        if op in ("lsli", "lsri", "asri"):
+            imm = rng.randint(0, 63)
+        else:
+            imm = rng.choice(INTERESTING_INTS + (rng.randint(-4096, 4095),))
+        if op == "asri":
+            b.op(Opcode.ASRI, rd=rd, rs1=rs1, imm=imm)
+        else:
+            getattr(b, op)(rd, rs1, imm)
+    b.cmpi(rng.choice(SCRATCH_X), rng.choice(INTERESTING_INTS))
+
+
+def _emit_branchy(b: ProgramBuilder, rng: random.Random) -> None:
+    skip = b.fresh_label("fz_skip")
+    join = b.fresh_label("fz_join")
+    b.cmp(rng.choice(SCRATCH_X), rng.choice(SCRATCH_X))
+    getattr(b, rng.choice(_BRANCHES))(skip)
+    getattr(b, rng.choice(("add", "sub", "eor")))(
+        rng.choice(SCRATCH_X), rng.choice(SCRATCH_X), rng.choice(SCRATCH_X)
+    )
+    b.b(join)
+    b.label(skip)
+    b.addi(rng.choice(SCRATCH_X), rng.choice(SCRATCH_X), rng.randint(-8, 8))
+    b.label(join)
+    if rng.random() < 0.5:
+        done = b.fresh_label("fz_cb")
+        reg = rng.choice(SCRATCH_X)
+        (b.cbz if rng.random() < 0.5 else b.cbnz)(reg, done)
+        b.eori(reg, reg, rng.choice(INTERESTING_INTS))
+        b.label(done)
+
+
+def _emit_mem(b: ProgramBuilder, rng: random.Random) -> None:
+    for _ in range(rng.randint(2, 4)):
+        offset = 8 * rng.randrange(DATA_WORDS)
+        reg = rng.choice(SCRATCH_X)
+        kind = rng.random()
+        if kind < 0.45:
+            b.ldr(reg, REG_BASE, offset)
+        elif kind < 0.9:
+            b.str_(reg, REG_BASE, offset)
+        elif kind < 0.95:
+            b.fldr(rng.choice(SCRATCH_F), REG_BASE, offset)
+        else:
+            b.fstr(rng.choice(SCRATCH_F), REG_BASE, offset)
+
+
+def _emit_fp(b: ProgramBuilder, rng: random.Random) -> None:
+    for _ in range(rng.randint(2, 4)):
+        roll = rng.random()
+        if roll < 0.6:
+            getattr(b, rng.choice(_FP_OPS))(
+                rng.choice(SCRATCH_F), rng.choice(SCRATCH_F), rng.choice(SCRATCH_F)
+            )
+        elif roll < 0.75:
+            b.fmovi(rng.choice(SCRATCH_F), rng.choice(INTERESTING_FLOATS))
+        elif roll < 0.9:
+            b.fcvt(rng.choice(SCRATCH_F), rng.choice(SCRATCH_X))
+        else:
+            b.fcvti(rng.choice(SCRATCH_X), rng.choice(SCRATCH_F))
+
+
+def _emit_fp_branch(b: ProgramBuilder, rng: random.Random) -> None:
+    # FCMP (including unordered NaN encodings) followed by every flavour
+    # of conditional branch — the exact pairing satellite 3 audits.
+    skip = b.fresh_label("fz_fskip")
+    b.fcmp(rng.choice(SCRATCH_F), rng.choice(SCRATCH_F))
+    getattr(b, rng.choice(_BRANCHES))(skip)
+    b.fadd(rng.choice(SCRATCH_F), rng.choice(SCRATCH_F), rng.choice(SCRATCH_F))
+    b.label(skip)
+
+
+def _emit_syscall(b: ProgramBuilder, rng: random.Random) -> None:
+    b.movi(1, rng.choice(INTERESTING_INTS))
+    if rng.random() < 0.3:
+        b.fmovi(1, rng.choice(INTERESTING_FLOATS))
+    b.syscall(rng.choice(_SYSCALLS))
+
+
+_EMITTERS = {
+    "alu": _emit_alu,
+    "alu_imm": _emit_alu_imm,
+    "branchy": _emit_branchy,
+    "mem": _emit_mem,
+    "fp": _emit_fp,
+    "fp_branch": _emit_fp_branch,
+    "syscall": _emit_syscall,
+}
+
+
+# -- case generation -----------------------------------------------------------
+def generate_case(
+    seed: int, profile: str = "mixed", atom_count: Optional[int] = None
+) -> FuzzCase:
+    """Derive the full program shape for ``seed`` (pure function)."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown fuzz profile {profile!r}")
+    rng = random.Random(seed)
+    weights = PROFILES[profile]
+    kinds = list(weights)
+    count = atom_count if atom_count is not None else rng.randint(6, 18)
+    subroutines = 2
+    picked = rng.choices(kinds, weights=[weights[k] for k in kinds], k=count)
+    atoms = tuple(
+        Atom(kind=kind, seed=rng.randrange(1 << 30)) for kind in picked
+    )
+    # Drop subroutines nobody calls so "subcall"-free profiles stay lean.
+    if all(atom.kind != "subcall" for atom in atoms):
+        subroutines = 0
+    return FuzzCase(
+        seed=seed,
+        profile=profile,
+        iterations=rng.randint(1, 3),
+        atoms=atoms,
+        subroutines=subroutines,
+    )
+
+
+def _emit_subcall(b: ProgramBuilder, rng: random.Random, subroutines: int) -> None:
+    b.call(f"fz_sub{rng.randrange(subroutines)}")
+
+
+def build_workload(case: FuzzCase) -> Workload:
+    """Assemble the deterministic program and data image for ``case``."""
+    rng = random.Random(case.seed ^ 0x5EED)
+    b = ProgramBuilder(name=f"fuzz-{case.seed}")
+    b.movi(REG_BASE, DATA_BASE)
+    b.movi(REG_COUNTER, case.iterations)
+    for index, reg in enumerate(SCRATCH_X[:12]):
+        b.movi(reg, INTERESTING_INTS[index % len(INTERESTING_INTS)])
+    for index, reg in enumerate(SCRATCH_F[:8]):
+        b.fmovi(reg, INTERESTING_FLOATS[index % len(INTERESTING_FLOATS)])
+    b.label("fz_loop")
+    for atom in case.atoms:
+        atom_rng = random.Random(atom.seed)
+        if atom.kind == "subcall":
+            if case.subroutines:
+                _emit_subcall(b, atom_rng, case.subroutines)
+        else:
+            _EMITTERS[atom.kind](b, atom_rng)
+    b.subi(REG_COUNTER, REG_COUNTER, 1)
+    b.cbnz(REG_COUNTER, "fz_loop")
+    b.halt()
+    for index in range(case.subroutines):
+        b.label(f"fz_sub{index}")
+        for _ in range(3):
+            getattr(b, rng.choice(("add", "eor", "mul")))(
+                rng.choice(SCRATCH_X), rng.choice(SCRATCH_X), rng.choice(SCRATCH_X)
+            )
+        b.ret()
+    initial_words = {
+        DATA_BASE + 8 * k: (
+            INTERESTING_INTS[k % len(INTERESTING_INTS)] & MASK64
+            if k % 2 == 0
+            else float_to_bits(INTERESTING_FLOATS[k % len(INTERESTING_FLOATS)])
+        )
+        for k in range(DATA_WORDS)
+    }
+    return Workload(
+        name=f"fuzz-{case.seed}-{case.profile}",
+        program=b.build(),
+        initial_words=initial_words,
+        max_instructions=200_000,
+        category="fuzz",
+        description=f"fuzzer seed {case.seed}, profile {case.profile}",
+    )
+
+
+# -- running and shrinking -----------------------------------------------------
+@dataclass
+class FuzzResult:
+    """Outcome of one seed, with its minimised reproduction if it failed."""
+
+    case: FuzzCase
+    report: DiffReport
+    shrunk: Optional[FuzzCase] = None
+    shrunk_report: Optional[DiffReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_dict(self) -> Dict:
+        payload = {
+            "seed": self.case.seed,
+            "profile": self.case.profile,
+            "atoms": len(self.case.atoms),
+            "report": self.report.to_dict(),
+        }
+        if self.shrunk is not None:
+            payload["shrunk_atoms"] = len(self.shrunk.atoms)
+            payload["shrunk_report"] = (
+                self.shrunk_report.to_dict() if self.shrunk_report else None
+            )
+        return payload
+
+
+def run_case(
+    case: FuzzCase,
+    granularity: RollbackGranularity = RollbackGranularity.LINE,
+    checkpoint_interval: int = 61,
+    tracer=None,
+) -> DiffReport:
+    workload = build_workload(case)
+    runner = DifferentialRunner(
+        workload,
+        granularity=granularity,
+        checkpoint_interval=checkpoint_interval,
+        tracer=tracer,
+    )
+    return runner.run()
+
+
+def shrink_case(
+    case: FuzzCase,
+    granularity: RollbackGranularity = RollbackGranularity.LINE,
+    checkpoint_interval: int = 61,
+) -> Tuple[FuzzCase, DiffReport]:
+    """Greedily drop atoms while the case still diverges.
+
+    Atoms are self-contained, so every subset is a valid terminating
+    program; we only require that *some* divergence persists (its field
+    may legitimately change as context shrinks).
+    """
+    report = run_case(case, granularity, checkpoint_interval)
+    if report.ok:
+        raise ValueError("shrink_case requires a diverging case")
+    atoms = list(case.atoms)
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for index in range(len(atoms) - 1, -1, -1):
+            trial_atoms = atoms[:index] + atoms[index + 1 :]
+            trial = FuzzCase(
+                seed=case.seed,
+                profile=case.profile,
+                iterations=case.iterations,
+                atoms=tuple(trial_atoms),
+                subroutines=case.subroutines,
+            )
+            trial_report = run_case(trial, granularity, checkpoint_interval)
+            if not trial_report.ok:
+                atoms = trial_atoms
+                report = trial_report
+                changed = True
+    shrunk = FuzzCase(
+        seed=case.seed,
+        profile=case.profile,
+        iterations=case.iterations,
+        atoms=tuple(atoms),
+        subroutines=case.subroutines,
+    )
+    return shrunk, report
+
+
+@dataclass
+class FuzzCampaign:
+    """Aggregate outcome of a multi-seed fuzz run."""
+
+    seeds: int = 0
+    cases: int = 0
+    instructions: int = 0
+    failures: List[FuzzResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "seeds": self.seeds,
+            "cases": self.cases,
+            "instructions": self.instructions,
+            "ok": self.ok,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
+def run_fuzz(
+    seeds: Sequence[int],
+    profiles: Sequence[str] = ("mixed", "branchy", "memory", "fp", "syscall"),
+    granularity: RollbackGranularity = RollbackGranularity.LINE,
+    checkpoint_interval: int = 61,
+    shrink: bool = True,
+    tracer=None,
+    progress=None,
+) -> FuzzCampaign:
+    """Differentially test one program per (seed, profile) pair.
+
+    ``progress`` is an optional callable invoked with each
+    :class:`FuzzResult` as it completes (the CLI uses it for -v output).
+    """
+    campaign = FuzzCampaign(seeds=len(seeds))
+    for seed in seeds:
+        for profile in profiles:
+            case = generate_case(seed, profile)
+            if tracer is not None:
+                tracer.emit(
+                    "oracle",
+                    "fuzz_case",
+                    value=float(seed),
+                    detail=f"{profile}:{len(case.atoms)} atoms",
+                )
+            report = run_case(case, granularity, checkpoint_interval, tracer)
+            campaign.cases += 1
+            campaign.instructions += report.instructions
+            result = FuzzResult(case=case, report=report)
+            if not report.ok and shrink:
+                result.shrunk, result.shrunk_report = shrink_case(
+                    case, granularity, checkpoint_interval
+                )
+            if not report.ok:
+                campaign.failures.append(result)
+            if progress is not None:
+                progress(result)
+    return campaign

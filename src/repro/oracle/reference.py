@@ -1,0 +1,469 @@
+"""The golden-model reference ISS.
+
+A deliberately simple single-step interpreter for the repro ISA, written
+*independently* of :class:`repro.isa.executor.Executor`:
+
+* no per-PC decode table — every step fetches the instruction and probes
+  one opcode-keyed dict of bound methods;
+* its own state representation (plain lists and four flag booleans, no
+  :class:`~repro.isa.registers.RegisterFile`);
+* its own memory (a sparse dict with the same alignment/bounds rules);
+* independent formulations of the tricky semantics: signed values via
+  ``struct`` round-trips instead of arithmetic wrapping, integer
+  division through exact :class:`fractions.Fraction` truncation instead
+  of sign-folded ``//``, signed-overflow V via wrap-equality instead of
+  a range test, and float division-by-zero via Python's
+  ``ZeroDivisionError`` with IEEE-754 sign rules.
+
+The point of the duplication is the differential oracle
+(:mod:`repro.oracle.differential`): a bug in either implementation shows
+up as a divergence instead of being silently self-consistent.  Keep this
+module boring and obviously correct; do **not** "optimise" it to share
+code with the production executor.
+
+Documented ISA semantics this model implements (the contract both sides
+must satisfy — see ``docs/ORACLE.md``):
+
+* ``x0`` reads as zero, writes to it are discarded;
+* integer division by zero yields all-ones (quotient) / the dividend
+  (remainder); quotients truncate toward zero;
+* shift amounts use only the low 6 bits (of a register or immediate);
+* ``FCVTI`` saturates on overflow and maps NaN to zero;
+* ``FDIV`` by ±0.0 follows IEEE 754: ``x/±0`` is ±inf with the XOR of
+  the operand signs, ``±0/±0`` and ``NaN/0`` are NaN;
+* ``FCMP`` of unordered operands sets C and V only (so the unordered
+  case behaves as "less than" for the conditional branches);
+* ``instret`` increments *after* the instruction's effects, so syscall
+  output is tagged with the pre-increment count;
+* unknown syscall numbers are NOPs.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.errors import (
+    HaltTrap,
+    InvalidPcTrap,
+    MemoryAlignmentTrap,
+    MemoryBoundsTrap,
+)
+from ..isa.instructions import Instruction, Opcode, Syscall
+from ..isa.program import Program
+
+_MASK64 = (1 << 64) - 1
+_WORD = 8
+
+
+def _signed(value: int) -> int:
+    """Two's-complement reinterpretation via a byte round-trip."""
+    return struct.unpack("<q", struct.pack("<Q", value & _MASK64))[0]
+
+
+def _bits_of(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _float_of(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & _MASK64))[0]
+
+
+class ReferenceISS:
+    """Golden-model interpreter: one program, one state, one memory."""
+
+    def __init__(
+        self,
+        program: Program,
+        initial_words: Optional[Dict[int, int]] = None,
+        memory_size: int = 1 << 24,
+    ) -> None:
+        self.program = program
+        self.memory_size = memory_size
+        self.mem: Dict[int, int] = {}
+        if initial_words:
+            for address, value in initial_words.items():
+                self._mem_check(address)
+                self.mem[address] = value & _MASK64
+        self.x: List[int] = [0] * 32
+        #: FP registers as raw IEEE-754 bit patterns.
+        self.f: List[int] = [0] * 16
+        self.n = self.z = self.c = self.v = False
+        self.pc = 0
+        self.instret = 0
+        self.halted = False
+        self.output: List[Tuple[int, str]] = []
+        self._handlers: Dict[Opcode, Callable[[Instruction], None]] = {
+            Opcode.ADD: self._op_add,
+            Opcode.SUB: self._op_sub,
+            Opcode.AND: self._op_and,
+            Opcode.ORR: self._op_orr,
+            Opcode.EOR: self._op_eor,
+            Opcode.LSL: self._op_lsl,
+            Opcode.LSR: self._op_lsr,
+            Opcode.ASR: self._op_asr,
+            Opcode.MUL: self._op_mul,
+            Opcode.DIV: self._op_div,
+            Opcode.REM: self._op_rem,
+            Opcode.MOV: self._op_mov,
+            Opcode.MOVI: self._op_movi,
+            Opcode.ADDI: self._op_addi,
+            Opcode.SUBI: self._op_subi,
+            Opcode.ANDI: self._op_andi,
+            Opcode.ORRI: self._op_orri,
+            Opcode.EORI: self._op_eori,
+            Opcode.LSLI: self._op_lsli,
+            Opcode.LSRI: self._op_lsri,
+            Opcode.ASRI: self._op_asri,
+            Opcode.CMP: self._op_cmp,
+            Opcode.CMPI: self._op_cmpi,
+            Opcode.FCMP: self._op_fcmp,
+            Opcode.FADD: self._op_fadd,
+            Opcode.FSUB: self._op_fsub,
+            Opcode.FMUL: self._op_fmul,
+            Opcode.FDIV: self._op_fdiv,
+            Opcode.FMOV: self._op_fmov,
+            Opcode.FMOVI: self._op_fmovi,
+            Opcode.FCVT: self._op_fcvt,
+            Opcode.FCVTI: self._op_fcvti,
+            Opcode.LDR: self._op_ldr,
+            Opcode.FLDR: self._op_fldr,
+            Opcode.STR: self._op_str,
+            Opcode.FSTR: self._op_fstr,
+            Opcode.B: self._op_b,
+            Opcode.BEQ: self._op_cond,
+            Opcode.BNE: self._op_cond,
+            Opcode.BLT: self._op_cond,
+            Opcode.BGE: self._op_cond,
+            Opcode.BGT: self._op_cond,
+            Opcode.BLE: self._op_cond,
+            Opcode.CBZ: self._op_cb,
+            Opcode.CBNZ: self._op_cb,
+            Opcode.JAL: self._op_jal,
+            Opcode.JALR: self._op_jalr,
+            Opcode.NOP: self._op_nop,
+            Opcode.HALT: self._op_halt,
+            Opcode.SYSCALL: self._op_syscall,
+        }
+
+    # -- public API -----------------------------------------------------------
+    def step(self) -> None:
+        """Execute exactly one instruction."""
+        if self.halted:
+            raise HaltTrap("stepping a halted reference core")
+        pc = self.pc
+        if not 0 <= pc < len(self.program.instructions):
+            raise InvalidPcTrap(pc)
+        instr = self.program.instructions[pc]
+        self._handlers[instr.opcode](instr)
+        self.instret += 1
+
+    def run(self, max_instructions: int) -> int:
+        retired = 0
+        while not self.halted and retired < max_instructions:
+            self.step()
+            retired += 1
+        return retired
+
+    @property
+    def flags(self) -> int:
+        """NZCV packed as in :class:`repro.isa.registers.RegisterFile`."""
+        return (
+            (int(self.n) << 3) | (int(self.z) << 2) | (int(self.c) << 1) | int(self.v)
+        )
+
+    def memory_words(self) -> Dict[int, int]:
+        """Nonzero memory contents (zero words equal unwritten words)."""
+        return {address: value for address, value in self.mem.items() if value}
+
+    # -- state helpers --------------------------------------------------------
+    def _wx(self, index: int, value: int) -> None:
+        if index != 0:
+            self.x[index] = value & _MASK64
+
+    def _rf(self, index: int) -> float:
+        return _float_of(self.f[index])
+
+    def _wf(self, index: int, value: float) -> None:
+        self.f[index] = _bits_of(value)
+
+    def _next(self) -> None:
+        self.pc += 1
+
+    def _set_flags_sub(self, a: int, b: int) -> None:
+        """NZCV of ``a - b`` from exact big-integer arithmetic."""
+        sa, sb = _signed(a), _signed(b)
+        diff = sa - sb
+        wrapped = diff & _MASK64
+        self.n = wrapped >= (1 << 63)
+        self.z = wrapped == 0
+        self.c = (a & _MASK64) >= (b & _MASK64)
+        # Signed overflow iff the exact difference does not survive the
+        # 64-bit wrap (a formulation independent of the range test the
+        # production executor uses).
+        self.v = diff != _signed(wrapped)
+
+    # -- memory ---------------------------------------------------------------
+    def _mem_check(self, address: int) -> None:
+        if address % _WORD:
+            raise MemoryAlignmentTrap(address)
+        if not 0 <= address < self.memory_size:
+            raise MemoryBoundsTrap(address)
+
+    def _mem_load(self, address: int) -> int:
+        self._mem_check(address)
+        return self.mem.get(address, 0)
+
+    def _mem_store(self, address: int, value: int) -> None:
+        self._mem_check(address)
+        self.mem[address] = value & _MASK64
+
+    # -- integer ALU ----------------------------------------------------------
+    def _op_add(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] + self.x[i.rs2])
+        self._next()
+
+    def _op_sub(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] - self.x[i.rs2])
+        self._next()
+
+    def _op_and(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] & self.x[i.rs2])
+        self._next()
+
+    def _op_orr(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] | self.x[i.rs2])
+        self._next()
+
+    def _op_eor(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] ^ self.x[i.rs2])
+        self._next()
+
+    def _op_lsl(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] << (self.x[i.rs2] % 64))
+        self._next()
+
+    def _op_lsr(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] >> (self.x[i.rs2] % 64))
+        self._next()
+
+    def _op_asr(self, i: Instruction) -> None:
+        self._wx(i.rd, _signed(self.x[i.rs1]) >> (self.x[i.rs2] % 64))
+        self._next()
+
+    def _op_mul(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] * self.x[i.rs2])
+        self._next()
+
+    @staticmethod
+    def _div_trunc(sa: int, sb: int) -> int:
+        """Exact truncating division through Fraction (no sign folding)."""
+        return math.trunc(Fraction(sa, sb))
+
+    def _op_div(self, i: Instruction) -> None:
+        a, b = self.x[i.rs1], self.x[i.rs2]
+        if b == 0:
+            self._wx(i.rd, _MASK64)
+        else:
+            self._wx(i.rd, self._div_trunc(_signed(a), _signed(b)))
+        self._next()
+
+    def _op_rem(self, i: Instruction) -> None:
+        a, b = self.x[i.rs1], self.x[i.rs2]
+        if b == 0:
+            self._wx(i.rd, a)
+        else:
+            sa, sb = _signed(a), _signed(b)
+            self._wx(i.rd, sa - sb * self._div_trunc(sa, sb))
+        self._next()
+
+    def _op_mov(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1])
+        self._next()
+
+    def _op_movi(self, i: Instruction) -> None:
+        self._wx(i.rd, i.imm)
+        self._next()
+
+    def _op_addi(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] + i.imm)
+        self._next()
+
+    def _op_subi(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] - i.imm)
+        self._next()
+
+    def _op_andi(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] & (i.imm & _MASK64))
+        self._next()
+
+    def _op_orri(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] | (i.imm & _MASK64))
+        self._next()
+
+    def _op_eori(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] ^ (i.imm & _MASK64))
+        self._next()
+
+    def _op_lsli(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] << (i.imm % 64))
+        self._next()
+
+    def _op_lsri(self, i: Instruction) -> None:
+        self._wx(i.rd, self.x[i.rs1] >> (i.imm % 64))
+        self._next()
+
+    def _op_asri(self, i: Instruction) -> None:
+        self._wx(i.rd, _signed(self.x[i.rs1]) >> (i.imm % 64))
+        self._next()
+
+    # -- compares -------------------------------------------------------------
+    def _op_cmp(self, i: Instruction) -> None:
+        self._set_flags_sub(self.x[i.rs1], self.x[i.rs2])
+        self._next()
+
+    def _op_cmpi(self, i: Instruction) -> None:
+        self._set_flags_sub(self.x[i.rs1], i.imm & _MASK64)
+        self._next()
+
+    def _op_fcmp(self, i: Instruction) -> None:
+        a, b = self._rf(i.rs1), self._rf(i.rs2)
+        if math.isnan(a) or math.isnan(b):
+            self.n, self.z, self.c, self.v = False, False, True, True
+        else:
+            self.n, self.z, self.c, self.v = a < b, a == b, a >= b, False
+        self._next()
+
+    # -- floating point -------------------------------------------------------
+    def _op_fadd(self, i: Instruction) -> None:
+        self._wf(i.rd, self._rf(i.rs1) + self._rf(i.rs2))
+        self._next()
+
+    def _op_fsub(self, i: Instruction) -> None:
+        self._wf(i.rd, self._rf(i.rs1) - self._rf(i.rs2))
+        self._next()
+
+    def _op_fmul(self, i: Instruction) -> None:
+        self._wf(i.rd, self._rf(i.rs1) * self._rf(i.rs2))
+        self._next()
+
+    def _op_fdiv(self, i: Instruction) -> None:
+        a, b = self._rf(i.rs1), self._rf(i.rs2)
+        try:
+            value = a / b
+        except ZeroDivisionError:
+            # IEEE 754: finite/±0 is ±inf with the XOR of the operand
+            # signs; ±0/±0 and NaN/±0 are NaN.
+            if a == 0.0 or math.isnan(a):
+                value = math.nan
+            else:
+                value = math.copysign(math.inf, a) * math.copysign(1.0, b)
+        self._wf(i.rd, value)
+        self._next()
+
+    def _op_fmov(self, i: Instruction) -> None:
+        self.f[i.rd] = self.f[i.rs1]
+        self._next()
+
+    def _op_fmovi(self, i: Instruction) -> None:
+        self._wf(i.rd, i.fimm)
+        self._next()
+
+    def _op_fcvt(self, i: Instruction) -> None:
+        self._wf(i.rd, float(_signed(self.x[i.rs1])))
+        self._next()
+
+    def _op_fcvti(self, i: Instruction) -> None:
+        value = self._rf(i.rs1)
+        if math.isnan(value):
+            result = 0
+        elif value >= 2.0**63:
+            result = (1 << 63) - 1
+        elif value <= -(2.0**63):
+            result = 1 << 63  # most-negative pattern
+        else:
+            result = math.trunc(value)
+        self._wx(i.rd, result)
+        self._next()
+
+    # -- memory ops -----------------------------------------------------------
+    def _op_ldr(self, i: Instruction) -> None:
+        address = (self.x[i.rs1] + i.imm) & _MASK64
+        self._wx(i.rd, self._mem_load(address))
+        self._next()
+
+    def _op_fldr(self, i: Instruction) -> None:
+        address = (self.x[i.rs1] + i.imm) & _MASK64
+        self.f[i.rd] = self._mem_load(address)
+        self._next()
+
+    def _op_str(self, i: Instruction) -> None:
+        address = (self.x[i.rs1] + i.imm) & _MASK64
+        self._mem_store(address, self.x[i.rs2])
+        self._next()
+
+    def _op_fstr(self, i: Instruction) -> None:
+        address = (self.x[i.rs1] + i.imm) & _MASK64
+        self._mem_store(address, self.f[i.rs2])
+        self._next()
+
+    # -- control flow ---------------------------------------------------------
+    def _op_b(self, i: Instruction) -> None:
+        self.pc = i.target
+
+    def _op_cond(self, i: Instruction) -> None:
+        n, z, c, v = self.n, self.z, self.c, self.v
+        op = i.opcode
+        if op is Opcode.BEQ:
+            taken = z
+        elif op is Opcode.BNE:
+            taken = not z
+        elif op is Opcode.BLT:
+            taken = n != v
+        elif op is Opcode.BGE:
+            taken = n == v
+        elif op is Opcode.BGT:
+            taken = (not z) and n == v
+        else:  # BLE
+            taken = z or n != v
+        self.pc = i.target if taken else self.pc + 1
+
+    def _op_cb(self, i: Instruction) -> None:
+        value = self.x[i.rs1]
+        taken = value == 0 if i.opcode is Opcode.CBZ else value != 0
+        self.pc = i.target if taken else self.pc + 1
+
+    def _op_jal(self, i: Instruction) -> None:
+        self._wx(i.rd, self.pc + 1)
+        self.pc = i.target
+
+    def _op_jalr(self, i: Instruction) -> None:
+        # Read the target before writing the link, so jalr xN, xN jumps
+        # to the *old* value of xN.
+        target = self.x[i.rs1]
+        self._wx(i.rd, self.pc + 1)
+        self.pc = target
+
+    def _op_nop(self, i: Instruction) -> None:
+        self._next()
+
+    def _op_halt(self, i: Instruction) -> None:
+        self.halted = True
+        self._next()
+
+    def _op_syscall(self, i: Instruction) -> None:
+        number = i.imm
+        if number == Syscall.EXIT:
+            self.halted = True
+        elif number == Syscall.PRINT_INT:
+            self.output.append((self.instret, str(_signed(self.x[1]))))
+        elif number == Syscall.PRINT_FLOAT:
+            self.output.append((self.instret, repr(self._rf(1))))
+        elif number == Syscall.GET_INSTRET:
+            self._wx(1, self.instret)
+        elif number == Syscall.WRITE_EXTERNAL:
+            self.output.append((self.instret, f"ext:{_signed(self.x[1])}"))
+        # Unknown syscall numbers are NOPs.
+        self._next()

@@ -48,6 +48,9 @@ class EventSource(enum.Enum):
     CHECKPOINT = "checkpoint"
     #: The checker pool: busy intervals and squashed checks.
     SCHEDULING = "scheduling"
+    #: The differential-execution oracle: fuzz cases, checkpoint-level
+    #: cross-checks, and first divergences (``repro fuzz``/``diffcheck``).
+    ORACLE = "oracle"
 
 
 #: Event kinds each source may emit.  ``validate_event_dict`` enforces
@@ -74,6 +77,9 @@ KNOWN_KINDS: Dict[str, frozenset] = {
     ),
     EventSource.CHECKPOINT.value: frozenset({"target"}),
     EventSource.SCHEDULING.value: frozenset({"busy", "abort"}),
+    EventSource.ORACLE.value: frozenset(
+        {"fuzz_case", "checkpoint", "divergence"}
+    ),
 }
 
 

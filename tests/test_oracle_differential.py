@@ -1,0 +1,181 @@
+"""The three-way differential runner: clean runs, sensitivity, syscalls.
+
+Includes the ``GET_INSTRET``/output-tagging satellite: a checkpoint
+snapshot must carry ``instret`` exactly, or a mid-run segment replay on
+a checker tags output differently from the main core and false-detects.
+"""
+
+import pytest
+
+from repro.cli import WORKLOAD_BUILDERS
+from repro.config import table1_config
+from repro.cores.checker_core import CheckerCore
+from repro.isa import ArchState, Executor, Opcode, ProgramBuilder, Syscall
+from repro.lslog import (
+    LogSegment,
+    MainMemoryPort,
+    RollbackGranularity,
+    SegmentCloseReason,
+)
+from repro.memory import UncheckedLineTracker
+from repro.oracle import DifferentialRunner, diff_workload
+from repro.telemetry import Tracer
+from repro.workloads.base import Workload
+
+GRANULARITIES = list(RollbackGranularity)
+
+
+def build_syscall_workload(iterations: int = 12) -> Workload:
+    """A loop that is dense in syscalls, including GET_INSTRET."""
+    b = ProgramBuilder(name="syscall-dense")
+    b.movi(29, iterations)
+    b.movi(1, 7)
+    b.label("loop")
+    b.syscall(int(Syscall.GET_INSTRET))  # x1 <- instret (differs per lap)
+    b.syscall(int(Syscall.PRINT_INT))  # tagged with pre-increment instret
+    b.addi(1, 1, 3)
+    b.syscall(int(Syscall.PRINT_INT))
+    b.fmovi(1, 2.5)
+    b.syscall(int(Syscall.PRINT_FLOAT))
+    b.syscall(99)  # unknown syscall: must be a NOP everywhere
+    b.subi(29, 29, 1)
+    b.cbnz(29, "loop")
+    b.halt()
+    return Workload(name="syscall-dense", program=b.build(), max_instructions=10_000)
+
+
+class TestCleanWorkloads:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("name", ["bitcount", "quicksort"])
+    def test_no_divergence(self, name, granularity):
+        workload = WORKLOAD_BUILDERS[name](0.3)
+        report = diff_workload(workload, granularity=granularity)
+        assert report.ok, report.divergence.describe()
+        assert report.instructions > 0
+        assert report.segments > 0
+
+    def test_short_checkpoint_interval(self):
+        # A short interval forces many TARGET_LENGTH boundaries; every
+        # one of them is a full three-way comparison.
+        workload = WORKLOAD_BUILDERS["stream"](1)
+        runner = DifferentialRunner(workload, checkpoint_interval=5)
+        report = runner.run(max_instructions=2_000)
+        assert report.ok, report.divergence.describe()
+        assert report.segments >= 100
+
+    def test_emits_oracle_telemetry(self):
+        workload = WORKLOAD_BUILDERS["bitcount"](0.2)
+        tracer = Tracer(command="test")
+        report = diff_workload(workload, tracer=tracer)
+        assert report.ok
+        checkpoints = tracer.of_kind("oracle", "checkpoint")
+        assert len(checkpoints) == report.checkpoints
+
+
+class TestDetectorIsNotVacuous:
+    def test_semantic_bug_is_reported(self, monkeypatch):
+        # Corrupt ADD in every production executor built from here on;
+        # the reference ISS is untouched, so the runner must report an
+        # executor-stage divergence rather than pass vacuously.
+        original = Executor._build_dispatch
+
+        def buggy_build(self):
+            original(self)
+            real = self._dispatch[Opcode.ADD]
+            regs = self.state.regs
+
+            def corrupted(instr):
+                info = real(instr)
+                if instr.rd != 0:
+                    regs.write_x(instr.rd, regs.x[instr.rd] ^ (1 << 17))
+                return info
+
+            self._dispatch[Opcode.ADD] = corrupted
+
+        monkeypatch.setattr(Executor, "_build_dispatch", buggy_build)
+        workload = WORKLOAD_BUILDERS["bitcount"](0.2)
+        report = diff_workload(workload)
+        assert not report.ok
+        assert report.divergence.stage == "executor"
+        assert report.divergence.trace  # the minimized trace is populated
+
+    def test_replay_only_bug_is_reported(self, monkeypatch):
+        # A bug that fires only during checker replay (port is a
+        # CheckerReplayPort) is exactly what the engine fastpath hides.
+        from repro.lslog.ports import CheckerReplayPort
+
+        original = CheckerReplayPort.load
+
+        def corrupting_load(self, address):
+            value = original(self, address)
+            return value ^ 1
+
+        monkeypatch.setattr(CheckerReplayPort, "load", corrupting_load)
+        workload = WORKLOAD_BUILDERS["bitcount"](0.2)
+        report = diff_workload(workload)
+        assert not report.ok
+        assert report.divergence.stage == "checker"
+
+
+class TestGetInstretUnderReplay:
+    """Satellite: syscall semantics must survive segment re-execution."""
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_syscall_dense_workload_diffs_clean(self, granularity):
+        report = diff_workload(
+            build_syscall_workload(),
+            granularity=granularity,
+            checkpoint_interval=7,  # boundaries land between syscalls
+        )
+        assert report.ok, report.divergence.describe()
+        assert report.segments > 3
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_mid_run_segment_replays_without_detection(self, granularity):
+        # Fill a segment that starts at a *nonzero* instret and contains
+        # GET_INSTRET + PRINT_INT, then re-execute it on a production
+        # checker: any instret snapshot/restore slip tags the output
+        # stream differently and false-detects.
+        workload = build_syscall_workload()
+        config = table1_config()
+        memory = workload.create_memory()
+        tracker = UncheckedLineTracker(config.memory.l1d)
+        port = MainMemoryPort(memory, tracker, granularity)
+        state = ArchState()
+        executor = Executor(workload.program, state, port)
+
+        # Warm up past several syscalls so instret is well away from 0.
+        warm = LogSegment(
+            seq=1,
+            granularity=granularity,
+            capacity_bytes=config.checker.log_bytes_per_core,
+            start_state=state.snapshot(),
+        )
+        port.segment = warm
+        for _ in range(25):
+            executor.step()
+        assert state.instret == 25
+        warm.close(state.snapshot(), SegmentCloseReason.EXTERNAL)
+
+        segment = LogSegment(
+            seq=2,
+            granularity=granularity,
+            capacity_bytes=config.checker.log_bytes_per_core,
+            start_state=state.snapshot(),
+        )
+        port.segment = segment
+        syscalls_replayed = 0
+        for _ in range(30):
+            info = executor.step()
+            segment.record_instruction(
+                info.instruction.unit, writes_register=info.dest is not None
+            )
+            if info.instruction.opcode is Opcode.SYSCALL:
+                syscalls_replayed += 1
+        assert syscalls_replayed > 0
+        assert segment.start_state.instret == 25
+        segment.close(state.snapshot(), SegmentCloseReason.EXTERNAL)
+
+        checker = CheckerCore(0, config.checker, workload.program)
+        result = checker.check_segment(segment)
+        assert not result.detected, f"false detection: {result.detection}"

@@ -1,0 +1,119 @@
+"""The ISA program fuzzer: determinism, termination, and shrinking."""
+
+import pytest
+
+from repro.isa import Executor, Opcode
+from repro.lslog import RollbackGranularity
+from repro.oracle import (
+    ReferenceISS,
+    build_workload,
+    generate_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from repro.oracle.fuzzer import PROFILES
+
+
+def program_fingerprint(case):
+    workload = build_workload(case)
+    return [str(i) for i in workload.program.instructions]
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_same_seed_same_program(self, profile):
+        a = generate_case(403, profile)
+        b = generate_case(403, profile)
+        assert a == b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_different_seeds_differ(self):
+        assert program_fingerprint(generate_case(1)) != program_fingerprint(
+            generate_case(2)
+        )
+
+    @pytest.mark.parametrize("seed", range(1, 21))
+    def test_programs_terminate(self, seed):
+        # Termination is by construction (forward branches + strictly
+        # decremented loop counter): every program halts well inside its
+        # budget on the reference ISS alone.
+        workload = build_workload(generate_case(seed))
+        ref = ReferenceISS(workload.program, initial_words=workload.initial_words)
+        ref.run(workload.max_instructions)
+        assert ref.halted
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            generate_case(1, "nonexistent")
+
+
+class TestFuzzCampaign:
+    def test_seed_corpus_is_clean(self):
+        campaign = run_fuzz(range(1, 31))
+        assert campaign.ok, [f.report.divergence.describe() for f in campaign.failures]
+        assert campaign.cases == 30 * len(PROFILES)
+        assert campaign.instructions > 0
+
+    @pytest.mark.parametrize(
+        "granularity", [RollbackGranularity.WORD, RollbackGranularity.NONE]
+    )
+    def test_other_granularities_clean(self, granularity):
+        campaign = run_fuzz(range(1, 11), granularity=granularity)
+        assert campaign.ok, [f.report.divergence.describe() for f in campaign.failures]
+
+    def test_report_roundtrips_to_dict(self):
+        campaign = run_fuzz(range(1, 3), profiles=("mixed",))
+        payload = campaign.to_dict()
+        assert payload["ok"] is True
+        assert payload["cases"] == 2
+
+
+class TestShrinking:
+    def _install_mul_bug(self, monkeypatch):
+        original = Executor._build_dispatch
+
+        def buggy_build(self):
+            original(self)
+            real = self._dispatch[Opcode.MUL]
+            regs = self.state.regs
+
+            def corrupted(instr):
+                info = real(instr)
+                if instr.rd != 0:
+                    regs.write_x(instr.rd, regs.x[instr.rd] ^ (1 << 5))
+                return info
+
+            self._dispatch[Opcode.MUL] = corrupted
+
+        monkeypatch.setattr(Executor, "_build_dispatch", buggy_build)
+
+    def test_shrink_reduces_and_still_diverges(self, monkeypatch):
+        self._install_mul_bug(monkeypatch)
+        diverging = None
+        for seed in range(1, 60):
+            case = generate_case(seed, "mixed")
+            if not run_case(case).ok:
+                diverging = case
+                break
+        assert diverging is not None, "no MUL-exercising seed found"
+        shrunk, report = shrink_case(diverging)
+        assert not report.ok
+        assert len(shrunk.atoms) <= len(diverging.atoms)
+        assert len(shrunk.atoms) >= 1
+        # The minimised case is itself a valid, still-diverging program.
+        assert not run_case(shrunk).ok
+
+    def test_shrink_requires_divergence(self):
+        with pytest.raises(ValueError):
+            shrink_case(generate_case(1, "mixed"))
+
+    def test_campaign_shrinks_failures(self, monkeypatch):
+        self._install_mul_bug(monkeypatch)
+        campaign = run_fuzz(range(1, 60), profiles=("mixed",))
+        assert not campaign.ok
+        failure = campaign.failures[0]
+        assert failure.shrunk is not None
+        assert len(failure.shrunk.atoms) <= len(failure.case.atoms)
+        payload = failure.to_dict()
+        assert payload["shrunk_atoms"] == len(failure.shrunk.atoms)

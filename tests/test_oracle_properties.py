@@ -1,0 +1,313 @@
+"""No-partial-effect contract of the data ports.
+
+``MainMemoryPort.load``/``store`` raise ``SegmentFull`` and
+``UncheckedConflictStall`` as *control-flow* exceptions: the engine
+closes the segment (or drains checkers) and re-executes the very same
+instruction.  That only works if a raising operation leaves everything
+bit-identical to before — registers, pc, instret, memory, tracker state,
+and the filling segment's contents.  These tests pin that contract, per
+granularity, with both directed triggers and hypothesis-driven op
+sequences; plus the ``CheckerReplayPort`` side: a detection raise must
+not touch memory or the logged segment.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.system_config import CacheConfig
+from repro.isa import ArchState, Executor, ProgramBuilder
+from repro.lslog import (
+    LogSegment,
+    MainMemoryPort,
+    RollbackGranularity,
+    SegmentFull,
+)
+from repro.lslog.detection import (
+    LoadAddressMismatch,
+    LogExhausted,
+    StoreMismatch,
+)
+from repro.lslog.ports import CheckerReplayPort, UncheckedConflictStall
+from repro.memory import UncheckedLineTracker
+
+GRANULARITIES = list(RollbackGranularity)
+DATA_BASE = 0x1000
+
+#: 1 set x 1 way: any two distinct unchecked lines conflict.
+TINY_CACHE = CacheConfig(
+    size_bytes=64, associativity=1, hit_latency_cycles=1, mshrs=1
+)
+
+
+def snapshot_world(state, memory, tracker, segment):
+    """Every bit of state a raising port operation must leave untouched."""
+    return {
+        "x": list(state.regs.x),
+        "f": list(state.regs.f),
+        "flags": state.regs.flags,
+        "pc": state.pc,
+        "instret": state.instret,
+        "halted": state.halted,
+        "output": list(state.output),
+        "memory": dict(memory.words),
+        "timestamps": dict(tracker._timestamp),
+        "set_load": list(tracker._set_load),
+        "loads": list(segment.loads),
+        "store_addrs": list(segment.store_addrs),
+        "store_values": list(segment.store_values),
+        "store_olds": list(segment.store_olds),
+        "lines": list(segment.lines),
+        "detection_bytes": segment.detection_bytes,
+        "rollback_bytes": segment.rollback_bytes,
+        "instruction_count": segment.instruction_count,
+    }
+
+
+def build_mem_program(ops):
+    """ldr/str sequence over 16 slots spanning two cache lines."""
+    b = ProgramBuilder(name="mem-ops")
+    b.movi(1, DATA_BASE)
+    for i, (is_store, slot) in enumerate(ops):
+        if is_store:
+            b.movi(3, 0x1000 + i)
+            b.str_(3, 1, 8 * slot)
+        else:
+            b.ldr(2, 1, 8 * slot)
+    b.halt()
+    return b.build()
+
+
+def make_world(granularity, capacity_bytes, cache=TINY_CACHE, seq=1):
+    from repro.isa import MemoryImage
+
+    memory = MemoryImage()
+    for slot in range(16):
+        memory.store(DATA_BASE + 8 * slot, slot + 1)
+    tracker = UncheckedLineTracker(cache)
+    port = MainMemoryPort(memory, tracker, granularity)
+    state = ArchState()
+    segment = LogSegment(
+        seq=seq,
+        granularity=granularity,
+        capacity_bytes=capacity_bytes,
+        start_state=state.snapshot(),
+    )
+    port.segment = segment
+    return memory, tracker, port, state, segment
+
+
+def run_until_raise(program, memory, tracker, port, state, segment):
+    """Step to completion; on a port raise return (exc, before-snapshot)."""
+    executor = Executor(program, state, port)
+    while not state.halted:
+        before = snapshot_world(state, memory, tracker, segment)
+        try:
+            executor.step()
+        except (SegmentFull, UncheckedConflictStall) as exc:
+            return exc, before
+    return None, None
+
+
+class TestMainPortDirected:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_segment_full_is_effect_free(self, granularity):
+        # Capacity fits exactly two load entries; the third must raise
+        # without touching anything.
+        memory, tracker, port, state, segment = make_world(granularity, 32)
+        program = build_mem_program([(False, 0), (False, 1), (False, 2)])
+        exc, before = run_until_raise(
+            program, memory, tracker, port, state, segment
+        )
+        assert isinstance(exc, SegmentFull)
+        assert segment.load_count == 2
+        after = snapshot_world(state, memory, tracker, segment)
+        assert after == before
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_store_segment_full_is_effect_free(self, granularity):
+        # Room for the first store only (LINE: 16+72=88; WORD: 16+8=24;
+        # NONE: 16) — the second store raises.
+        capacity = {
+            RollbackGranularity.LINE: 90,
+            RollbackGranularity.WORD: 25,
+            RollbackGranularity.NONE: 17,
+        }[granularity]
+        memory, tracker, port, state, segment = make_world(granularity, capacity)
+        program = build_mem_program([(True, 0), (True, 1)])
+        exc, before = run_until_raise(
+            program, memory, tracker, port, state, segment
+        )
+        assert isinstance(exc, SegmentFull)
+        assert segment.store_count == 1
+        after = snapshot_world(state, memory, tracker, segment)
+        assert after == before
+
+    @pytest.mark.parametrize(
+        "granularity", [RollbackGranularity.WORD, RollbackGranularity.LINE]
+    )
+    def test_conflict_stall_is_effect_free(self, granularity):
+        # Slot 0 and slot 8 live on different lines; with one way per
+        # set the second unchecked line conflicts.
+        memory, tracker, port, state, segment = make_world(granularity, 4096)
+        program = build_mem_program([(True, 0), (True, 8)])
+        exc, before = run_until_raise(
+            program, memory, tracker, port, state, segment
+        )
+        assert isinstance(exc, UncheckedConflictStall)
+        assert exc.address == DATA_BASE + 8 * 8
+        after = snapshot_world(state, memory, tracker, segment)
+        assert after == before
+
+    def test_none_granularity_never_conflicts(self):
+        # Detection-only stores are not buffered, so the tiny cache
+        # cannot stall them.
+        memory, tracker, port, state, segment = make_world(
+            RollbackGranularity.NONE, 4096
+        )
+        program = build_mem_program([(True, slot) for slot in range(16)])
+        exc, _ = run_until_raise(program, memory, tracker, port, state, segment)
+        assert exc is None
+        assert state.halted
+        assert tracker.unchecked_lines() == 0
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_retry_after_close_succeeds(self, granularity):
+        # The engine's contract: after SegmentFull, close + reopen and
+        # re-execute the same instruction; it must then succeed and
+        # record exactly once.
+        from repro.lslog import SegmentCloseReason
+
+        memory, tracker, port, state, segment = make_world(granularity, 32)
+        program = build_mem_program([(False, 0), (False, 1), (False, 2)])
+        executor = Executor(program, state, port)
+        try:
+            while not state.halted:
+                executor.step()
+        except SegmentFull:
+            pass
+        pc_at_raise = state.pc
+        segment.close(state.snapshot(), SegmentCloseReason.LOG_CAPACITY)
+        fresh = LogSegment(
+            seq=2,
+            granularity=granularity,
+            capacity_bytes=4096,
+            start_state=state.snapshot(),
+        )
+        port.segment = fresh
+        while not state.halted:
+            executor.step()
+        assert fresh.loads[0] == (DATA_BASE + 16, 3)  # the retried load
+        assert state.pc > pc_at_raise
+        assert segment.load_count + fresh.load_count == 3
+
+
+OPS = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=15)),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestMainPortProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS, granularity=st.sampled_from(GRANULARITIES))
+    def test_tiny_segment_raises_are_effect_free(self, ops, granularity):
+        # A 120-byte segment makes SegmentFull routine; the 1x1 cache
+        # makes conflicts routine.  Whatever raises first must be
+        # invisible.
+        memory, tracker, port, state, segment = make_world(granularity, 120)
+        program = build_mem_program(ops)
+        exc, before = run_until_raise(
+            program, memory, tracker, port, state, segment
+        )
+        if exc is None:
+            assert state.halted
+            return
+        after = snapshot_world(state, memory, tracker, segment)
+        assert after == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OPS)
+    def test_word_store_log_restores_memory(self, ops):
+        # store_olds must hold exactly the values needed to unwind the
+        # segment's stores (newest first).
+        memory, tracker, port, state, segment = make_world(
+            RollbackGranularity.WORD,
+            65536,
+            cache=CacheConfig(
+                size_bytes=4096, associativity=8, hit_latency_cycles=1, mshrs=4
+            ),
+        )
+        pristine = dict(memory.words)
+        program = build_mem_program(ops)
+        exc, _ = run_until_raise(program, memory, tracker, port, state, segment)
+        assert exc is None
+        for addr, old in zip(
+            reversed(segment.store_addrs), reversed(segment.store_olds)
+        ):
+            memory.store(addr, old)
+        assert dict(memory.words) == pristine
+
+
+def fill_clean_segment(granularity=RollbackGranularity.LINE):
+    memory, tracker, port, state, segment = make_world(granularity, 65536)
+    program = build_mem_program(
+        [(False, 0), (True, 1), (False, 2), (True, 3)]
+    )
+    executor = Executor(program, state, port)
+    while not state.halted:
+        executor.step()
+    return memory, segment
+
+
+class TestCheckerReplayPort:
+    def test_clean_replay_consumes_log(self):
+        memory, segment = fill_clean_segment()
+        replay = CheckerReplayPort(segment)
+        for address, value in list(segment.loads):
+            assert replay.load(address) == value
+        for address, value in zip(
+            list(segment.store_addrs), list(segment.store_values)
+        ):
+            replay.store(address, value)
+        assert replay.fully_consumed
+
+    def test_mismatches_leave_segment_and_memory_untouched(self):
+        # Detection raises must not edit the logged evidence (the engine
+        # rolls back from it) nor main memory (checkers have no memory
+        # port, section II-B).  The replay indices do advance before the
+        # raise — that is documented behaviour, not state corruption.
+        memory, segment = fill_clean_segment()
+        words_before = dict(memory.words)
+        loads_before = list(segment.loads)
+        stores_before = (
+            list(segment.store_addrs),
+            list(segment.store_values),
+            list(segment.store_olds),
+            list(segment.lines),
+        )
+
+        replay = CheckerReplayPort(segment)
+        with pytest.raises(LoadAddressMismatch):
+            replay.load(segment.loads[0][0] ^ 8)
+
+        replay = CheckerReplayPort(segment)
+        replay.load(segment.loads[0][0])
+        replay.load(segment.loads[1][0])
+        with pytest.raises(StoreMismatch):
+            replay.store(segment.store_addrs[0], segment.store_values[0] ^ 1)
+
+        replay = CheckerReplayPort(segment)
+        for address, _ in loads_before:
+            replay.load(address)
+        with pytest.raises(LogExhausted):
+            replay.load(DATA_BASE)
+
+        assert dict(memory.words) == words_before
+        assert list(segment.loads) == loads_before
+        assert (
+            list(segment.store_addrs),
+            list(segment.store_values),
+            list(segment.store_olds),
+            list(segment.lines),
+        ) == stores_before

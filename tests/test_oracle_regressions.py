@@ -1,0 +1,47 @@
+"""Pinned regressions for divergences the fuzzer found.
+
+Each test names the seed/profile that first exposed the bug, re-runs
+that exact generated case through the full three-way differential, and
+pins the minimal semantic repro directly.  Keep these green forever:
+they are the oracle's trophy case.
+"""
+
+import math
+
+from repro.isa import ArchState, Executor, MemoryImage, ProgramBuilder
+from repro.oracle import generate_case, run_case
+
+
+class TestSeed15MixedFdivNegativeZero:
+    """seed=15 profile=mixed: FDIV by -0.0 produced +inf instead of -inf.
+
+    The executor special-cased division by zero with an unsigned
+    ``float("inf")`` and lost the divisor's sign bit; IEEE 754 requires
+    the sign of x/±0 to be the XOR of the operand signs.  The reference
+    ISS (formulated via ``ZeroDivisionError``) disagreed at the first
+    checkpoint and the shrinker cut the case to a single FP atom.
+    """
+
+    def test_seed15_mixed_diffs_clean(self):
+        report = run_case(generate_case(15, "mixed"))
+        assert report.ok, report.divergence.describe()
+
+    def test_minimal_repro_negative_zero_divisor(self):
+        builder = ProgramBuilder(name="fdiv-neg-zero")
+        builder.fmovi(0, 1.0).fmovi(1, -0.0).fdiv(2, 0, 1).halt()
+        state = ArchState()
+        Executor(builder.build(), state, MemoryImage()).run(10)
+        assert state.regs.read_f(2) == float("-inf")
+
+    def test_sign_matrix(self):
+        for a, b, expected in [
+            (1.0, 0.0, math.inf),
+            (1.0, -0.0, -math.inf),
+            (-1.0, 0.0, -math.inf),
+            (-1.0, -0.0, math.inf),
+        ]:
+            builder = ProgramBuilder(name="fdiv-signs")
+            builder.fmovi(0, a).fmovi(1, b).fdiv(2, 0, 1).halt()
+            state = ArchState()
+            Executor(builder.build(), state, MemoryImage()).run(10)
+            assert state.regs.read_f(2) == expected, (a, b)
