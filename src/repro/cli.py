@@ -176,23 +176,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    from .resilience import CampaignSpec, RunClass, run_campaign, smoke_spec
+def campaign_spec_from_args(args: argparse.Namespace):
+    """Build the :class:`CampaignSpec` a ``repro campaign`` invocation runs.
+
+    Module-level (rather than inline in :func:`cmd_campaign`) so tests
+    can pin the flag→spec plumbing — notably that ``--run-timeout``
+    reaches :func:`repro.parallel.run_fanout` as ``timeout_s``.
+    """
+    from .resilience import CampaignSpec, smoke_spec
 
     if args.smoke:
-        spec = smoke_spec()
-    else:
-        spec = CampaignSpec(
-            workload=args.workload,
-            scale=args.scale,
-            seeds=args.seeds,
-            first_seed=args.first_seed,
-            rates=tuple(args.rate) if args.rate else (1e-4,),
-            models=tuple(args.models.split(",")),
-            dvs=not args.no_dvs,
-            timeout_s=args.timeout,
-            workers=args.workers,
-        )
+        return smoke_spec()
+    # --fault-model (repeatable) overrides the comma-list --models.
+    models = (
+        tuple(args.fault_model)
+        if args.fault_model
+        else tuple(args.models.split(","))
+    )
+    timeout_s = args.run_timeout if args.run_timeout is not None else args.timeout
+    return CampaignSpec(
+        workload=args.workload,
+        scale=args.scale,
+        seeds=args.seeds,
+        first_seed=args.first_seed,
+        rates=tuple(args.rate) if args.rate else (1e-4,),
+        models=models,
+        dvs=not args.no_dvs,
+        chip_seeds=args.chip_seeds,
+        first_chip_seed=args.first_chip_seed,
+        voltage=args.voltage,
+        timeout_s=timeout_s,
+        workers=args.workers,
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .resilience import RunClass, run_campaign
+
+    spec = campaign_spec_from_args(args)
     if args.metrics_out or args.trace_out:
         spec.tracing = True
     try:
@@ -203,8 +224,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     def progress(record) -> None:
         if args.quiet:
             return
+        chip = (
+            f" chip {record.chip_seed:3d}"
+            if record.model.startswith("sram")
+            else ""
+        )
         print(
-            f"  run {record.run_id:4d} seed {record.seed:5d} "
+            f"  run {record.run_id:4d} seed {record.seed:5d}{chip} "
             f"rate {record.rate:.1e} {record.model:<14s} "
             f"-> {record.run_class.value:<18s} {record.detail}"
         )
@@ -437,7 +463,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    from .experiments import fig08, fig09, fig10, fig11, fig12, fig13, sec6e
+    from .experiments import (
+        ext_sram,
+        fig08,
+        fig09,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        sec6e,
+    )
 
     figures = {
         "fig08": fig08,
@@ -447,6 +482,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         "fig12": fig12,
         "fig13": fig13,
         "sec6e": sec6e,
+        "ext_sram": ext_sram,
     }
     module = figures.get(args.name)
     if module is None:
@@ -495,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.set_defaults(func=cmd_workloads)
 
     figure = sub.add_parser("figure", help="regenerate a figure of the paper")
-    figure.add_argument("name", help="fig08..fig13 or sec6e")
+    figure.add_argument("name", help="fig08..fig13, sec6e, or ext_sram")
     figure.set_defaults(func=cmd_figure)
 
     campaign = sub.add_parser(
@@ -515,10 +551,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--models",
         default="transient,burst,stuckat",
         help="comma list of fault-model mixes cycled across runs "
-        "(transient, burst, stuckat, stuckat-global)",
+        "(transient, burst, stuckat, stuckat-global, sram, sram-uniform)",
+    )
+    campaign.add_argument(
+        "--fault-model",
+        action="append",
+        metavar="MIX",
+        help="fault-model mix; repeatable, overrides --models "
+        "(e.g. --fault-model sram)",
+    )
+    campaign.add_argument(
+        "--chip-seeds",
+        type=int,
+        default=1,
+        help="simulated chips for the sram mixes: each chip seed is a "
+        "fresh die with its own bit-cell fault map",
+    )
+    campaign.add_argument("--first-chip-seed", type=int, default=0)
+    campaign.add_argument(
+        "--voltage",
+        type=float,
+        default=None,
+        help="pin the sram-map supply voltage (default: derived from "
+        "the DVS warm start or the rate grid)",
     )
     campaign.add_argument("--no-dvs", action="store_true", help="disable the DVS controller")
-    campaign.add_argument("--timeout", type=float, default=60.0, help="per-run watchdog seconds")
+    campaign.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock watchdog in seconds; a run exceeding it "
+        "is terminated and classified 'hang' (timeout outcome) without "
+        "stalling the sweep",
+    )
+    campaign.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="alias for --run-timeout (kept for compatibility)",
+    )
     campaign.add_argument("--workers", type=int, default=0, help="worker processes (0 = auto)")
     campaign.add_argument("--json", help="write the full JSON report to this path")
     campaign.add_argument(

@@ -404,9 +404,13 @@ class SimulationEngine:
         if self.dvfs is None:
             return
         self._set_frequency(self.dvfs.frequency_hz)
-        if self.injector is not None and self.options.voltage_model is not None:
-            rate = self.options.voltage_model.rate(self.dvfs.voltage)
-            self.injector.set_rate(rate)
+        if self.injector is not None:
+            if self.options.voltage_model is not None:
+                rate = self.options.voltage_model.rate(self.dvfs.voltage)
+                self.injector.set_rate(rate)
+            # Map-based SRAM models follow the voltage directly: a
+            # supply change re-thresholds their bit-cell maps.
+            self.injector.set_voltage(self.dvfs.voltage)
 
     # -------------------------------------------------------------- checking --
     def _dispatch(self, segment: LogSegment) -> None:
@@ -474,7 +478,7 @@ class SimulationEngine:
         checker_targeted = injector is not None and injector.target == "checker"
         main_targeted = injector is not None and injector.target == "main"
         if injector is not None:
-            injector.begin_check(core.core_id)
+            injector.begin_check(core.core_id, segment)
         try:
             if not main_targeted and self.options.fastpath:
                 if injector is None or not injector.fires_within_segment(segment):

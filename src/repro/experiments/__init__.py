@@ -17,6 +17,7 @@ from . import (
     ext_coverage,
     ext_design_space,
     ext_sharing,
+    ext_sram,
     fig08,
     fig09,
     fig10,
@@ -33,6 +34,7 @@ __all__ = [
     "ext_coverage",
     "ext_design_space",
     "ext_sharing",
+    "ext_sram",
     "fig08",
     "fig09",
     "fig10",

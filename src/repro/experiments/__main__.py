@@ -5,7 +5,18 @@ from __future__ import annotations
 import sys
 import time
 
-from . import ext_coverage, ext_sharing, fig08, fig09, fig10, fig11, fig12, fig13, sec6e
+from . import (
+    ext_coverage,
+    ext_sharing,
+    ext_sram,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sec6e,
+)
 from .spec_runs import run_spec_suite
 
 
@@ -32,6 +43,8 @@ def main() -> int:
     print(ext_coverage.run().table())
     print()
     print(ext_sharing.run(iterations=8).table())
+    print()
+    print(ext_sram.run(voltages=(1.00, 0.96), seeds=1, chip_seeds=2).table())
     print(f"\ntotal: {time.time() - start:.0f}s")
     return 0
 

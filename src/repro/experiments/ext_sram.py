@@ -1,0 +1,175 @@
+"""Extension: geometric vs. SRAM-map injection across the voltage sweep.
+
+The paper's fig 12/13 conclusions rest on *memoryless* geometric
+injection whose rate follows the exponential voltage→rate curve.  This
+harness re-runs the same voltage sweep under the measured error
+topology of reduced-voltage SRAM (per-chip, spatially clustered,
+persistent bit-cell maps — :mod:`repro.faults.sram`) and puts the three
+regimes side by side:
+
+* ``geometric`` — the paper's model: transient faults at the rate the
+  voltage→rate curve predicts for each supply point.
+* ``sram`` — MoRS-style clustered bit-cell maps, a population of
+  ``chip_seeds`` simulated dies per supply point.
+* ``sram-uniform`` — the same maps with clustering ablated.
+
+Where the geometric model predicts a smooth exponential fade-out, the
+map model shows a per-chip cliff: a die is clean until the supply drops
+below its weakest relevant cells, then fails persistently — retrying
+the same segment re-reads the same broken cells.  Comparing the columns
+shows where the paper's exponential-λ conclusion bends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..faults import VoltageErrorModel
+from ..resilience import CampaignSpec, run_campaign
+from .common import format_table
+
+DEFAULT_VOLTAGES: Sequence[float] = (1.00, 0.98, 0.96, 0.94)
+MODES = ("geometric", "sram", "sram-uniform")
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated outcome of one (mode, voltage) cell of the sweep."""
+
+    mode: str
+    voltage: float
+    rate: float
+    runs: int
+    counts: "dict[str, int]"
+    mean_faults: float
+    mean_recoveries: float
+
+    def row(self) -> "tuple[str, ...]":
+        return (
+            self.mode,
+            f"{self.voltage:.3f}",
+            f"{self.rate:.1e}",
+            str(self.runs),
+            str(self.counts.get("masked", 0)),
+            str(self.counts.get("detected_recovered", 0)),
+            str(self.counts.get("degraded", 0)),
+            str(self.counts.get("sdc", 0)),
+            str(self.counts.get("hang", 0)),
+            str(self.counts.get("crash", 0)),
+            f"{self.mean_faults:.1f}",
+        )
+
+
+@dataclass
+class SramSweepResult:
+    points: List[SweepPoint]
+
+    @property
+    def crash_count(self) -> int:
+        return sum(p.counts.get("crash", 0) for p in self.points)
+
+    def table(self) -> str:
+        return format_table(
+            [
+                "model",
+                "V",
+                "rate",
+                "runs",
+                "masked",
+                "det+rec",
+                "degraded",
+                "sdc",
+                "hang",
+                "crash",
+                "faults/run",
+            ],
+            [p.row() for p in self.points],
+            title=(
+                "Extension: geometric vs. SRAM-map injection across the "
+                "voltage sweep (DVS off, supply pinned per point)"
+            ),
+        )
+
+
+def _spec_for(
+    mode: str,
+    voltage: float,
+    rate: float,
+    workload: str,
+    scale: float,
+    seeds: int,
+    chip_seeds: int,
+    jobs: int,
+    timeout_s: float,
+) -> CampaignSpec:
+    if mode == "geometric":
+        # One run per (seed, chip) slot so every mode sees the same
+        # number of runs; geometric faults have no chip axis.
+        return CampaignSpec(
+            workload=workload,
+            scale=scale,
+            seeds=seeds * chip_seeds,
+            rates=(rate,),
+            models=("transient",),
+            dvs=False,
+            timeout_s=timeout_s,
+            workers=jobs,
+        )
+    return CampaignSpec(
+        workload=workload,
+        scale=scale,
+        seeds=seeds,
+        rates=(rate,),
+        models=("sram" if mode == "sram" else "sram-uniform",),
+        dvs=False,
+        chip_seeds=chip_seeds,
+        voltage=voltage,
+        timeout_s=timeout_s,
+        workers=jobs,
+    )
+
+
+def run(
+    voltages: Sequence[float] = DEFAULT_VOLTAGES,
+    workload: str = "bitcount",
+    scale: float = 0.3,
+    seeds: int = 2,
+    chip_seeds: int = 3,
+    jobs: int = 0,
+    timeout_s: float = 60.0,
+) -> SramSweepResult:
+    """Sweep every mode over every supply point via the campaign runner."""
+    curve = VoltageErrorModel.itanium_9560()
+    points: List[SweepPoint] = []
+    for voltage in voltages:
+        rate = curve.rate(voltage)
+        for mode in MODES:
+            spec = _spec_for(
+                mode, voltage, rate, workload, scale, seeds, chip_seeds,
+                jobs, timeout_s,
+            )
+            report = run_campaign(spec)
+            records = report.records
+            runs = len(records) or 1
+            points.append(
+                SweepPoint(
+                    mode=mode,
+                    voltage=voltage,
+                    rate=rate,
+                    runs=len(records),
+                    counts=report.counts,
+                    mean_faults=sum(r.faults_injected for r in records) / runs,
+                    mean_recoveries=sum(r.recoveries for r in records) / runs,
+                )
+            )
+    return SramSweepResult(points=points)
+
+
+def main() -> None:
+    result = run()
+    print(result.table())
+
+
+if __name__ == "__main__":
+    main()

@@ -11,21 +11,41 @@ from .models import (
     RegisterFaultModel,
     StuckAtFaultModel,
 )
+from .sram import (
+    GENERATION_MODES,
+    ChipFaultMap,
+    SramFaultModel,
+    SramMapConfig,
+    SramStructure,
+    StructureMap,
+    WeakCell,
+    generate_chip_map,
+    sram_injector,
+)
 from .voltage_model import VoltageErrorModel
 
 __all__ = [
     "BurstFaultModel",
+    "ChipFaultMap",
     "DEFAULT_MODEL_KINDS",
     "FaultDomain",
     "FaultInjector",
     "FaultModel",
     "FunctionalUnitFaultModel",
+    "GENERATION_MODES",
     "GeometricArrival",
     "InjectionStats",
     "MIN_RATE",
     "MemoryFaultModel",
     "RegisterFaultModel",
+    "SramFaultModel",
+    "SramMapConfig",
+    "SramStructure",
+    "StructureMap",
     "StuckAtFaultModel",
     "VoltageErrorModel",
+    "WeakCell",
     "default_injector",
+    "generate_chip_map",
+    "sram_injector",
 ]

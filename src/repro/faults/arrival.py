@@ -25,7 +25,12 @@ from typing import Optional
 import numpy as np
 
 #: Rates below this are treated as "never fires" to avoid numerical trouble
-#: (a 1e-30 geometric sample overflows int64 in numpy).
+#: (a 1e-30 geometric sample overflows int64 in numpy).  A *non-zero*
+#: rate hitting this floor is an explicit, observable clamp: the
+#: :attr:`GeometricArrival.clamped` property reports it and
+#: :attr:`GeometricArrival.clamp_events` counts every resample that
+#: applied it (the injector surfaces the count as the
+#: ``faults.rate_clamped`` telemetry metric).
 MIN_RATE = 1e-15
 
 
@@ -38,12 +43,21 @@ class GeometricArrival:
         self._rng = rng
         self._rate = float(rate)
         self._remaining: Optional[int] = None
+        #: Resamples that clamped a non-zero sub-``MIN_RATE`` rate to
+        #: "never fires".  Rate 0 is an exact request, not a clamp.
+        self.clamp_events = 0
         self._resample()
 
     # -- configuration ------------------------------------------------------------
     @property
     def rate(self) -> float:
         return self._rate
+
+    @property
+    def clamped(self) -> bool:
+        """True when the current rate is non-zero but below ``MIN_RATE``,
+        so the process silently never fires unless made explicit here."""
+        return 0.0 < self._rate < MIN_RATE
 
     def set_rate(self, rate: float) -> None:
         """Change the per-operation fault probability (memoryless resample)."""
@@ -55,6 +69,8 @@ class GeometricArrival:
 
     def _resample(self) -> None:
         if self._rate < MIN_RATE:
+            if self._rate > 0.0:
+                self.clamp_events += 1
             self._remaining = None  # never fires
         else:
             # Number of trials up to and including the first success.

@@ -67,21 +67,31 @@ class FaultInjector:
         #: via :meth:`begin_check` so core-bound models only fire on
         #: their own hardware (None during main-core injection).
         self.current_checker_id: int | None = None
+        #: The segment currently being replayed (set alongside the
+        #: checker ID): address-correlated models resolve the logged
+        #: address of each corrupted operation through it.
+        self.current_segment: LogSegment | None = None
         #: Telemetry bus (set by the engine when tracing is enabled).
         #: Emission happens only when a fault actually fires — never on
         #: the per-operation clean path.
         self.tracer: "Tracer | None" = None
+        #: Sum of arrival clamp events already reported to telemetry.
+        self._clamp_events_reported = 0
 
     def _trace_fault(self, site: str, model: "FaultModel") -> None:
         tracer = self.tracer
         if tracer is None:
             return
         core = self.current_checker_id
+        detail = f"{site}:{type(model).__name__}"
+        fire_detail = model.describe_last_fire()
+        if fire_detail:
+            detail = f"{detail} {fire_detail}"
         tracer.emit(
             "faults",
             "inject",
             core=core if core is not None else -1,
-            detail=f"{site}:{type(model).__name__}",
+            detail=detail,
         )
         tracer.metrics.inc("faults.injected")
         tracer.metrics.inc(f"faults.injected.{site}")
@@ -91,10 +101,39 @@ class FaultInjector:
         """Update every model's per-operation fault probability.
 
         Permanent models (stuck-at defects) ignore the update: a broken
-        wire does not heal when the voltage rises.
+        wire does not heal when the voltage rises.  When the requested
+        rate falls inside ``(0, MIN_RATE)`` the arrival process clamps
+        it to "never fires" — the ``faults.rate_clamped`` metric counts
+        those events so a sweep that silently bottoms out is visible.
         """
         for model in self.models:
             model.set_rate(rate)
+        tracer = self.tracer
+        if tracer is not None:
+            total = sum(model.arrival.clamp_events for model in self.models)
+            delta = total - self._clamp_events_reported
+            if delta > 0:
+                self._clamp_events_reported = total
+                tracer.metrics.inc("faults.rate_clamped", float(delta))
+
+    def set_voltage(self, voltage: float) -> None:
+        """Propagate a DVFS supply-voltage change to every model.
+
+        For transient models this is a no-op (the engine couples their
+        rate through the voltage→rate curve separately); map-based SRAM
+        models re-threshold their bit-cell maps.  Emits one
+        ``faults/sram_map`` event per model whose active-cell set
+        changed, carrying the new count.
+        """
+        tracer = self.tracer
+        for model in self.models:
+            if model.on_voltage(voltage) and tracer is not None:
+                tracer.emit(
+                    "faults",
+                    "sram_map",
+                    value=float(getattr(model, "active_cell_count", 0)),
+                    detail=model.describe(),
+                )
 
     @property
     def enabled(self) -> bool:
@@ -104,9 +143,20 @@ class FaultInjector:
         """Describe every permanent defect, for failure diagnostics."""
         return [model.describe() for model in self.models if model.persistent]
 
-    def begin_check(self, core_id: "int | None") -> None:
-        """Note which checker core is about to replay (None = main core)."""
+    def begin_check(
+        self, core_id: "int | None", segment: "LogSegment | None" = None
+    ) -> None:
+        """Note which checker core is about to replay which segment.
+
+        Called with ``(core_id, segment)`` before the fast-path query
+        and with ``(None, None)`` when the check window closes, so
+        address-correlated models always know whose hardware — and
+        whose logged addresses — they are corrupting.
+        """
         self.current_checker_id = core_id
+        self.current_segment = segment
+        for model in self.models:
+            model.begin_check(core_id, segment)
 
     def _applies(self, model: FaultModel) -> bool:
         return (
@@ -127,9 +177,15 @@ class FaultInjector:
         return segment.unit_dest_histogram.get(model.unit, 0)  # type: ignore[attr-defined]
 
     def fires_within_segment(self, segment: LogSegment) -> bool:
-        """Could any model fire while checking ``segment``?  Non-consuming."""
+        """Could any model fire while checking ``segment``?  Non-consuming.
+
+        Persistent address-correlated models veto the skip through
+        :meth:`FaultModel.may_fire_in_segment`, which inspects the
+        actual rows/addresses the replay would touch — a segment is
+        only ever skipped when *no* model could possibly fire in it.
+        """
         return any(
-            model.may_fire_within(self._domain_count(model, segment))
+            model.may_fire_in_segment(segment, self._domain_count(model, segment))
             for model in self.models
             if self._applies(model)
         )
@@ -163,10 +219,12 @@ class FaultInjector:
         # At most one fault per operation: once a model corrupts the
         # value, stop — chaining further models through the already
         # corrupted value double-counts (and can silently cancel) faults.
+        segment = self.current_segment
+        address = segment.loads[op_index][0] if segment is not None else 0
         for model in self.models:
             if not self._applies(model):
                 continue
-            value, fired = model.on_load(value)
+            value, fired = model.on_load_at(op_index, address, value)
             if fired:
                 self.stats.load_faults += 1
                 self._trace_fault("load", model)
@@ -174,10 +232,12 @@ class FaultInjector:
         return value
 
     def corrupt_store(self, op_index: int, value: int) -> int:
+        segment = self.current_segment
+        address = segment.store_addrs[op_index] if segment is not None else 0
         for model in self.models:
             if not self._applies(model):
                 continue
-            value, fired = model.on_store(value)
+            value, fired = model.on_store_at(op_index, address, value)
             if fired:
                 self.stats.store_faults += 1
                 self._trace_fault("store", model)

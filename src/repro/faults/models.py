@@ -74,14 +74,38 @@ class FaultModel:
     def set_rate(self, rate: float) -> None:
         self.arrival.set_rate(rate)
 
+    def on_voltage(self, voltage: float) -> bool:
+        """React to a supply-voltage change; True if behaviour changed.
+
+        Transient models follow the voltage through ``set_rate`` (the
+        voltage→rate curve); map-based models (:class:`~repro.faults.
+        sram.SramFaultModel`) instead re-threshold their bit-cell map
+        here.  The default is a no-op.
+        """
+        return False
+
     def describe(self) -> str:
         """Human-readable identity, used in failure diagnostics."""
         return type(self).__name__
+
+    def describe_last_fire(self) -> Optional[str]:
+        """Optional per-fire detail (cell coordinates...) for telemetry."""
+        return None
 
     # -- fast-path support ------------------------------------------------------
     def may_fire_within(self, count: int) -> bool:
         """Could this model fire within the next ``count`` domain operations?"""
         return self.arrival.fires_within(count)
+
+    def may_fire_in_segment(self, segment, count: int) -> bool:
+        """Segment-aware fast-path veto.
+
+        Address-correlated models override this to inspect the actual
+        rows/addresses the replay would touch; everything else falls
+        back to the count-only check.  Returning False asserts the
+        replay *cannot* fault and may be skipped.
+        """
+        return self.may_fire_within(count)
 
     def advance_clean(self, count: int) -> None:
         """Consume ``count`` operations known (by the caller) to be clean."""
@@ -91,6 +115,12 @@ class FaultModel:
 
     # Subclasses implement the hooks relevant to their domain; the rest
     # stay no-ops so an injector can drive a heterogeneous model list.
+    def begin_check(
+        self, core_id: Optional[int], segment=None
+    ) -> None:
+        """Called before a segment is replayed (or skipped); ``core_id``
+        is the replaying checker, None when the check window closes."""
+
     def on_instruction(self, state: ArchState, info: StepInfo) -> bool:
         """Called after each executed instruction; True if a fault fired."""
         return False
@@ -102,6 +132,18 @@ class FaultModel:
     def on_store(self, value: int) -> "tuple[int, bool]":
         """Map a replayed store reference value; True if corrupted."""
         return value, False
+
+    def on_load_at(
+        self, op_index: int, address: int, value: int
+    ) -> "tuple[int, bool]":
+        """Address-aware load hook; defaults to the value-only hook."""
+        return self.on_load(value)
+
+    def on_store_at(
+        self, op_index: int, address: int, value: int
+    ) -> "tuple[int, bool]":
+        """Address-aware store hook; defaults to the value-only hook."""
+        return self.on_store(value)
 
 
 class RegisterFaultModel(FaultModel):

@@ -45,7 +45,17 @@ from ..parallel import FanoutOutcome, resolve_jobs, run_fanout
 from .guard import ResilienceConfig
 
 #: Fault-model mixes a campaign run can use (cycled across runs).
-MODEL_MIXES = ("transient", "burst", "stuckat", "stuckat-global")
+#: ``sram`` replays the run against a per-chip spatially correlated
+#: bit-cell fault map (MoRS-style clustering); ``sram-uniform`` is the
+#: same map generator with clustering ablated.
+MODEL_MIXES = (
+    "transient",
+    "burst",
+    "stuckat",
+    "stuckat-global",
+    "sram",
+    "sram-uniform",
+)
 
 
 class RunClass(enum.Enum):
@@ -76,6 +86,15 @@ class CampaignSpec:
     dvs: bool = True
     #: Warm-start undervolt below the safe point when ``dvs`` is on.
     initial_margin: float = 0.15
+    #: Simulated chips for the ``sram``/``sram-uniform`` mixes: the grid
+    #: gains a chip-seed axis so a sweep samples a *population* of dies,
+    #: each with its own bit-cell map.  1 keeps the grid unchanged.
+    chip_seeds: int = 1
+    first_chip_seed: int = 0
+    #: Pin the supply voltage of ``sram`` runs when ``dvs`` is off
+    #: (None derives it from the run's rate through the voltage→rate
+    #: curve, so geometric and sram runs sweep the same axis).
+    voltage: Optional[float] = None
     #: Per-run wall-clock watchdog (seconds).
     timeout_s: float = 60.0
     #: Concurrent worker processes (0 = auto).
@@ -100,23 +119,27 @@ class CampaignSpec:
                 f"unknown fault-model mixes {unknown}; choose from {MODEL_MIXES}"
             )
         payloads: List[Dict[str, Any]] = []
-        for index in range(self.seeds):
-            for rate in self.rates:
-                run_id = len(payloads)
-                payload = {
-                    "run_id": run_id,
-                    "workload": self.workload,
-                    "scale": self.scale,
-                    "seed": self.first_seed + index,
-                    "rate": rate,
-                    "model": self.models[run_id % len(self.models)],
-                    "dvs": self.dvs,
-                    "initial_margin": self.initial_margin,
-                    "tracing": self.tracing,
-                }
-                if run_id in self.hooks:
-                    payload["hook"] = self.hooks[run_id]
-                payloads.append(payload)
+        for chip in range(max(1, self.chip_seeds)):
+            for index in range(self.seeds):
+                for rate in self.rates:
+                    run_id = len(payloads)
+                    payload = {
+                        "run_id": run_id,
+                        "workload": self.workload,
+                        "scale": self.scale,
+                        "seed": self.first_seed + index,
+                        "rate": rate,
+                        "model": self.models[run_id % len(self.models)],
+                        "dvs": self.dvs,
+                        "initial_margin": self.initial_margin,
+                        "chip_seed": self.first_chip_seed + chip,
+                        "tracing": self.tracing,
+                    }
+                    if self.voltage is not None:
+                        payload["voltage"] = self.voltage
+                    if run_id in self.hooks:
+                        payload["hook"] = self.hooks[run_id]
+                    payloads.append(payload)
         return payloads
 
     def to_dict(self) -> Dict[str, Any]:
@@ -141,6 +164,8 @@ class RunRecord:
     model: str
     workload: str
     run_class: RunClass
+    #: Simulated die the run executed on (sram mixes; 0 otherwise).
+    chip_seed: int = 0
     detail: str = ""
     #: Engine outcome value ("completed" etc.); None for crash/watchdog.
     outcome: Optional[str] = None
@@ -274,6 +299,31 @@ class CampaignReport:
 # ---------------------------------------------------------------- worker side --
 
 
+def _initial_voltage(payload: Dict[str, Any]) -> float:
+    """Supply voltage an ``sram`` run starts at.
+
+    An explicit ``voltage`` in the payload wins.  Otherwise, with DVS
+    on, the run starts where the controller warm-starts (safe point
+    minus the initial margin) and follows every subsequent voltage move
+    through the engine's re-thresholding hook; with DVS off the
+    operating point is derived from the run's rate through the
+    voltage→rate curve, so geometric and sram runs sweep one shared
+    axis.
+    """
+    from ..config import table1_config
+    from ..faults.voltage_model import VoltageErrorModel
+
+    if payload.get("voltage") is not None:
+        return float(payload["voltage"])
+    safe = table1_config().dvfs.safe_voltage
+    if payload["dvs"]:
+        return float(safe) - float(payload["initial_margin"])
+    rate = float(payload["rate"])
+    if rate <= 0.0:
+        return float(safe)
+    return VoltageErrorModel.itanium_9560().voltage_for_rate(min(rate, 0.5))
+
+
 def _build_injector(payload: Dict[str, Any], checker_count: int):
     """Compose the run's fault models from its mix name."""
     import numpy as np
@@ -291,6 +341,19 @@ def _build_injector(payload: Dict[str, Any], checker_count: int):
     model = payload["model"]
     if model == "transient":
         return default_injector(rate, seed=seed, target="checker")
+    if model in ("sram", "sram-uniform"):
+        from ..faults.sram import sram_injector
+
+        # The map belongs to the *chip*, not the run: every seed on the
+        # same chip replays against the identical bit-cell map, which
+        # is what makes the faults persistent and address-correlated.
+        return sram_injector(
+            int(payload.get("chip_seed", 0)),
+            checkers=checker_count,
+            mode="uniform" if model == "sram-uniform" else "mors",
+            voltage=_initial_voltage(payload),
+            target="checker",
+        )
     rng = np.random.default_rng(seed + 0x5EED)
     if model == "burst":
         # Longer, denser bursts than the model's defaults so a burst can
@@ -455,6 +518,7 @@ def _base_record(payload: Dict[str, Any]) -> RunRecord:
         model=payload["model"],
         workload=payload["workload"],
         run_class=RunClass.CRASH,
+        chip_seed=int(payload.get("chip_seed", 0)),
     )
 
 

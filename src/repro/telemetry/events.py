@@ -71,7 +71,11 @@ KNOWN_KINDS: Dict[str, frozenset] = {
     EventSource.DVFS.value: frozenset(
         {"voltage", "tide_mark", "tide_reset", "escalate", "hold_release"}
     ),
-    EventSource.FAULTS.value: frozenset({"inject"}),
+    # ``inject``: a fault fired (detail carries the site, model, and —
+    # for SRAM-map faults — cell coordinates and cluster id).
+    # ``sram_map``: a voltage change re-thresholded a bit-cell map
+    # (value carries the new active-cell count).
+    EventSource.FAULTS.value: frozenset({"inject", "sram_map"}),
     EventSource.RESILIENCE.value: frozenset(
         {"escalation", "quarantine", "vindication", "absolution"}
     ),

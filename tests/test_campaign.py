@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser
+from repro.cli import build_parser, campaign_spec_from_args
 from repro.resilience import CampaignSpec, RunClass, run_campaign, smoke_spec
 from repro.resilience.campaign import classify_result, execute_run
 
@@ -85,6 +85,28 @@ class TestSpec:
     def test_smoke_spec_is_small(self):
         spec = smoke_spec()
         assert len(spec.expand()) <= 12
+
+    def test_chip_seed_axis_multiplies_the_grid(self):
+        spec = CampaignSpec(
+            seeds=2,
+            rates=(1e-4,),
+            models=("sram",),
+            chip_seeds=3,
+            first_chip_seed=10,
+        )
+        payloads = spec.expand()
+        assert len(payloads) == 6  # chips x seeds x rates
+        assert [p["chip_seed"] for p in payloads] == [10, 10, 11, 11, 12, 12]
+        assert all(p["model"] == "sram" for p in payloads)
+
+    def test_default_chip_axis_leaves_grid_unchanged(self):
+        payloads = CampaignSpec(seeds=3, rates=(1e-4,)).expand()
+        assert len(payloads) == 3
+        assert all(p["chip_seed"] == 0 for p in payloads)
+
+    def test_pinned_voltage_reaches_payloads(self):
+        spec = CampaignSpec(seeds=1, models=("sram",), voltage=0.97)
+        assert spec.expand()[0]["voltage"] == 0.97
 
 
 class TestExecuteRun:
@@ -186,6 +208,62 @@ class TestEndToEnd:
         assert report.summary_table()
 
 
+class TestSramCampaign:
+    def test_sram_sweep_is_bit_identical_at_any_jobs_width(self):
+        """The chip map is regenerated from the chip seed inside each
+        worker, so classification, fault counts, and skip accounting
+        are identical whether runs execute serially or fanned out."""
+
+        def run_at_width(workers):
+            spec = CampaignSpec(
+                seeds=2,
+                scale=0.2,
+                rates=(1e-4,),
+                models=("sram",),
+                chip_seeds=2,
+                timeout_s=60.0,
+                workers=workers,
+            )
+            report = run_campaign(spec)
+            return [
+                (
+                    r.run_id,
+                    r.chip_seed,
+                    r.run_class,
+                    r.outcome,
+                    r.recoveries,
+                    r.faults_injected,
+                    r.instructions,
+                )
+                for r in report.records
+            ]
+
+        serial = run_at_width(1)
+        fanned = run_at_width(3)
+        assert serial == fanned
+        assert len(serial) == 4
+        assert all(row[2] is not RunClass.CRASH for row in serial)
+
+    def test_geometric_vs_sram_sweep_end_to_end(self):
+        """Acceptance: a fig12/13-style geometric-vs-sram comparison runs
+        through the campaign machinery with zero crash-class outcomes."""
+        from repro.experiments import ext_sram
+
+        result = ext_sram.run(
+            voltages=(1.00, 0.96), seeds=1, chip_seeds=2, jobs=2, scale=0.2
+        )
+        assert result.crash_count == 0
+        assert len(result.points) == 6  # 2 voltages x 3 modes
+        assert result.table()
+        # At the higher supply the maps are (near-)clean; at the lower
+        # one the sram runs see persistent faults the geometric model
+        # cannot represent.
+        low_sram = [
+            p for p in result.points if p.mode == "sram" and p.voltage == 0.96
+        ]
+        assert low_sram and low_sram[0].runs == 2
+
+
 class TestCli:
     def test_campaign_parser(self):
         parser = build_parser()
@@ -197,6 +275,56 @@ class TestCli:
             ["campaign", "--seeds", "200", "--rate", "1e-4", "--models", "burst"]
         )
         assert args.seeds == 200 and args.rate == [1e-4]
+
+    def test_campaign_sram_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "campaign",
+                "--fault-model",
+                "sram",
+                "--fault-model",
+                "sram-uniform",
+                "--chip-seeds",
+                "4",
+                "--first-chip-seed",
+                "7",
+                "--voltage",
+                "0.96",
+            ]
+        )
+        spec = campaign_spec_from_args(args)
+        assert spec.models == ("sram", "sram-uniform")
+        assert spec.chip_seeds == 4 and spec.first_chip_seed == 7
+        assert spec.voltage == 0.96
+
+    def test_run_timeout_plumbs_to_fanout_timeout(self):
+        """--run-timeout becomes the spec's timeout_s, which run_campaign
+        hands to run_fanout as the per-run watchdog."""
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "--run-timeout", "7.5"])
+        assert campaign_spec_from_args(args).timeout_s == 7.5
+        # The legacy --timeout alias still works when --run-timeout is
+        # absent; --run-timeout wins when both are given.
+        args = parser.parse_args(["campaign", "--timeout", "33"])
+        assert campaign_spec_from_args(args).timeout_s == 33
+        args = parser.parse_args(
+            ["campaign", "--timeout", "33", "--run-timeout", "5"]
+        )
+        assert campaign_spec_from_args(args).timeout_s == 5
+
+    def test_run_timeout_lands_hung_run_in_timeout_class(self):
+        """End to end: a hung worker under --run-timeout is terminated
+        and classified ``hang`` via the fan-out's timeout outcome."""
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--seeds", "1", "--scale", "0.2", "--run-timeout", "3"]
+        )
+        spec = campaign_spec_from_args(args)
+        spec.hooks = {0: "hang"}
+        report = run_campaign(spec)
+        assert report.records[0].run_class is RunClass.HANG
+        assert "watchdog timeout" in report.records[0].detail
 
     def test_run_resilient_flag(self):
         parser = build_parser()

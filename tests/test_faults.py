@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.faults import (
+    MIN_RATE,
     FaultInjector,
     FunctionalUnitFaultModel,
     GeometricArrival,
@@ -34,6 +35,37 @@ class TestGeometricArrival:
     def test_rate_one_fires_every_time(self):
         arrival = GeometricArrival(1.0, np.random.default_rng(1))
         assert all(arrival.step() for _ in range(100))
+
+    def test_rate_one_advance_offset_is_one(self):
+        arrival = GeometricArrival(1.0, np.random.default_rng(1))
+        for _ in range(10):
+            assert arrival.advance(1000) == 1
+        assert not arrival.clamped and arrival.clamp_events == 0
+
+    def test_sub_min_rate_is_an_explicit_clamp(self):
+        """Rates in (0, MIN_RATE) never fire — and say so."""
+        arrival = GeometricArrival(MIN_RATE / 10, np.random.default_rng(2))
+        assert arrival.clamped
+        assert arrival.clamp_events == 1  # the construction-time resample
+        assert not arrival.fires_within(10**12)
+        assert arrival.advance(10**12) is None
+        assert not any(arrival.step() for _ in range(1000))
+        # Stepping a clamped process never resamples (no fire, no clamp).
+        assert arrival.clamp_events == 1
+
+    def test_zero_rate_is_not_a_clamp(self):
+        arrival = GeometricArrival(0.0, np.random.default_rng(3))
+        assert not arrival.clamped
+        assert arrival.clamp_events == 0
+
+    def test_set_rate_into_clamp_region_counts(self):
+        arrival = GeometricArrival(0.5, np.random.default_rng(4))
+        assert not arrival.clamped
+        arrival.set_rate(MIN_RATE / 2)
+        assert arrival.clamped and arrival.clamp_events == 1
+        arrival.set_rate(0.5)
+        assert not arrival.clamped
+        assert arrival.fires_within(10**6)
 
     def test_mean_gap_close_to_inverse_rate(self):
         arrival = GeometricArrival(0.01, np.random.default_rng(2))
@@ -211,6 +243,21 @@ class TestInjectorFastPath:
         injector.set_rate(0.5)
         assert all(model.rate == 0.5 for model in injector.models)
         assert injector.enabled
+
+    def test_clamped_rate_surfaces_in_telemetry(self):
+        from repro.telemetry import Tracer
+
+        injector = default_injector(1e-3)
+        injector.tracer = Tracer()
+        injector.set_rate(1e-16)  # inside (0, MIN_RATE): clamped
+        clamped = injector.tracer.metrics.counters.get("faults.rate_clamped")
+        assert clamped == len(injector.models)
+        assert all(model.arrival.clamped for model in injector.models)
+        # Restoring a sane rate stops the counting.
+        injector.set_rate(1e-3)
+        assert (
+            injector.tracer.metrics.counters["faults.rate_clamped"] == clamped
+        )
 
     def test_target_validation(self):
         with pytest.raises(ValueError):
