@@ -26,12 +26,16 @@ Commands:
 
 ``run`` and ``suite`` accept ``--paranoid`` to assert engine
 bookkeeping invariants at every segment boundary (see docs/ORACLE.md).
+``run``, ``trace``, ``suite``, ``diffcheck`` and ``fuzz`` accept
+``--no-jit`` to force pure interpretation instead of the compiled
+superblock tier (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Callable, Dict, Optional
 
 from .config import table1_config
@@ -100,6 +104,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("--resilient is only meaningful with --system paradox")
     system = SYSTEMS[args.system](config, args.dvs, args.resilient)
     system.paranoid = args.paranoid
+    system.jit = args.jit
     engine = system.engine(workload, seed=args.seed)
     if args.timeline:
         from .stats import Timeline
@@ -147,6 +152,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     dvs = args.system == "paradox" and not args.no_dvs
     system = SYSTEMS[args.system](config, dvs, args.resilient)
     system.tracing = True
+    system.jit = args.jit
     result = system.run(workload, seed=args.seed)
     print(result.summary())
     events = events_from_dicts(result.trace or [])
@@ -176,6 +182,25 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def resolve_run_timeout(args: argparse.Namespace) -> float:
+    """Single code path for the per-run watchdog flags.
+
+    ``--run-timeout`` is the canonical spelling; legacy ``--timeout``
+    still works but warns so scripts migrate before it is removed.
+    Precedence: ``--run-timeout`` > ``--timeout`` > the 60 s default.
+    """
+    if args.run_timeout is not None:
+        return args.run_timeout
+    if args.timeout is not None:
+        warnings.warn(
+            "--timeout is deprecated; use --run-timeout",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return args.timeout
+    return 60.0
+
+
 def campaign_spec_from_args(args: argparse.Namespace):
     """Build the :class:`CampaignSpec` a ``repro campaign`` invocation runs.
 
@@ -193,7 +218,7 @@ def campaign_spec_from_args(args: argparse.Namespace):
         if args.fault_model
         else tuple(args.models.split(","))
     )
-    timeout_s = args.run_timeout if args.run_timeout is not None else args.timeout
+    timeout_s = resolve_run_timeout(args)
     return CampaignSpec(
         workload=args.workload,
         scale=args.scale,
@@ -277,6 +302,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             tracing=tracing,
             paranoid=args.paranoid,
+            jit=args.jit,
         )
     except ValueError as error:  # e.g. an unknown --systems entry
         raise SystemExit(str(error))
@@ -358,6 +384,7 @@ def cmd_diffcheck(args: argparse.Namespace) -> int:
             granularity=granularity,
             checkpoint_interval=args.checkpoint_interval,
             tracer=tracer,
+            use_jit=not args.no_jit,
         )
         report = runner.run(max_instructions=args.max_instructions)
         reports.append(report)
@@ -431,6 +458,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             shrink=not args.no_shrink,
             progress=progress,
+            use_jit=not args.no_jit,
         )
         campaigns.append((granularity, campaign))
         failures += len(campaign.failures)
@@ -517,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="assert engine bookkeeping invariants at every segment boundary",
     )
+    run.add_argument(
+        "--jit",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the main core through the compiled superblock tier "
+        "(bit-identical to interpretation; --no-jit forces the interpreter)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run all four systems side by side")
@@ -587,8 +622,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--timeout",
         type=float,
-        default=60.0,
-        help="alias for --run-timeout (kept for compatibility)",
+        default=None,
+        help="deprecated alias for --run-timeout (warns when used)",
     )
     campaign.add_argument("--workers", type=int, default=0, help="worker processes (0 = auto)")
     campaign.add_argument("--json", help="write the full JSON report to this path")
@@ -641,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="assert engine bookkeeping invariants during every run",
     )
+    suite.add_argument(
+        "--jit",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run main cores through the compiled superblock tier "
+        "(--no-jit forces the interpreter everywhere)",
+    )
     suite.set_defaults(func=cmd_suite)
 
     trace = sub.add_parser(
@@ -672,6 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--metrics-out", help="write the run's metrics summary to this path"
     )
+    trace.add_argument(
+        "--jit",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the main core through the compiled superblock tier "
+        "(--no-jit forces the interpreter)",
+    )
     trace.set_defaults(func=cmd_trace)
 
     diffcheck = sub.add_parser(
@@ -699,6 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
     diffcheck.add_argument(
         "--jsonl-out", help="write oracle telemetry events to this path"
     )
+    diffcheck.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="escape hatch: drive the executor leg through the pure "
+        "interpreter instead of the compiled superblock tier",
+    )
     diffcheck.set_defaults(func=cmd_diffcheck)
 
     fuzz = sub.add_parser(
@@ -725,6 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip minimisation of diverging programs",
     )
     fuzz.add_argument("--json", help="write the JSON report to this path")
+    fuzz.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="escape hatch: fuzz the pure interpreter instead of the "
+        "compiled superblock tier",
+    )
     fuzz.add_argument(
         "-v", "--verbose", action="store_true", help="print every seed"
     )

@@ -49,6 +49,7 @@ from ..faults.voltage_model import VoltageErrorModel
 from ..isa import Executor, HaltTrap, MemoryImage, Program, SimTrap
 from ..isa.instructions import EXTERNAL_SYSCALLS, Opcode
 from ..isa.state import ArchState
+from ..jit import SuperblockJit
 from ..lslog.detection import DetectionChannel
 from ..lslog.ports import MainMemoryPort, UncheckedConflictStall
 from ..lslog.rollback import rollback_memory
@@ -132,6 +133,18 @@ class EngineOptions:
     #: checker object exists and every hook site is one ``is not None``
     #: test at segment granularity, exactly like ``tracing``.
     paranoid: bool = False
+    #: Drive main-core execution through the compiled superblock tier
+    #: (:mod:`repro.jit`) wherever the fill loop's per-instruction
+    #: obligations allow, falling back to the interpreter at block
+    #: exits, traps, segment boundaries and external syscalls.  Timing,
+    #: stall accounting and telemetry are bit-identical either way (the
+    #: differential oracle gates this); disable to force pure
+    #: interpretation.  Ignored — the tier is never built — when a
+    #: fault injector targets the main core, because injection points
+    #: are per-instruction hooks that must see every retired
+    #: instruction.  Checker cores never use the tier: their replay is
+    #: the independent cross-check.
+    jit: bool = True
 
 
 class SimulationEngine:
@@ -165,6 +178,10 @@ class SimulationEngine:
         self.tracker = UncheckedLineTracker(config.memory.l1d)
         self.port = MainMemoryPort(self.memory, self.tracker, options.granularity)
         self.executor = Executor(program, self.state, self.port)
+        #: Compiled superblock tier for the main core; built at run()
+        #: time (the emission mode depends on the execution path taken)
+        #: and None when disabled or under main-core fault injection.
+        self.jit: Optional[SuperblockJit] = None
 
         # Checker pool, optionally health-tracked (resilience layer).
         self.health: Optional[CheckerHealthTracker] = None
@@ -339,6 +356,11 @@ class SimulationEngine:
         )
         self._segment.text_footprint_bytes = self.program.text_bytes
         self.port.segment = self._segment
+        if self.jit is not None:
+            # Segment-boundary invalidation: compiled blocks record into
+            # the segment the tier knows about; a stale recorder would
+            # account instructions to a closed checkpoint.
+            self.jit.note_segment(self._segment)
         self._segment_start_wall[seq] = self.wall_ns
         if self.timeline is not None:
             self.timeline.record(self.wall_ns, EventKind.SEGMENT_OPEN, seq)
@@ -411,6 +433,10 @@ class SimulationEngine:
             # Map-based SRAM models follow the voltage directly: a
             # supply change re-thresholds their bit-cell maps.
             self.injector.set_voltage(self.dvfs.voltage)
+        if self.jit is not None:
+            # Voltage-event invalidation: bound superblocks are dropped
+            # on an actual supply move and lazily re-bound.
+            self.jit.note_voltage(self.dvfs.voltage)
 
     # -------------------------------------------------------------- checking --
     def _dispatch(self, segment: LogSegment) -> None:
@@ -771,6 +797,17 @@ class SimulationEngine:
         if not options.checking:
             return self._run_unprotected(max_instructions)
         livelock_budget = int(max_instructions * options.livelock_factor)
+        if options.jit and (self.injector is None or self.injector.target != "main"):
+            # Protected path: blocks record into the live segment and
+            # commit to the timing model, exactly like the fill loop.
+            self.jit = SuperblockJit(
+                self.program,
+                self.state,
+                self.port,
+                commit=self.timing.commit,
+                unit_mix=self._unit_mix,
+                record=True,
+            )
         self._open_segment(self.state.snapshot())
 
         outcome = RunOutcome.COMPLETED
@@ -887,6 +924,17 @@ class SimulationEngine:
             metrics.set_per_checker(
                 "scheduling.wake_rates", result.checker_wake_rates
             )
+        if self.jit is not None:
+            for name, value in self.jit.stats.to_dict().items():
+                # blocks_compiled reflects the warmth of the process-wide
+                # shared code cache (a worker that already golden-ran the
+                # same program compiles nothing), so it cannot be part of
+                # the run's deterministic telemetry contract.  The other
+                # counters are functions of the run alone and must stay
+                # bit-identical across execution widths.
+                if name == "blocks_compiled":
+                    continue
+                metrics.gauge(f"jit.{name}", float(value))
         metrics.inc(f"engine.outcome.{result.outcome.value}")
         result.metrics = metrics.to_dict()
         result.trace = tracer.to_dicts()
@@ -896,12 +944,41 @@ class SimulationEngine:
         state = self.state
         # Bypass the logging port entirely.
         self.executor.port = self.memory
+        options = self.options
+        jit = None
+        if options.jit and (self.injector is None or self.injector.target != "main"):
+            # Built after the port rebind above so blocks bind the raw
+            # memory image, like the interpreted steps they replace.
+            # No segments here, so commit-only emission (no recorder).
+            jit = SuperblockJit(
+                self.program,
+                self.state,
+                self.memory,
+                commit=self.timing.commit,
+                unit_mix=self._unit_mix,
+            )
+            self.jit = jit
         # Hot loop: bind the per-instruction callees once.
         step = self.executor.step
         commit = self.timing.commit
         unit_mix = self._unit_mix
+        jit_active_get = jit._active.get if jit is not None else None
         executed = 0
         while not state.halted and state.instret < max_instructions:
+            if jit_active_get is not None:
+                entry = jit_active_get(state.pc)
+                if entry is None:
+                    entry = jit.runner(state.pc)
+                if (
+                    entry is not None
+                    and state.instret + entry.length <= max_instructions
+                ):
+                    entry.run()
+                    executed += entry.length
+                    stats = jit.stats
+                    stats.dispatches += 1
+                    stats.instructions += entry.length
+                    continue
             info = step()
             executed += 1
             commit(info)
@@ -935,8 +1012,15 @@ class SimulationEngine:
         external_pcs = self._external_pcs
         injector = self.injector
         main_injection = injector is not None and injector.target == "main"
+        jit = self.jit
+        jit_active_get = jit._active.get if jit is not None else None
         while not state.halted and state.instret < max_instructions:
             if self._executed_total >= livelock_budget:
+                if self.guard is not None:
+                    # Resilient mode: a persistent defect at the safe
+                    # voltage is a typed forward-progress failure even
+                    # when the storm crawled past fail_after's streak.
+                    self.guard.on_budget_exhausted(state.instret, self.wall_ns)
                 raise LivelockError(
                     f"{self._executed_total} instructions executed for only "
                     f"{state.instret} useful — recovery livelock"
@@ -951,6 +1035,55 @@ class SimulationEngine:
                     segment_target = self.length_controller.target
                     continue  # a detection rolled us back; retry
                 self._external_verified = True
+            if jit_active_get is not None and not self._external_verified:
+                # Compiled dispatch.  A block runs only when every
+                # per-instruction obligation of the interpreted path is
+                # provably a no-op across its whole span: no pending
+                # detection can mature (_pending_detected only changes
+                # inside _dispatch/_squash, never mid-block), no
+                # external syscall sits inside a block (SYSCALL is not
+                # compilable), no main-core injector exists (tier is
+                # not built then), and the segment target, instruction
+                # budget and livelock budget all have room for the full
+                # block.  Anything short of that falls through to the
+                # interpreter below.
+                entry = jit_active_get(state.pc)
+                if entry is None:
+                    entry = jit.runner(state.pc)
+                if (
+                    entry is not None
+                    and not self._pending_detected
+                    and self._segment.instruction_count + entry.length
+                    <= segment_target
+                    and state.instret + entry.length <= max_instructions
+                    and self._executed_total + entry.length <= livelock_budget
+                ):
+                    before = state.instret
+                    try:
+                        entry.run(jit._rec)
+                    except SegmentFull:
+                        self._executed_total += state.instret - before
+                        self._close_segment(SegmentCloseReason.LOG_CAPACITY)
+                        segment_target = self.length_controller.target
+                        continue
+                    except UncheckedConflictStall as stall:
+                        self._executed_total += state.instret - before
+                        self._handle_conflict(stall.address)
+                        segment_target = self.length_controller.target
+                        continue
+                    except SimTrap as trap:
+                        self._executed_total += state.instret - before
+                        self._handle_main_trap(trap)
+                        segment_target = self.length_controller.target
+                        continue
+                    self._executed_total += entry.length
+                    stats = jit.stats
+                    stats.dispatches += 1
+                    stats.instructions += entry.length
+                    if self._segment.instruction_count >= segment_target:
+                        self._close_segment(SegmentCloseReason.TARGET_LENGTH)
+                        segment_target = self.length_controller.target
+                    continue
             try:
                 info = step()
             except SegmentFull:

@@ -67,6 +67,11 @@ class System:
     #: :mod:`repro.oracle.invariants`).  Off by default, same zero-cost
     #: discipline as ``tracing``.
     paranoid: bool = False
+    #: Run the main core through the compiled superblock tier
+    #: (:mod:`repro.jit`).  On by default — results are bit-identical
+    #: to interpretation and the differential oracle gates that; set
+    #: False (CLI ``--no-jit``) to force the pure interpreter.
+    jit: bool = True
 
     def _options(self) -> EngineOptions:
         raise NotImplementedError
@@ -92,6 +97,8 @@ class System:
             options.tracing = True
         if self.paranoid:
             options.paranoid = True
+        if not self.jit:
+            options.jit = False
         return SimulationEngine(
             workload.program,
             self.config,

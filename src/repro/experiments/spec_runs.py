@@ -62,6 +62,9 @@ class SuiteTask:
     #: Assert engine bookkeeping invariants at segment granularity
     #: during this run (see :mod:`repro.oracle.invariants`).
     paranoid: bool = False
+    #: Execute the main core through the compiled superblock tier
+    #: (bit-identical; ``--no-jit`` forces pure interpretation).
+    jit: bool = True
 
 
 @dataclass
@@ -108,6 +111,7 @@ def build_suite_tasks(
     spread_seeds: bool = False,
     tracing: bool = False,
     paranoid: bool = False,
+    jit: bool = True,
 ) -> List[SuiteTask]:
     """Expand the suite grid into independent tasks.
 
@@ -130,6 +134,7 @@ def build_suite_tasks(
             ),
             tracing=tracing,
             paranoid=paranoid,
+            jit=jit,
         )
         for name in names
         for system in SUITE_SYSTEMS
@@ -153,16 +158,17 @@ def execute_suite_task(task: SuiteTask) -> RunResult:
     workload = _cached_workload(task.workload, task.iterations, task.build_seed)
     tracing = task.tracing
     paranoid = task.paranoid
+    jit = task.jit
     if task.system == "baseline":
-        return BaselineSystem(tracing=tracing, paranoid=paranoid).run(
+        return BaselineSystem(tracing=tracing, paranoid=paranoid, jit=jit).run(
             workload, seed=task.run_seed
         )
     if task.system == "detection":
-        return DetectionOnlySystem(tracing=tracing, paranoid=paranoid).run(
+        return DetectionOnlySystem(tracing=tracing, paranoid=paranoid, jit=jit).run(
             workload, seed=task.run_seed
         )
     if task.system == "paramedic":
-        return ParaMedicSystem(tracing=tracing, paranoid=paranoid).run(
+        return ParaMedicSystem(tracing=tracing, paranoid=paranoid, jit=jit).run(
             workload, seed=task.run_seed
         )
     if task.system == "paradox":
@@ -171,6 +177,7 @@ def execute_suite_task(task: SuiteTask) -> RunResult:
             dvs=True,
             tracing=tracing,
             paranoid=paranoid,
+            jit=jit,
         ).run(workload, seed=task.run_seed)
     raise ValueError(f"unknown system {task.system!r}")
 
@@ -184,6 +191,7 @@ def run_spec_suite(
     spread_seeds: bool = False,
     tracing: bool = False,
     paranoid: bool = False,
+    jit: bool = True,
 ) -> SpecSuiteRuns:
     """Simulate the SPEC proxies on the requested systems.
 
@@ -200,7 +208,7 @@ def run_spec_suite(
     runs = SpecSuiteRuns(iterations=iterations)
     tasks = build_suite_tasks(
         names, systems, iterations, seed, spread_seeds, tracing=tracing,
-        paranoid=paranoid,
+        paranoid=paranoid, jit=jit,
     )
     results = parallel_map(execute_suite_task, tasks, jobs=jobs)
     for name in names:

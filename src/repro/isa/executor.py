@@ -99,8 +99,23 @@ class Executor:
             (dispatch[instruction.opcode], instruction)
             for instruction in program.instructions
         ]
+        # Optional compiled superblock tier; attach_jit() installs one
+        # and run() then prefers compiled dispatch.  step() is always
+        # pure interpretation — engine loops that need per-instruction
+        # control keep using it and drive the tier themselves.
+        self.jit = None
 
     # -- public API --------------------------------------------------------------
+    def attach_jit(self):
+        """Install a bare-mode superblock tier and return it.
+
+        Imported lazily: :mod:`repro.jit` builds on this module.
+        """
+        from ..jit import SuperblockJit
+
+        self.jit = SuperblockJit(self.program, self.state, self.port)
+        return self.jit
+
     def step(self) -> StepInfo:
         """Execute one instruction; raises :class:`SimTrap` subclasses."""
         state = self.state
@@ -119,8 +134,42 @@ class Executor:
 
     def run(self, max_instructions: int) -> int:
         """Run until HALT or the instruction budget; return instructions retired."""
-        retired = 0
         state = self.state
+        jit = self.jit
+        if jit is not None:
+            # Retired count comes from the instret delta: both step()
+            # and compiled blocks advance instret exactly once per
+            # retired instruction, and the blocks' flush discipline
+            # keeps it exact even when a port trap propagates out.
+            start = state.instret
+            limit = start + max_instructions
+            active_get = jit._active.get
+            runner = jit.runner
+            step = self.step
+            dispatches = 0
+            block_instructions = 0
+            try:
+                while not state.halted:
+                    instret = state.instret
+                    if instret >= limit:
+                        break
+                    # None doubles as "cached non-block" and "miss";
+                    # runner() resolves both (the former in one probe).
+                    entry = active_get(state.pc)
+                    if entry is None:
+                        entry = runner(state.pc)
+                    if entry is not None and instret + entry.length <= limit:
+                        entry.run()
+                        dispatches += 1
+                        block_instructions += entry.length
+                        continue
+                    step()
+            finally:
+                stats = jit.stats
+                stats.dispatches += dispatches
+                stats.instructions += block_instructions
+            return state.instret - start
+        retired = 0
         while not state.halted and retired < max_instructions:
             self.step()
             retired += 1

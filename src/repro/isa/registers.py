@@ -53,8 +53,22 @@ class Flag(enum.IntEnum):
     V = 0  # signed overflow
 
 
+# Canonical quiet NaN (positive sign, no payload), as RISC-V mandates for
+# every arithmetic result.  The host's NaN bits must never leak into the
+# architectural state: x86 propagates the *first* source operand's NaN and
+# CPython 3.11's adaptive interpreter swaps machine-level operand order
+# when it specializes ``BINARY_OP`` for floats, so ``nan_a + nan_b`` can
+# change sign between the first and later executions of the same line of
+# Python.  Canonicalizing on every float->bits conversion makes FP results
+# deterministic across hosts, interpreter warm-up, and the compiled tier.
+# Raw bit moves (``write_f_bits``: FMOV, FLDR) still preserve payloads.
+CANONICAL_NAN = 0x7FF8000000000000
+
+
 def float_to_bits(value: float) -> int:
-    """Return the 64-bit IEEE-754 pattern of ``value``."""
+    """Return the 64-bit IEEE-754 pattern of ``value``, NaN-canonicalized."""
+    if value != value:
+        return CANONICAL_NAN
     return struct.unpack("<Q", struct.pack("<d", value))[0]
 
 

@@ -1,0 +1,391 @@
+"""Source emission for compiled superblocks.
+
+One superblock becomes one generated factory::
+
+    def __factory__(__ctx__):
+        state = __ctx__['state']
+        x = __ctx__['x']
+        ...                      # only the names this block actually uses
+        def __superblock__():    # or (rec) when segment recording is on
+            _i0 = state.instret
+            x[3] = (x[1] + x[2]) & M
+            ...
+            state.pc = 17
+            state.instret = _i0 + 5
+        return __superblock__
+    __block__ = __factory__
+
+Register indices, immediates (pre-wrapped through ``to_unsigned`` where
+the interpreter does it), FMOVI bit patterns and PC values are folded
+into the source as literals; everything dynamic is a ``LOAD_FAST`` of a
+factory local.  The factory indirection is what makes re-binding cheap:
+the module is ``compile()``d once per block, and a voltage invalidation
+only re-runs ``__factory__`` against a fresh context (~µs), not the
+compiler.
+
+Equivalence contract (checked by the differential oracle and
+``tests/test_jit.py``):
+
+* The data port is the only thing inside a block that can raise.  Before
+  every ``load``/``store`` call the block flushes ``state.pc`` to that
+  instruction's PC and ``state.instret`` to the entry value plus the
+  block offset — exactly the values the interpreter would hold at the
+  same point, because ``Executor.step`` bumps ``pc``/``instret`` only
+  *after* the handler returns.  The effective address is computed into a
+  temporary first, so a raising port call leaves zero partial
+  architectural effect, matching the port's own no-partial-effect
+  property.
+* Writes to ``x0`` are discarded exactly like ``RegisterFile.write_x``:
+  pure ALU results to ``x0`` emit no architectural code at all (their
+  bookkeeping still runs), while ``LDR`` to ``x0`` still issues the load
+  for its log record and trap behaviour.
+* Per-instruction bookkeeping replays the engine/oracle loop order:
+  architectural effect, then timing ``commit(info)``, then the unit-mix
+  histogram, then ``segment.record_instruction`` — whichever of those
+  the execution mode wires in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.executor import StepInfo
+from ..isa.instructions import Instruction, Opcode
+from ..isa.registers import float_to_bits, to_unsigned
+from .superblock import COMPILABLE_OPCODES
+
+RegTag = Tuple[str, int]
+
+# Two-source integer ops: x[rd] = fn(x[rs1], x[rs2]).  Each entry is
+# (format string, extra hoist names).  Results that can leave the 64-bit
+# range are masked inline; pure bitwise ops and LSR cannot.
+_BIN_X: Dict[Opcode, Tuple[str, Tuple[str, ...]]] = {
+    Opcode.ADD: ("x[{d}] = (x[{a}] + x[{b}]) & M", ("M",)),
+    Opcode.SUB: ("x[{d}] = (x[{a}] - x[{b}]) & M", ("M",)),
+    Opcode.AND: ("x[{d}] = x[{a}] & x[{b}]", ()),
+    Opcode.ORR: ("x[{d}] = x[{a}] | x[{b}]", ()),
+    Opcode.EOR: ("x[{d}] = x[{a}] ^ x[{b}]", ()),
+    Opcode.LSL: ("x[{d}] = (x[{a}] << (x[{b}] & 63)) & M", ("M",)),
+    Opcode.LSR: ("x[{d}] = x[{a}] >> (x[{b}] & 63)", ()),
+    Opcode.MUL: ("x[{d}] = (x[{a}] * x[{b}]) & M", ("M",)),
+    Opcode.DIV: ("x[{d}] = sdiv(x[{a}], x[{b}])", ("sdiv",)),
+    Opcode.REM: ("x[{d}] = srem(x[{a}], x[{b}])", ("srem",)),
+}
+
+# Immediate integer ops: the immediate (or its unsigned wrap, matching
+# the interpreter's per-op ``to_unsigned``) is folded at emit time.
+_IMM_X = {
+    Opcode.ADDI,
+    Opcode.SUBI,
+    Opcode.ANDI,
+    Opcode.ORRI,
+    Opcode.EORI,
+    Opcode.LSLI,
+    Opcode.LSRI,
+}
+
+_FBIN: Dict[Opcode, str] = {
+    Opcode.FADD: "f[{d}] = ftb(btf(f[{a}]) + btf(f[{b}]))",
+    Opcode.FSUB: "f[{d}] = ftb(btf(f[{a}]) - btf(f[{b}]))",
+    Opcode.FMUL: "f[{d}] = ftb(btf(f[{a}]) * btf(f[{b}]))",
+    Opcode.FDIV: "f[{d}] = ftb(fdiv(btf(f[{a}]), btf(f[{b}])))",
+}
+
+_X_BINARY_READS = frozenset(_BIN_X)
+_MEMORY_OPCODES = frozenset({Opcode.LDR, Opcode.FLDR, Opcode.STR, Opcode.FSTR})
+
+
+def reads_dest(instr: Instruction) -> Tuple[Tuple[RegTag, ...], Optional[RegTag]]:
+    """The ``(reads, dest)`` tags the interpreter's handler would report."""
+    op = instr.opcode
+    if op in _X_BINARY_READS:
+        return ((("x", instr.rs1), ("x", instr.rs2)), ("x", instr.rd))
+    if op in _IMM_X or op is Opcode.ASRI or op is Opcode.MOV:
+        return ((("x", instr.rs1),), ("x", instr.rd))
+    if op is Opcode.MOVI:
+        return ((), ("x", instr.rd))
+    if op is Opcode.CMP:
+        return ((("x", instr.rs1), ("x", instr.rs2)), ("flags", 0))
+    if op is Opcode.CMPI:
+        return ((("x", instr.rs1),), ("flags", 0))
+    if op is Opcode.FCMP:
+        return ((("f", instr.rs1), ("f", instr.rs2)), ("flags", 0))
+    if op in _FBIN:
+        return ((("f", instr.rs1), ("f", instr.rs2)), ("f", instr.rd))
+    if op is Opcode.FMOV:
+        return ((("f", instr.rs1),), ("f", instr.rd))
+    if op is Opcode.FMOVI:
+        return ((), ("f", instr.rd))
+    if op is Opcode.FCVT:
+        return ((("x", instr.rs1),), ("f", instr.rd))
+    if op is Opcode.FCVTI:
+        return ((("f", instr.rs1),), ("x", instr.rd))
+    if op is Opcode.LDR:
+        return ((("x", instr.rs1),), ("x", instr.rd))
+    if op is Opcode.FLDR:
+        return ((("x", instr.rs1),), ("f", instr.rd))
+    if op is Opcode.STR:
+        return ((("x", instr.rs1), ("x", instr.rs2)), None)
+    if op is Opcode.FSTR:
+        return ((("x", instr.rs1), ("f", instr.rs2)), None)
+    if op is Opcode.NOP:
+        return ((), None)
+    raise ValueError(f"{op} is not compilable")
+
+
+def build_step_infos(
+    instructions: Sequence[Instruction], entry_pc: int, length: int
+) -> Tuple[StepInfo, ...]:
+    """Preallocated :class:`StepInfo` templates, one per block slot.
+
+    Everything but ``address`` is a pure function of the decoded
+    instruction, so the templates are built once and reused across
+    dispatches; memory ops overwrite ``address`` at runtime immediately
+    before ``commit``.  ``MainCoreTiming.commit`` reads the info and
+    drops it (latency comes from its own per-PC static table), so
+    aliasing one mutable object across dispatches is safe.
+    """
+    infos = []
+    for i in range(length):
+        pc = entry_pc + i
+        instr = instructions[pc]
+        reads, dest = reads_dest(instr)
+        infos.append(StepInfo(instr, pc, pc + 1, reads, dest, None, None))
+    return tuple(infos)
+
+
+# Hoist lines in canonical order; only the ones a block needs are emitted.
+_HOISTS: Dict[str, str] = {
+    "state": "state = __ctx__['state']",
+    "regs": "regs = __ctx__['regs']",
+    "x": "x = __ctx__['x']",
+    "f": "f = __ctx__['f']",
+    "M": "M = 0xFFFFFFFFFFFFFFFF",
+    "load": "load = __ctx__['load']",
+    "store": "store = __ctx__['store']",
+    "btf": "btf = __ctx__['btf']",
+    "ftb": "ftb = __ctx__['ftb']",
+    "sdiv": "sdiv = __ctx__['sdiv']",
+    "srem": "srem = __ctx__['srem']",
+    "fdiv": "fdiv = __ctx__['fdiv']",
+    "fcvti": "fcvti = __ctx__['fcvti']",
+    "flags_sub": "flags_sub = __ctx__['flags_sub']",
+    "commit": "commit = __ctx__['commit']",
+    "um": "um = __ctx__['um']",
+}
+
+
+class _Emitter:
+    def __init__(self, record: bool, commit: bool) -> None:
+        self.record = record
+        self.commit = commit
+        self.body: List[str] = []
+        self.needs: Dict[str, None] = {"state": None}
+        self.units: Dict[str, None] = {}
+        self.uses_i0 = False
+
+    def need(self, *names: str) -> None:
+        for name in names:
+            self.needs.setdefault(name)
+
+    def _flush(self, i: int, pc: int) -> None:
+        # At i == 0 both values are still exactly the dispatch-time ones.
+        if i:
+            self.body.append(f"state.pc = {pc}")
+            self.body.append(f"state.instret = _i0 + {i}")
+            self.uses_i0 = True
+
+    def _emit_arch(self, i: int, pc: int, instr: Instruction) -> bool:
+        """Append the architectural effect; True if this was a memory op."""
+        op = instr.opcode
+        out = self.body.append
+        d, a, b = instr.rd, instr.rs1, instr.rs2
+        if op in _BIN_X:
+            if d != 0:
+                template, extra = _BIN_X[op]
+                self.need("x", *extra)
+                out(template.format(d=d, a=a, b=b))
+            return False
+        if op is Opcode.ASR:
+            if d != 0:
+                self.need("x", "M")
+                out(f"_t = x[{a}]")
+                out(
+                    f"x[{d}] = ((_t - 0x10000000000000000 if _t >> 63 else _t)"
+                    f" >> (x[{b}] & 63)) & M"
+                )
+            return False
+        if op in _IMM_X:
+            if d != 0:
+                self.need("x")
+                if op is Opcode.ADDI:
+                    self.need("M")
+                    out(f"x[{d}] = (x[{a}] + {instr.imm}) & M")
+                elif op is Opcode.SUBI:
+                    self.need("M")
+                    out(f"x[{d}] = (x[{a}] - {instr.imm}) & M")
+                elif op is Opcode.ANDI:
+                    out(f"x[{d}] = x[{a}] & {to_unsigned(instr.imm)}")
+                elif op is Opcode.ORRI:
+                    out(f"x[{d}] = x[{a}] | {to_unsigned(instr.imm)}")
+                elif op is Opcode.EORI:
+                    out(f"x[{d}] = x[{a}] ^ {to_unsigned(instr.imm)}")
+                elif op is Opcode.LSLI:
+                    self.need("M")
+                    out(f"x[{d}] = (x[{a}] << {instr.imm & 63}) & M")
+                else:  # LSRI
+                    out(f"x[{d}] = x[{a}] >> {instr.imm & 63}")
+            return False
+        if op is Opcode.ASRI:
+            if d != 0:
+                self.need("x", "M")
+                out(f"_t = x[{a}]")
+                out(
+                    f"x[{d}] = ((_t - 0x10000000000000000 if _t >> 63 else _t)"
+                    f" >> {instr.imm & 63}) & M"
+                )
+            return False
+        if op is Opcode.MOV:
+            if d != 0:
+                self.need("x")
+                out(f"x[{d}] = x[{a}]")
+            return False
+        if op is Opcode.MOVI:
+            if d != 0:
+                self.need("x")
+                out(f"x[{d}] = {to_unsigned(instr.imm)}")
+            return False
+        if op is Opcode.CMP:
+            self.need("x", "regs", "flags_sub")
+            out(f"regs.flags = flags_sub(x[{a}], x[{b}])")
+            return False
+        if op is Opcode.CMPI:
+            self.need("x", "regs", "flags_sub")
+            out(f"regs.flags = flags_sub(x[{a}], {to_unsigned(instr.imm)})")
+            return False
+        if op is Opcode.FCMP:
+            self.need("f", "regs", "btf")
+            out(f"_fa = btf(f[{a}])")
+            out(f"_fb = btf(f[{b}])")
+            out("if _fa != _fa or _fb != _fb:")
+            out("    regs.flags = 3")  # unordered: set_flags(F, F, T, T)
+            out("else:")
+            out(
+                "    regs.flags = ((_fa < _fb) << 3) | ((_fa == _fb) << 2)"
+                " | ((_fa >= _fb) << 1)"
+            )
+            return False
+        if op in _FBIN:
+            self.need("f", "btf", "ftb")
+            if op is Opcode.FDIV:
+                self.need("fdiv")
+            out(_FBIN[op].format(d=d, a=a, b=b))
+            return False
+        if op is Opcode.FMOV:
+            self.need("f")
+            out(f"f[{d}] = f[{a}]")
+            return False
+        if op is Opcode.FMOVI:
+            self.need("f")
+            out(f"f[{d}] = {float_to_bits(instr.fimm)}")
+            return False
+        if op is Opcode.FCVT:
+            self.need("x", "f", "ftb")
+            out(f"_t = x[{a}]")
+            out(f"f[{d}] = ftb(float(_t - 0x10000000000000000 if _t >> 63 else _t))")
+            return False
+        if op is Opcode.FCVTI:
+            if d != 0:
+                self.need("x", "f", "btf", "fcvti")
+                out(f"x[{d}] = fcvti(btf(f[{a}]))")
+            return False
+        if op is Opcode.NOP:
+            return False
+        if op in _MEMORY_OPCODES:
+            self._flush(i, pc)
+            self.need("x", "M")
+            out(f"_a = (x[{a}] + {instr.imm}) & M")
+            if op is Opcode.LDR:
+                self.need("load")
+                out(f"x[{d}] = load(_a) & M" if d != 0 else "load(_a)")
+            elif op is Opcode.FLDR:
+                self.need("f", "load")
+                out(f"f[{d}] = load(_a) & M")
+            elif op is Opcode.STR:
+                self.need("store")
+                out(f"store(_a, x[{b}])")
+            else:  # FSTR
+                self.need("f", "store")
+                out(f"store(_a, f[{b}])")
+            return True
+        raise ValueError(f"{op} is not compilable")
+
+    def _emit_bookkeeping(self, i: int, instr: Instruction, is_memory: bool) -> None:
+        unit = instr.opcode.unit.value
+        if self.commit:
+            self.need("commit", "um")
+            if is_memory:
+                self.body.append(f"_I{i}.address = _a")
+            self.body.append(f"commit(_I{i})")
+            self.body.append(f"um['{unit}'] = um_get('{unit}', 0) + 1")
+        if self.record:
+            self.units.setdefault(unit)
+            writes_register = reads_dest(instr)[1] is not None
+            self.body.append(f"rec(_U_{unit}, {writes_register})")
+
+
+def emit_factory_source(
+    instructions: Sequence[Instruction],
+    entry_pc: int,
+    length: int,
+    *,
+    record: bool,
+    commit: bool,
+) -> str:
+    """Render the factory module source for one superblock.
+
+    ``record`` wires in per-instruction ``rec(unit, writes_register)``
+    calls (the block takes the current segment's ``record_instruction``
+    as its only argument, so segment turnover never invalidates code);
+    ``commit`` wires in timing ``commit(StepInfo)`` plus the engine's
+    unit-mix histogram.  ``golden_run`` uses neither, the differential
+    oracle records only, the unprotected engine commits only, and the
+    protected engine does both.
+    """
+    em = _Emitter(record, commit)
+    for i in range(length):
+        pc = entry_pc + i
+        instr = instructions[pc]
+        if instr.opcode not in COMPILABLE_OPCODES:
+            raise ValueError(f"pc {pc}: {instr.opcode} inside a superblock")
+        is_memory = em._emit_arch(i, pc, instr)
+        em._emit_bookkeeping(i, instr, is_memory)
+
+    end_pc = entry_pc + length
+    epilogue = [f"state.pc = {end_pc}"]
+    if em.uses_i0:
+        epilogue.append(f"state.instret = _i0 + {length}")
+    else:
+        epilogue.append(f"state.instret += {length}")
+
+    lines = ["def __factory__(__ctx__):"]
+    for name, hoist in _HOISTS.items():
+        if name in em.needs:
+            lines.append(f"    {hoist}")
+    if "um" in em.needs:
+        lines.append("    um_get = um.get")
+    if commit:
+        targets = ", ".join(f"_I{i}" for i in range(length))
+        lines.append(f"    {targets}{',' if length == 1 else ''} = __ctx__['infos']")
+    for unit in em.units:
+        lines.append(f"    _U_{unit} = __ctx__['units']['{unit}']")
+    lines.append("    def __superblock__(rec):" if record else "    def __superblock__():")
+    if em.uses_i0:
+        lines.append("        _i0 = state.instret")
+    for line in em.body:
+        lines.append(f"        {line}")
+    for line in epilogue:
+        lines.append(f"        {line}")
+    lines.append("    return __superblock__")
+    lines.append("__block__ = __factory__")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,59 @@
+"""Superblock discovery: which instructions may be compiled together.
+
+A superblock is a maximal run of straight-line instructions starting at
+an entry PC.  Anything that can redirect control, halt, or touch
+external/engine state mid-stream ends the region **before** itself:
+
+* every branch (direct, conditional, ``CBZ``/``CBNZ``, ``JAL``/``JALR``)
+  — the interpreter resolves targets and predictor state;
+* ``HALT`` and ``SYSCALL`` — syscalls read ``instret`` mid-instruction,
+  append to the output stream, and the external-write syscall must pass
+  through the engine's drain protocol;
+* nothing else: loads and stores *are* compilable because the data port
+  raises (``SegmentFull``, ``UncheckedConflictStall``, memory traps)
+  before any architectural mutation, and generated code flushes
+  ``pc``/``instret`` immediately before every port call so a partially
+  executed block leaves exactly the interpreter's state.
+
+Fault-injection points are excluded structurally rather than per-opcode:
+the engine only builds a tier at all when no main-core injector is
+attached (checker-targeted faults never see main-core execution), so no
+instruction that could receive an injection is ever inside a block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..isa.instructions import BRANCH_OPCODES, Instruction, Opcode
+
+#: Opcodes that may appear inside a compiled superblock.
+COMPILABLE_OPCODES = frozenset(Opcode) - BRANCH_OPCODES - {
+    Opcode.HALT,
+    Opcode.SYSCALL,
+}
+
+#: Blocks shorter than this are not worth a dispatch (cache probe +
+#: call) and stay interpreted.
+MIN_BLOCK = 3
+#: Length cap: bounds compile time per block and keeps the budget gates
+#: (segment target, instruction budget, livelock) usefully tight.
+MAX_BLOCK = 64
+
+
+def superblock_length(instructions: Sequence[Instruction], pc: int) -> int:
+    """Length of the superblock entered at ``pc``, or 0 if none.
+
+    Returns 0 for out-of-range PCs, for entries sitting on a
+    non-compilable opcode, and for runs shorter than :data:`MIN_BLOCK`.
+    A branch *into the middle* of a longer block simply defines its own
+    (overlapping) block — discovery is per-entry, not a partition.
+    """
+    if pc < 0 or pc >= len(instructions):
+        return 0
+    end = min(len(instructions), pc + MAX_BLOCK)
+    scan = pc
+    while scan < end and instructions[scan].opcode in COMPILABLE_OPCODES:
+        scan += 1
+    length = scan - pc
+    return length if length >= MIN_BLOCK else 0

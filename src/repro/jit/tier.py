@@ -1,0 +1,240 @@
+"""The superblock cache: compile once, bind per context, invalidate cheap.
+
+Two layers of caching, keyed by entry PC:
+
+* ``_code`` — the compiled code object (plus emitted source and the
+  StepInfo templates).  The program is immutable for the life of a run,
+  so this layer is **never** invalidated; it exists so that voltage
+  invalidations don't pay the ``compile()`` cost again.
+* ``_active`` — bound block runners: the factory executed against the
+  live context (state, register lists, port methods, timing commit).
+  This layer is dropped whenever a DVFS move changes the supply voltage
+  (:meth:`SuperblockJit.note_voltage`), the event that re-thresholds
+  fault maps and re-times the core; re-binding a block afterwards is a
+  single factory call.
+
+Segment turnover is even cheaper: compiled blocks take the recorder as a
+call argument, so :meth:`SuperblockJit.note_segment` just swaps the
+``_rec`` binding the engine passes on the next dispatch — no cache
+traffic at all.  Both events are counted in :class:`JitStats` so tests
+and telemetry can see the invalidation protocol working.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..isa.executor import StepInfo
+from ..isa.instructions import FunctionalUnit
+from ..isa.registers import bits_to_float, float_to_bits
+from . import runtime
+from .emit import build_step_infos, emit_factory_source
+from .superblock import superblock_length
+
+_UNITS_BY_NAME = {unit.value: unit for unit in FunctionalUnit}
+
+_MISS = object()
+
+# compile()d artifacts shared across tiers over the same program object
+# and emission mode.  Program is an eq-compared (unhashable) dataclass,
+# so the key is its identity; a weakref finalizer evicts the entry when
+# the program dies, before the id can be reused.  Sharing is safe
+# because programs are immutable and the artifacts are only mutated
+# through their StepInfo ``address`` slots, which every consumer
+# overwrites before reading — and runs within one process are
+# sequential (parallelism in this repo is process fan-out).
+_SHARED_CODE: Dict[Tuple[int, bool, bool], Dict[int, Optional["_Compiled"]]] = {}
+
+
+def _shared_code_for(
+    program, record: bool, commit: bool
+) -> Dict[int, Optional["_Compiled"]]:
+    key = (id(program), record, commit)
+    cache = _SHARED_CODE.get(key)
+    if cache is None:
+        cache = {}
+        _SHARED_CODE[key] = cache
+        weakref.finalize(program, _SHARED_CODE.pop, key, None)
+    return cache
+
+
+@dataclass
+class _Compiled:
+    """Per-PC compile()d artifact; survives every invalidation."""
+
+    __slots__ = ("code", "source", "length", "infos")
+
+    code: Any
+    source: str
+    length: int
+    infos: Optional[Tuple[StepInfo, ...]]
+
+
+class BlockEntry:
+    """A bound, directly callable superblock."""
+
+    __slots__ = ("run", "length")
+
+    def __init__(self, run: Callable[..., None], length: int) -> None:
+        self.run = run
+        self.length = length
+
+
+@dataclass
+class JitStats:
+    """Counters for the tier's caches and dispatch volume."""
+
+    blocks_compiled: int = 0
+    activations: int = 0
+    dispatches: int = 0
+    instructions: int = 0
+    segment_rebinds: int = 0
+    voltage_invalidations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "blocks_compiled": self.blocks_compiled,
+            "activations": self.activations,
+            "dispatches": self.dispatches,
+            "instructions": self.instructions,
+            "segment_rebinds": self.segment_rebinds,
+            "voltage_invalidations": self.voltage_invalidations,
+        }
+
+
+class SuperblockJit:
+    """Per-run compiled tier over one program/state/port triple.
+
+    The tier is deliberately not shared across runs: ``Program`` is an
+    eq-compared (unhashable) dataclass, and a block compiles in single-
+    digit microseconds against runs that last hundreds of milliseconds,
+    so a cross-run code cache would buy <2% for real aliasing risk.
+
+    ``record`` adds per-instruction segment recording (the block
+    receives the recorder as its call argument); ``commit``/``unit_mix``
+    add the engine's timing commit and histogram.  Callers pick the
+    combination matching the loop they replace — see
+    :func:`repro.jit.emit.emit_factory_source`.
+    """
+
+    def __init__(
+        self,
+        program,
+        state,
+        port,
+        *,
+        commit: Optional[Callable[[StepInfo], None]] = None,
+        unit_mix: Optional[Dict[str, int]] = None,
+        record: bool = False,
+    ) -> None:
+        self.program = program
+        self.state = state
+        self.port = port
+        self.record = record
+        self._commit = commit
+        self._unit_mix = unit_mix
+        self._code = _shared_code_for(program, record, commit is not None)
+        self._active: Dict[int, Optional[BlockEntry]] = {}
+        #: Current segment's ``record_instruction``; the engine passes
+        #: this into every record-mode dispatch.
+        self._rec: Optional[Callable[..., None]] = None
+        self._voltage: Optional[float] = None
+        self.stats = JitStats()
+
+    # -- dispatch ---------------------------------------------------------
+    def runner(self, pc: int) -> Optional[BlockEntry]:
+        """The bound block entered at ``pc``, or None to interpret."""
+        entry = self._active.get(pc, _MISS)
+        if entry is not _MISS:
+            return entry
+        return self._activate(pc)
+
+    def _activate(self, pc: int) -> Optional[BlockEntry]:
+        compiled = self._code.get(pc, _MISS)
+        if compiled is _MISS:
+            compiled = self._compile(pc)
+            if compiled is None and not (
+                0 <= pc < len(self.program.instructions)
+            ):
+                # Never memoise wild PCs (e.g. a fuzzed JALR target):
+                # the interpreter turns them into InvalidPcTrap and the
+                # cache must not grow without bound.
+                return None
+            self._code[pc] = compiled
+        if compiled is None:
+            self._active[pc] = None
+            return None
+        entry = BlockEntry(self._bind(compiled), compiled.length)
+        self._active[pc] = entry
+        self.stats.activations += 1
+        return entry
+
+    # -- compilation ------------------------------------------------------
+    def _compile(self, pc: int) -> Optional[_Compiled]:
+        instructions = self.program.instructions
+        length = superblock_length(instructions, pc)
+        if length == 0:
+            return None
+        commit = self._commit is not None
+        source = emit_factory_source(
+            instructions, pc, length, record=self.record, commit=commit
+        )
+        code = compile(source, f"<superblock pc={pc}>", "exec")
+        infos = build_step_infos(instructions, pc, length) if commit else None
+        self.stats.blocks_compiled += 1
+        return _Compiled(code, source, length, infos)
+
+    def _bind(self, compiled: _Compiled) -> Callable[..., None]:
+        regs = self.state.regs
+        ctx = {
+            "state": self.state,
+            "regs": regs,
+            # RegisterFile.restore copies in place, so these list
+            # objects stay valid across checkpoints and rollbacks.
+            "x": regs.x,
+            "f": regs.f,
+            "load": self.port.load,
+            "store": self.port.store,
+            "btf": bits_to_float,
+            "ftb": float_to_bits,
+            "sdiv": runtime.sdiv,
+            "srem": runtime.srem,
+            "fdiv": runtime.fdiv,
+            "fcvti": runtime.fcvti,
+            "flags_sub": runtime.flags_sub,
+            "commit": self._commit,
+            "um": self._unit_mix,
+            "infos": compiled.infos,
+            "units": _UNITS_BY_NAME,
+        }
+        namespace: Dict[str, Any] = {}
+        exec(compiled.code, namespace)
+        return namespace["__block__"](ctx)
+
+    # -- invalidation protocol --------------------------------------------
+    def note_segment(self, segment) -> None:
+        """A new log segment opened: rebind the recorder."""
+        self._rec = segment.record_instruction
+        self.stats.segment_rebinds += 1
+
+    def note_voltage(self, voltage: float) -> None:
+        """DVFS output sync: drop bound blocks on an actual move."""
+        if self._voltage is None:
+            self._voltage = voltage
+            return
+        if voltage != self._voltage:
+            self._voltage = voltage
+            self._active.clear()
+            self.stats.voltage_invalidations += 1
+
+    # -- introspection ----------------------------------------------------
+    def source_for(self, pc: int) -> Optional[str]:
+        """Emitted source of the block entered at ``pc`` (tests/debug)."""
+        compiled = self._code.get(pc, _MISS)
+        if compiled is _MISS:
+            compiled = self._compile(pc)
+            if 0 <= pc < len(self.program.instructions):
+                self._code[pc] = compiled
+        return compiled.source if compiled is not None else None

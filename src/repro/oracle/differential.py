@@ -138,6 +138,7 @@ class DifferentialRunner:
         checkpoint_interval: int = 61,
         config: Optional[SystemConfig] = None,
         tracer=None,
+        use_jit: bool = True,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be positive")
@@ -148,6 +149,16 @@ class DifferentialRunner:
         #: Optional :class:`repro.telemetry.Tracer`; oracle events are
         #: emitted at checkpoint granularity only.
         self.tracer = tracer
+        #: Execute the device-under-test layer through the compiled
+        #: superblock tier (default).  This makes every differential run
+        #: an interpreter-vs-compiled-vs-reference equivalence check:
+        #: the reference ISS and the checker replay stay structurally
+        #: independent of the tier, so a miscompiled block diverges at
+        #: the next checkpoint.  ``--no-jit`` is the escape hatch that
+        #: pins a divergence on the tier (or exonerates it).  Note the
+        #: divergence trace window only samples interpreted
+        #: instructions; compiled spans appear as checkpoint deltas.
+        self.use_jit = use_jit
 
     # -- internals ------------------------------------------------------------
     def _open_segment(self, seq: int, start: ArchState) -> LogSegment:
@@ -342,7 +353,42 @@ class DifferentialRunner:
             return True
 
         interval = self.checkpoint_interval
+        jit = None
+        if self.use_jit:
+            from ..jit import SuperblockJit
+
+            jit = SuperblockJit(workload.program, state, port, record=True)
         while not state.halted and state.instret < budget:
+            if jit is not None:
+                entry = jit.runner(state.pc)
+                if (
+                    entry is not None
+                    and segment.instruction_count + entry.length <= interval
+                    and state.instret + entry.length <= budget
+                ):
+                    before = state.instret
+                    try:
+                        entry.run(segment.record_instruction)
+                    except SegmentFull:
+                        report.instructions += state.instret - before
+                        if not close_and_check(SegmentCloseReason.LOG_CAPACITY):
+                            return report
+                        continue
+                    except UncheckedConflictStall:
+                        report.instructions += state.instret - before
+                        if not close_and_check(
+                            SegmentCloseReason.EVICTION_CONFLICT
+                        ):
+                            return report
+                        continue
+                    report.instructions += entry.length
+                    stats = jit.stats
+                    stats.dispatches += 1
+                    stats.instructions += entry.length
+                    if segment.instruction_count >= interval:
+                        if not close_and_check(SegmentCloseReason.TARGET_LENGTH):
+                            return report
+                    continue
             try:
                 info = executor.step()
             except SegmentFull:
@@ -376,6 +422,7 @@ def diff_workload(
     max_instructions: Optional[int] = None,
     config: Optional[SystemConfig] = None,
     tracer=None,
+    use_jit: bool = True,
 ) -> DiffReport:
     """Convenience wrapper: one differential run over ``workload``."""
     runner = DifferentialRunner(
@@ -384,5 +431,6 @@ def diff_workload(
         checkpoint_interval=checkpoint_interval,
         config=config,
         tracer=tracer,
+        use_jit=use_jit,
     )
     return runner.run(max_instructions=max_instructions)

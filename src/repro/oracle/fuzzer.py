@@ -385,6 +385,7 @@ def run_case(
     granularity: RollbackGranularity = RollbackGranularity.LINE,
     checkpoint_interval: int = 61,
     tracer=None,
+    use_jit: bool = True,
 ) -> DiffReport:
     workload = build_workload(case)
     runner = DifferentialRunner(
@@ -392,6 +393,7 @@ def run_case(
         granularity=granularity,
         checkpoint_interval=checkpoint_interval,
         tracer=tracer,
+        use_jit=use_jit,
     )
     return runner.run()
 
@@ -400,6 +402,7 @@ def shrink_case(
     case: FuzzCase,
     granularity: RollbackGranularity = RollbackGranularity.LINE,
     checkpoint_interval: int = 61,
+    use_jit: bool = True,
 ) -> Tuple[FuzzCase, DiffReport]:
     """Greedily drop atoms while the case still diverges.
 
@@ -407,7 +410,7 @@ def shrink_case(
     program; we only require that *some* divergence persists (its field
     may legitimately change as context shrinks).
     """
-    report = run_case(case, granularity, checkpoint_interval)
+    report = run_case(case, granularity, checkpoint_interval, use_jit=use_jit)
     if report.ok:
         raise ValueError("shrink_case requires a diverging case")
     atoms = list(case.atoms)
@@ -423,7 +426,9 @@ def shrink_case(
                 atoms=tuple(trial_atoms),
                 subroutines=case.subroutines,
             )
-            trial_report = run_case(trial, granularity, checkpoint_interval)
+            trial_report = run_case(
+                trial, granularity, checkpoint_interval, use_jit=use_jit
+            )
             if not trial_report.ok:
                 atoms = trial_atoms
                 report = trial_report
@@ -469,6 +474,7 @@ def run_fuzz(
     shrink: bool = True,
     tracer=None,
     progress=None,
+    use_jit: bool = True,
 ) -> FuzzCampaign:
     """Differentially test one program per (seed, profile) pair.
 
@@ -486,13 +492,15 @@ def run_fuzz(
                     value=float(seed),
                     detail=f"{profile}:{len(case.atoms)} atoms",
                 )
-            report = run_case(case, granularity, checkpoint_interval, tracer)
+            report = run_case(
+                case, granularity, checkpoint_interval, tracer, use_jit=use_jit
+            )
             campaign.cases += 1
             campaign.instructions += report.instructions
             result = FuzzResult(case=case, report=report)
             if not report.ok and shrink:
                 result.shrunk, result.shrunk_report = shrink_case(
-                    case, granularity, checkpoint_interval
+                    case, granularity, checkpoint_interval, use_jit=use_jit
                 )
             if not report.ok:
                 campaign.failures.append(result)

@@ -64,6 +64,12 @@ def _signed(value: int) -> int:
 
 
 def _bits_of(value: float) -> int:
+    # NaN results canonicalize to the positive quiet NaN, mirroring the
+    # executor's ``float_to_bits`` (RISC-V-style).  Without this, the sign
+    # of a two-NaN sum depends on host FPU operand order — which CPython's
+    # specializing interpreter reorders between cold and warm executions.
+    if value != value:
+        return 0x7FF8000000000000
     return struct.unpack("<Q", struct.pack("<d", value))[0]
 
 

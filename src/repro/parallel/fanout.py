@@ -81,6 +81,27 @@ class FanoutError(RuntimeError):
         self.outcome = outcome
 
 
+def _reap(process) -> None:
+    """Force a worker down and guarantee it is gone before returning.
+
+    ``terminate`` (SIGTERM) is catchable — a worker stuck in a handler
+    or masked section can outlive it — so escalate to ``kill``
+    (SIGKILL, uncatchable) and then *assert* the process is reaped.
+    Outcomes must never be recorded while the worker might still be
+    running: a ``timeout`` slot with a live process behind it leaks a
+    zombie per timed-out payload and can keep mutating shared files.
+    """
+    process.terminate()
+    process.join(timeout=5.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=5.0)
+    assert not process.is_alive(), (
+        f"worker pid {process.pid} survived SIGKILL; refusing to record "
+        "an outcome for a process that is still running"
+    )
+
+
 def _fanout_child(worker: Callable[[Any], Any], payload: Any, conn) -> None:
     """Process entry point: run one payload, ship one message, exit."""
     try:
@@ -148,8 +169,7 @@ def run_fanout(
                     message = None
                 process.join(timeout=5.0)
                 if process.is_alive():  # sent a result but refuses to exit
-                    process.terminate()
-                    process.join(timeout=5.0)
+                    _reap(process)
                 if message is None:  # EOF: the worker died mid-run
                     outcome = FanoutOutcome(
                         index, "died", exitcode=process.exitcode
@@ -164,11 +184,7 @@ def run_fanout(
                 process.join()
                 outcome = FanoutOutcome(index, "died", exitcode=process.exitcode)
             elif deadline is not None and time.monotonic() >= deadline:
-                process.terminate()
-                process.join(timeout=5.0)
-                if process.is_alive():
-                    process.kill()
-                    process.join(timeout=5.0)
+                _reap(process)
                 outcome = FanoutOutcome(index, "timeout")
             if outcome is None:
                 still_running.append((index, process, conn, deadline))

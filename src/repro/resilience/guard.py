@@ -250,6 +250,32 @@ class ForwardProgressGuard:
             self._trace_escalation(event)
             raise ForwardProgressFailure(self._diagnostics(checkpoint_instret))
 
+    def on_budget_exhausted(self, instret: int, now_ns: float) -> None:
+        """The engine's total execution budget ran out.
+
+        A storm from a *permanent* defect does not have to pin one
+        checkpoint: false detections from a pervasive stuck-at let the run
+        crawl forward (retries on moments when the bit already holds the
+        stuck value commit clean, resetting the streak), so the
+        same-checkpoint escalation never reaches ``fail_after`` and the
+        livelock budget trips first.  When the injector carries persistent
+        fault models and the supply is already safe, that exhaustion *is*
+        the permanent-defect signature — surface the typed failure with
+        full diagnostics instead of letting the caller raise the blunt
+        ``LivelockError``.  Transient storms (no persistent model, or
+        still below the safe voltage) fall through untouched.
+        """
+        if self.injector is None or not self.injector.persistent_descriptions():
+            return
+        if not self._at_safe():
+            return
+        event = EscalationEvent(
+            now_ns, "fail", instret, self._streak, self._voltage_now()
+        )
+        self.events.append(event)
+        self._trace_escalation(event)
+        raise ForwardProgressFailure(self._diagnostics(instret))
+
     def _diagnostics(self, checkpoint_instret: int) -> ForwardProgressDiagnostics:
         implicated: Optional[int] = None
         if self._checkers:

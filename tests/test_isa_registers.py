@@ -72,6 +72,24 @@ class TestFpRegisters:
         assert regs.read_f_bits(1) == pattern
         assert regs.read_f(1) != regs.read_f(1)  # NaN
 
+    def test_nan_value_writes_canonicalize(self):
+        # Arithmetic results canonicalize to the positive quiet NaN
+        # (RISC-V style): the host FPU's NaN sign must never reach the
+        # architectural state — x86 propagates the first operand's NaN
+        # and CPython's specializing interpreter reorders operands
+        # between cold and warm executions of the same expression.
+        negative_nan = bits_to_float(0xFFF8000000000000)
+        assert float_to_bits(negative_nan) == 0x7FF8000000000000
+        assert float_to_bits(bits_to_float(0x7FF800000000BEEF)) == (
+            0x7FF8000000000000
+        )
+        regs = RegisterFile()
+        regs.write_f(1, negative_nan)
+        assert regs.read_f_bits(1) == 0x7FF8000000000000
+        # Raw bit moves (FMOV, FLDR) still preserve sign and payload.
+        regs.write_f_bits(2, 0xFFF8000000000123)
+        assert regs.read_f_bits(2) == 0xFFF8000000000123
+
 
 class TestFlags:
     def test_set_and_read(self):

@@ -94,10 +94,19 @@ class TestDetectorIsNotVacuous:
 
         monkeypatch.setattr(Executor, "_build_dispatch", buggy_build)
         workload = WORKLOAD_BUILDERS["bitcount"](0.2)
-        report = diff_workload(workload)
+        # use_jit=False: the bug is planted in the *interpreter's*
+        # dispatch table, so the executor leg must actually run through
+        # it for the divergence to be attributed at the executor stage.
+        report = diff_workload(workload, use_jit=False)
         assert not report.ok
         assert report.divergence.stage == "executor"
         assert report.divergence.trace  # the minimized trace is populated
+        # With the compiled tier on, the executor leg bypasses the
+        # corrupted handler but the checker replay still hits it: the
+        # oracle remains non-vacuous, attributing at the replay stage.
+        jit_report = diff_workload(workload)
+        assert not jit_report.ok
+        assert jit_report.divergence.stage == "checker"
 
     def test_replay_only_bug_is_reported(self, monkeypatch):
         # A bug that fires only during checker replay (port is a

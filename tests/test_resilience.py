@@ -29,7 +29,12 @@ from repro.resilience import (
 )
 from repro.scheduling import CheckerPool, SchedulingPolicy
 from repro.stats import RunOutcome
-from repro.workloads import build_bitcount, golden_run
+from repro.workloads import (
+    WorkloadProfile,
+    build_bitcount,
+    build_synthetic,
+    golden_run,
+)
 
 from dataclasses import replace
 from types import SimpleNamespace
@@ -337,6 +342,33 @@ class TestEngineIntegration:
         assert not result.livelocked
         assert result.failure is not None
         assert any("int_alu" in s for s in result.failure.suspected_faults)
+
+    def test_crawling_stuck_at_storm_fails_typed_not_livelock(self):
+        # Regression (found by the typed-outcome property): a pervasive
+        # stuck-at lets the run *crawl* — retries at moments when the bit
+        # already holds the stuck value commit clean, resetting the
+        # guard's same-checkpoint streak — so fail_after never trips and
+        # the livelock budget exhausts first.  Budget exhaustion with a
+        # persistent model at the safe voltage must still surface as a
+        # typed forward-progress failure naming the unit.
+        profile = WorkloadProfile(
+            name="crawling-storm", alu=5.5, mul=1.0, load=1.0, store=0.5,
+            working_set_kib=32, sequential_fraction=0.0,
+            code_blocks=3, block_ops=11,
+        )
+        workload = build_synthetic(profile, iterations=3, seed=5553 % 1000)
+        rng = np.random.default_rng(5553)
+        injector = FaultInjector(
+            [StuckAtFaultModel(rng, unit=FunctionalUnit.INT_MUL, bit=24)],
+            target="checker",
+        )
+        engine = ParaDoxSystem(resilient=True).engine(
+            workload, seed=5553, injector=injector
+        )
+        result = engine.run(workload.max_instructions)
+        assert result.outcome is RunOutcome.FORWARD_PROGRESS_FAILURE
+        assert not result.livelocked
+        assert any("int_mul" in s for s in result.failure.suspected_faults)
 
     def test_livelock_is_an_outcome_not_an_exception(self):
         workload = build_bitcount(values=40)
