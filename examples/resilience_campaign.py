@@ -11,10 +11,15 @@ Three acts:
    unit — never a ``LivelockError``.
 3. A small crash-isolated campaign classifies a grid of seeded runs
    into the six-outcome taxonomy (masked / detected_recovered /
-   degraded / sdc / hang / crash) and prints the summary table.
+   degraded / sdc / hang / crash), persists every run to a SQLite
+   campaign store as it lands, and proves resume-from-store is
+   byte-identical (see docs/SERVICE.md).
 
     python examples/resilience_campaign.py
 """
+
+import json
+import tempfile
 
 import numpy as np
 
@@ -23,6 +28,7 @@ from repro.faults import FaultInjector, StuckAtFaultModel
 from repro.isa import FunctionalUnit
 from repro.resilience import CampaignSpec, run_campaign
 from repro.stats import RunOutcome
+from repro.store import CampaignStore
 from repro.workloads import WorkloadProfile, build_synthetic
 
 
@@ -83,21 +89,46 @@ def act_two_typed_failure() -> None:
 
 
 def act_three_campaign() -> None:
-    print("=== act 3: a small crash-isolated campaign ===")
+    print("=== act 3: a store-backed, resumable campaign ===")
     spec = CampaignSpec(
         seeds=6, scale=0.3, rates=(3e-4,),
         models=("transient", "burst", "stuckat"), timeout_s=60.0,
     )
+    store = tempfile.mkdtemp(prefix="repro-example-") + "/campaign.sqlite"
     report = run_campaign(
         spec,
         progress=lambda r: print(
             f"  run {r.run_id:2d} seed {r.seed:2d} {r.model:<9s} "
             f"-> {r.run_class.value}: {r.detail}"
         ),
+        store_path=store,
     )
     print()
     print(report.summary_table())
     assert report.counts["crash"] == 0, "a crash is a simulator bug"
+
+    # Every classified run was committed to the store as it landed
+    # (one transaction each), so relaunching the same campaign — after
+    # a SIGKILL, on another day — replays from the store instead of
+    # re-simulating, and the canonical report is byte-identical.
+    cached = []
+    resumed = run_campaign(
+        spec, store_path=store, resume=True, on_cached=cached.append
+    )
+    identical = json.dumps(resumed.to_dict(canonical=True)) == json.dumps(
+        report.to_dict(canonical=True)
+    )
+    print(
+        f"  resumed from {store}: {len(cached)} cached runs re-loaded, "
+        f"0 re-executed, canonical report identical: {identical}"
+    )
+    assert identical
+    with CampaignStore(store) as handle:
+        [summary] = handle.list_campaigns()
+        print(
+            f"  store holds {summary['recorded']}/{summary['total_cells']} "
+            f"cells; render it with: python -m repro report {store}"
+        )
 
 
 def main() -> None:

@@ -10,7 +10,17 @@ Commands:
 * ``compare`` — run a workload on all four systems side by side.
 * ``campaign`` — crash-isolated fault-injection campaign: seeds x rates
   x fault models over worker processes, six-outcome classification and a
-  JSON report (``--smoke`` for the CI-sized variant).
+  JSON report (``--smoke`` for the CI-sized variant).  With ``--store``
+  every classified run is committed to a SQLite campaign store the
+  moment it finishes, ``--resume`` skips cells the store already holds
+  (byte-identical reports at any ``--workers`` width), and
+  ``--shard K/N`` runs a deterministic 1/N slice of the grid.
+* ``serve`` — long-lived job service: campaigns/fuzz/suites submitted
+  over HTTP, live JSONL event streams, persistent shared store, HTML
+  dashboard (see docs/SERVICE.md).
+* ``report`` — render a campaign store as a static HTML dashboard.
+* ``store`` — inspect (``ls``) or consolidate (``merge``) campaign
+  store files, e.g. shard stores from ``campaign --shard``.
 * ``suite`` — the shared SPEC-proxy suite behind figures 10/12/13, with
   ``--jobs N`` sharding independent runs over worker processes
   (bit-identical to ``--jobs 1``) and ``--metrics-out`` merging every
@@ -139,8 +149,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    import json
-
+    from .ioutil import atomic_write_json
     from .telemetry import events_from_dicts, to_perfetto, write_jsonl_path
 
     workload = resolve_workload(args.workload, args.scale)
@@ -159,9 +168,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     label = f"{result.system}/{result.workload}"
     if args.out:
         document = to_perfetto(events, label=label)
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-            handle.write("\n")
+        atomic_write_json(args.out, document, indent=None)
         print(
             f"{len(events)} events -> {args.out} "
             f"(open with the Perfetto UI, https://ui.perfetto.dev)"
@@ -175,9 +182,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         count = write_jsonl_path(args.jsonl_out, events, meta=meta)
         print(f"{count} events -> {args.jsonl_out}")
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(result.metrics or {}, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.metrics_out, result.metrics or {})
         print(f"metrics -> {args.metrics_out}")
     return 0
 
@@ -237,6 +242,7 @@ def campaign_spec_from_args(args: argparse.Namespace):
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .resilience import RunClass, run_campaign
+    from .store import StoreError, parse_shard
 
     spec = campaign_spec_from_args(args)
     if args.metrics_out or args.trace_out:
@@ -245,8 +251,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         spec.expand()
     except ValueError as error:  # e.g. an unknown --models mix
         raise SystemExit(str(error))
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
 
-    def progress(record) -> None:
+    def describe(record, cached: bool = False) -> None:
         if args.quiet:
             return
         chip = (
@@ -254,16 +268,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             if record.model.startswith("sram")
             else ""
         )
+        suffix = " (cached)" if cached else ""
         print(
             f"  run {record.run_id:4d} seed {record.seed:5d}{chip} "
             f"rate {record.rate:.1e} {record.model:<14s} "
-            f"-> {record.run_class.value:<18s} {record.detail}"
+            f"-> {record.run_class.value:<18s} {record.detail}{suffix}"
         )
 
-    report = run_campaign(spec, progress=progress)
+    try:
+        report = run_campaign(
+            spec,
+            progress=describe,
+            store_path=args.store,
+            resume=args.resume,
+            shard=shard,
+            on_cached=lambda record: describe(record, cached=True),
+        )
+    except StoreError as error:
+        raise SystemExit(str(error))
     print(report.summary_table())
+    if args.store:
+        print(f"results stored in {args.store}")
     if args.json:
-        report.write_json(args.json)
+        # Store-backed reports are written in canonical form (wall-clock
+        # fields dropped) so an interrupted-and-resumed campaign's report
+        # is byte-identical to an uninterrupted one.
+        report.write_json(args.json, canonical=bool(args.store))
         print(f"report written to {args.json}")
     if args.metrics_out:
         report.write_metrics_json(args.metrics_out)
@@ -277,11 +307,80 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if crashes else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(
+        args.host,
+        args.port,
+        work_dir=args.work_dir,
+        store_path=args.store,
+        quiet=not args.verbose,
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .store import StoreError, write_dashboard
+
+    if not os.path.exists(args.store):
+        raise SystemExit(f"no store file {args.store!r}")
+    try:
+        count = write_dashboard(args.store, args.out, campaign_key=args.campaign)
+    except (StoreError, KeyError) as error:
+        raise SystemExit(str(error))
+    print(f"dashboard ({count} campaign(s)) written to {args.out}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import os
+
+    from .store import CampaignStore, StoreError
+
+    if args.store_command == "ls":
+        if not os.path.exists(args.store):
+            raise SystemExit(f"no store file {args.store!r}")
+        with CampaignStore(args.store) as store:
+            campaigns = store.list_campaigns()
+            print(
+                f"{args.store}: schema v{store.version}, "
+                f"{len(campaigns)} campaign(s)"
+            )
+            for summary in campaigns:
+                counts = summary["counts"]
+                breakdown = " ".join(
+                    f"{name}={count}" for name, count in sorted(counts.items())
+                )
+                print(
+                    f"  {summary['campaign_key'][:16]}  "
+                    f"{summary['workload']:<12s} "
+                    f"{summary['recorded']}/{summary['total_cells']} recorded"
+                    + (f"  {breakdown}" if breakdown else "")
+                )
+        return 0
+    if args.store_command == "merge":
+        with CampaignStore(args.dest) as store:
+            for source in args.sources:
+                if not os.path.exists(source):
+                    raise SystemExit(f"no store file {source!r}")
+                try:
+                    added = store.merge_from(source)
+                except StoreError as error:
+                    raise SystemExit(str(error))
+                total = sum(added.values())
+                print(f"merged {source}: {total} new row(s) " f"{added}")
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
-    import json
     import time
 
     from .experiments.spec_runs import run_spec_suite
+    from .ioutil import atomic_write_json
 
     names = args.workloads.split(",") if args.workloads else None
     if names:
@@ -339,15 +438,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 for name in runs.names()
             },
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.json, payload)
         print(f"report written to {args.json}")
     if args.metrics_out:
         merged = runs.merged_metrics()
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(merged, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.metrics_out, merged)
         print(
             f"merged metrics ({merged.get('merged_runs', 0)} runs) "
             f"written to {args.metrics_out}"
@@ -368,8 +463,7 @@ def _parse_granularities(value: str):
 
 
 def cmd_diffcheck(args: argparse.Namespace) -> int:
-    import json
-
+    from .ioutil import atomic_write_json
     from .oracle import DifferentialRunner
     from .telemetry import Tracer, write_jsonl_path
 
@@ -406,9 +500,7 @@ def cmd_diffcheck(args: argparse.Namespace) -> int:
             "ok": not failed,
             "reports": [report.to_dict() for report in reports],
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.json, payload)
         print(f"report written to {args.json}")
     if tracer is not None:
         count = write_jsonl_path(args.jsonl_out, tracer.events, meta=tracer.meta)
@@ -417,9 +509,9 @@ def cmd_diffcheck(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    import json
     import time
 
+    from .ioutil import atomic_write_json
     from .oracle import run_fuzz
     from .oracle.fuzzer import PROFILES
 
@@ -483,9 +575,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 for granularity, campaign in campaigns
             },
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.json, payload)
         print(f"report written to {args.json}")
     return 1 if failures else 0
 
@@ -640,7 +730,75 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--smoke", action="store_true", help="CI-sized campaign (overrides the grid flags)"
     )
+    campaign.add_argument(
+        "--store",
+        help="persist every classified run into this SQLite campaign "
+        "store, one transaction per run (safe to kill at any instant)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --store (content-addressed "
+        "run keys; the resumed report is byte-identical to an "
+        "uninterrupted run at any --workers width)",
+    )
+    campaign.add_argument(
+        "--shard",
+        metavar="K/N",
+        help="run only the cells whose run-key hashes into shard K of N "
+        "(1-based); shard stores merge cleanly via 'repro store merge'",
+    )
     campaign.set_defaults(func=cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP job service: campaigns, fuzzing, suites "
+        "(see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337, help="0 = ephemeral")
+    serve.add_argument(
+        "--work-dir",
+        default="repro-service",
+        help="directory for the service store and per-job event streams",
+    )
+    serve.add_argument(
+        "--store",
+        help="service store path (default: <work-dir>/campaigns.sqlite)",
+    )
+    serve.add_argument(
+        "-v", "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    report = sub.add_parser(
+        "report", help="render a campaign store as a static HTML dashboard"
+    )
+    report.add_argument("store", help="campaign store file (SQLite)")
+    report.add_argument(
+        "--out", default="dashboard.html", help="output HTML path"
+    )
+    report.add_argument(
+        "--campaign",
+        help="render one campaign only (key prefix); default: all",
+    )
+    report.set_defaults(func=cmd_report)
+
+    store = sub.add_parser(
+        "store", help="inspect or consolidate campaign store files"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list a store's campaigns")
+    store_ls.add_argument("store", help="campaign store file")
+    store_ls.set_defaults(func=cmd_store)
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="fold source stores into a destination store "
+        "(idempotent; shard stores reassemble the full campaign)",
+    )
+    store_merge.add_argument("dest", help="destination store (created if absent)")
+    store_merge.add_argument("sources", nargs="+", help="source store file(s)")
+    store_merge.set_defaults(func=cmd_store)
 
     suite = sub.add_parser(
         "suite", help="run the shared SPEC-proxy suite (figures 10/12/13)"

@@ -1,0 +1,50 @@
+"""Atomic artifact writes.
+
+Every JSON/text artifact the CLI and the campaign layer emit goes
+through :func:`atomic_write_text`: the content is written to a
+temporary file in the destination directory and moved into place with
+``os.replace``, which is atomic on POSIX and Windows.  An interrupt
+(SIGKILL, power loss, a watchdog tearing the process down) therefore
+never leaves a truncated or half-serialised artifact at the published
+path — readers see either the previous complete file or the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+
+def atomic_write_text(path: str, content: str) -> None:
+    """Write ``content`` to ``path`` atomically (temp file + replace)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Leave no droppings: the published path is untouched either way.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str, payload: Any, *, indent: Optional[int] = 2
+) -> None:
+    """Serialise ``payload`` and atomically publish it at ``path``.
+
+    Serialisation happens *before* the temp file is created, so a
+    payload that fails to serialise leaves no file behind at all.
+    """
+    content = json.dumps(payload, indent=indent) + "\n"
+    atomic_write_text(path, content)

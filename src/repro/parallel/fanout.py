@@ -121,14 +121,18 @@ def run_fanout(
     jobs: int = 0,
     timeout_s: Optional[float] = None,
     on_outcome: Optional[Callable[[FanoutOutcome], None]] = None,
+    on_start: Optional[Callable[[int], None]] = None,
 ) -> List[FanoutOutcome]:
     """Run ``worker(payload)`` for every payload across worker processes.
 
     ``worker`` must be a picklable module-level callable.  Results come
     back ordered by payload index; ``on_outcome`` (if given) fires in
     *completion* order as each run resolves, so callers can stream
-    progress.  A worker that crashes, raises, or outlives ``timeout_s``
-    yields a non-``ok`` outcome without disturbing the other slots.
+    progress, and ``on_start`` (if given) fires with the payload index
+    the moment its worker process launches — the hook incremental
+    persistence and the job server's event streams hang off.  A worker
+    that crashes, raises, or outlives ``timeout_s`` yields a non-``ok``
+    outcome without disturbing the other slots.
     """
     ctx = multiprocessing.get_context()
     outcomes: List[Optional[FanoutOutcome]] = [None] * len(payloads)
@@ -152,6 +156,8 @@ def run_fanout(
             )
             process.start()
             child_conn.close()
+            if on_start is not None:
+                on_start(next_index)
             deadline = (
                 time.monotonic() + timeout_s if timeout_s is not None else None
             )

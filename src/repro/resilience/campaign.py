@@ -30,6 +30,16 @@ The report is JSON-serialisable and carries the two acceptance signals
 of the resilience layer besides the class counts: how many checkers were
 quarantined across the campaign, and how many runs recovered after
 voltage escalation.
+
+Campaigns can additionally run against a **persistent store**
+(:mod:`repro.store`): every classified run is committed to a WAL-mode
+SQLite file as it lands, cells are identified by content-addressed run
+keys, and a relaunched campaign with ``resume=True`` skips every
+recorded cell — the resumed report is bit-identical (in its canonical
+form, which excludes wall-clock fields) to an uninterrupted run at any
+worker width.  ``shard=(k, n)`` deterministically partitions the grid
+by run-key hash so one campaign can be split across machines and the
+shard stores merged back into one.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..ioutil import atomic_write_json
 from ..parallel import FanoutOutcome, resolve_jobs, run_fanout
 from .guard import ResilienceConfig
 
@@ -186,13 +197,41 @@ class RunRecord:
     def voltage_escalations(self) -> int:
         return self.escalations.get("voltage", 0)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, canonical: bool = False) -> Dict[str, Any]:
         data = asdict(self)
         data["run_class"] = self.run_class.value
         # The raw event stream is exported separately (JSONL/Perfetto);
         # inlining thousands of events would bloat the report JSON.
         data.pop("trace", None)
+        if canonical:
+            # Wall-clock duration is the one field a bit-identical
+            # re-execution cannot reproduce.
+            data.pop("duration_s", None)
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output (store round-trip)."""
+        return cls(
+            run_id=int(data["run_id"]),
+            seed=int(data["seed"]),
+            rate=float(data["rate"]),
+            model=data["model"],
+            workload=data["workload"],
+            run_class=RunClass(data["run_class"]),
+            chip_seed=int(data.get("chip_seed", 0)),
+            detail=data.get("detail", ""),
+            outcome=data.get("outcome"),
+            recoveries=int(data.get("recoveries", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            instructions=int(data.get("instructions", 0)),
+            quarantined=list(data.get("quarantined") or []),
+            escalations=dict(data.get("escalations") or {}),
+            duration_s=float(data.get("duration_s", 0.0)),
+            traceback=data.get("traceback"),
+            metrics=data.get("metrics"),
+            trace=data.get("trace"),
+        )
 
 
 @dataclass
@@ -252,29 +291,41 @@ class CampaignReport:
         return merge_traces(runs)
 
     def write_metrics_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.merged_metrics(), handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(path, self.merged_metrics())
 
     def write_perfetto(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.merged_trace(), handle)
-            handle.write("\n")
+        atomic_write_json(path, self.merged_trace(), indent=None)
 
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "spec": self.spec,
-            "wall_s": self.wall_s,
+    def to_dict(self, canonical: bool = False) -> Dict[str, Any]:
+        """The JSON report; ``canonical=True`` drops wall-clock fields.
+
+        The canonical form is a pure function of the campaign's content:
+        execution-only spec fields (worker width, watchdog deadline) and
+        wall-clock timings are excluded, so an interrupted-and-resumed
+        campaign serialises byte-identically to an uninterrupted one.
+        """
+        spec = self.spec
+        if canonical:
+            from ..store.runkey import EXECUTION_ONLY_SPEC_FIELDS
+
+            spec = {
+                key: value
+                for key, value in self.spec.items()
+                if key not in EXECUTION_ONLY_SPEC_FIELDS
+            }
+        data = {
+            "spec": spec,
             "counts": self.counts,
             "quarantine_events": self.quarantine_event_count,
             "voltage_escalation_recoveries": self.voltage_escalation_recoveries,
-            "records": [record.to_dict() for record in self.records],
+            "records": [record.to_dict(canonical) for record in self.records],
         }
+        if not canonical:
+            data["wall_s"] = self.wall_s
+        return data
 
-    def write_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
-            handle.write("\n")
+    def write_json(self, path: str, canonical: bool = False) -> None:
+        atomic_write_json(path, self.to_dict(canonical))
 
     def summary_table(self) -> str:
         counts = self.counts
@@ -546,46 +597,126 @@ def _record_from_message(
     return record
 
 
+def _record_from_outcome(
+    spec: CampaignSpec, payload: Dict[str, Any], outcome: FanoutOutcome
+) -> RunRecord:
+    """Classify one fan-out outcome (any status) into a RunRecord."""
+    if outcome.status == "ok":
+        return _record_from_message(payload, outcome.value)
+    record = _base_record(payload)
+    if outcome.status == "error":
+        record.detail = "unhandled exception in worker"
+        record.traceback = outcome.traceback
+    elif outcome.status == "died":
+        record.detail = f"worker died with exit code {outcome.exitcode}"
+    else:  # timeout: the fan-out's watchdog terminated the worker
+        record.run_class = RunClass.HANG
+        record.detail = f"watchdog timeout after {spec.timeout_s:.0f} s"
+    return record
+
+
 def run_campaign(
     spec: CampaignSpec,
     progress: Optional[Callable[[RunRecord], None]] = None,
+    *,
+    store_path: Optional[str] = None,
+    resume: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
+    on_cached: Optional[Callable[[RunRecord], None]] = None,
+    on_start: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> CampaignReport:
     """Execute every run of ``spec`` with per-run crash isolation.
 
     Never raises on account of a run: worker deaths become ``crash``
     records, deadline overruns become ``hang`` records.  ``progress`` is
     invoked with each :class:`RunRecord` as it is classified.
+
+    With ``store_path``, the campaign registers its full grid in a
+    :class:`repro.store.CampaignStore` up front and commits each record
+    the moment it is classified (one transaction per run), so a campaign
+    killed at any instant leaves only complete records behind.  With
+    ``resume=True`` cells already recorded in the store are loaded
+    instead of re-executed (``on_cached``, or ``progress`` if unset, is
+    invoked for each).  ``shard=(k, n)`` (1-based ``k``) restricts
+    execution to the cells whose run-key hashes into shard ``k`` of
+    ``n``; the full grid stays registered so coverage queries see the
+    whole campaign and shard stores merge cleanly.
     """
+    from ..store import CampaignStore, StoreError
+    from ..store import campaign_key as spec_campaign_key
+    from ..store import run_key as cell_run_key
+    from ..store import shard_of
+
     started = time.perf_counter()
     payloads = spec.expand()
+    keys = [cell_run_key(payload) for payload in payloads]
+    selected = list(range(len(payloads)))
+    if shard is not None:
+        k, n = shard
+        selected = [i for i in selected if shard_of(keys[i], n) == k - 1]
     records: List[Optional[RunRecord]] = [None] * len(payloads)
 
-    def on_outcome(outcome: FanoutOutcome) -> None:
-        payload = payloads[outcome.index]
-        if outcome.status == "ok":
-            record = _record_from_message(payload, outcome.value)
-        elif outcome.status == "error":
-            record = _base_record(payload)
-            record.detail = "unhandled exception in worker"
-            record.traceback = outcome.traceback
-        elif outcome.status == "died":
-            record = _base_record(payload)
-            record.detail = f"worker died with exit code {outcome.exitcode}"
-        else:  # timeout: the fan-out's watchdog terminated the worker
-            record = _base_record(payload)
-            record.run_class = RunClass.HANG
-            record.detail = f"watchdog timeout after {spec.timeout_s:.0f} s"
-        records[outcome.index] = record
-        if progress is not None:
-            progress(record)
+    store: Optional[CampaignStore] = None
+    campaign_key: Optional[str] = None
+    try:
+        if store_path is not None:
+            store = CampaignStore(store_path)
+            campaign_key = spec_campaign_key(spec.to_dict())
+            store.register_campaign(
+                campaign_key,
+                spec.to_dict(),
+                [(keys[i], i, payloads[i]) for i in range(len(payloads))],
+            )
+            done = store.completed_keys(campaign_key)
+            if done and not resume:
+                raise StoreError(
+                    f"store {store_path!r} already holds {len(done)} record(s) "
+                    "for this campaign; pass resume=True (--resume) to skip "
+                    "completed cells, or use a fresh store"
+                )
+            notify_cached = on_cached if on_cached is not None else progress
+            for i in selected:
+                if keys[i] in done:
+                    record_dict = store.load_record(keys[i])
+                    if record_dict is not None:
+                        records[i] = RunRecord.from_dict(record_dict)
+                        if notify_cached is not None:
+                            notify_cached(records[i])
 
-    run_fanout(
-        execute_run,
-        payloads,
-        jobs=spec.resolved_workers(),
-        timeout_s=spec.timeout_s,
-        on_outcome=on_outcome,
-    )
+        pending = [i for i in selected if records[i] is None]
+
+        def handle_outcome(outcome: FanoutOutcome) -> None:
+            index = pending[outcome.index]
+            payload = payloads[index]
+            record = _record_from_outcome(spec, payload, outcome)
+            records[index] = record
+            if store is not None:
+                store.record_run(
+                    campaign_key,
+                    keys[index],
+                    record.to_dict(),
+                    metrics=record.metrics,
+                    trace=record.trace,
+                    voltage=payload.get("voltage"),
+                )
+            if progress is not None:
+                progress(record)
+
+        handle_start = None
+        if on_start is not None:
+            handle_start = lambda index: on_start(payloads[pending[index]])
+
+        run_fanout(
+            execute_run,
+            [payloads[i] for i in pending],
+            jobs=spec.resolved_workers(),
+            timeout_s=spec.timeout_s,
+            on_outcome=handle_outcome,
+            on_start=handle_start,
+        )
+    finally:
+        if store is not None:
+            store.close()
     final = [record for record in records if record is not None]
     return CampaignReport(
         spec=spec.to_dict(), records=final, wall_s=time.perf_counter() - started

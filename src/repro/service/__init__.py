@@ -1,0 +1,26 @@
+"""Campaign-at-scale service: job runner + stdlib HTTP front end.
+
+``repro serve`` turns the repository's batch entry points (injection
+campaigns, differential fuzzing, the SPEC-proxy suite) into a
+long-lived service: jobs are submitted over HTTP, executed one at a
+time on a runner thread (each saturates the machine through
+:mod:`repro.parallel`), stream live JSONL telemetry, and persist
+campaign results through the content-addressed store in
+:mod:`repro.store`.  Stdlib only — ``http.server`` + ``sqlite3``.
+
+See ``docs/SERVICE.md`` for the HTTP API and operational notes.
+"""
+
+from .jobs import CAMPAIGN_PARAMS, JOB_KINDS, Job, JobError, JobRunner
+from .server import ReproHTTPServer, create_server, serve
+
+__all__ = [
+    "CAMPAIGN_PARAMS",
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobRunner",
+    "ReproHTTPServer",
+    "create_server",
+    "serve",
+]

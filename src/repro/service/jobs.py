@@ -1,0 +1,328 @@
+"""The job model and runner behind ``repro serve``.
+
+A *job* is one long-running unit of work submitted over HTTP: an
+injection campaign, a differential fuzz sweep, or a SPEC-proxy suite.
+Jobs are queued and executed one at a time by a dedicated runner thread
+— each job already saturates the machine through
+:func:`repro.parallel.run_fanout`, so stacking jobs would only make
+their watchdogs lie.  Every job appends telemetry to its own JSONL
+event file (:class:`repro.telemetry.stream.JsonlAppender`), which the
+server's ``/jobs/<id>/events`` endpoint tails live.
+
+Campaign jobs write through the persistent store
+(:mod:`repro.store`), one shared file per service instance, so the
+``/store`` query endpoints and the dashboard see every campaign the
+service ever ran — and a resubmitted campaign resumes instead of
+recomputing.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..telemetry.stream import JsonlAppender
+
+#: Job kinds the service accepts, mapped to their executors below.
+JOB_KINDS = ("campaign", "fuzz", "suite")
+
+#: CampaignSpec fields a campaign job may set (everything else is
+#: rejected, so a typo'd field fails at submission, not mid-run).
+CAMPAIGN_PARAMS = frozenset(
+    {
+        "workload",
+        "scale",
+        "seeds",
+        "first_seed",
+        "rates",
+        "models",
+        "dvs",
+        "initial_margin",
+        "chip_seeds",
+        "first_chip_seed",
+        "voltage",
+        "timeout_s",
+        "workers",
+        "tracing",
+    }
+)
+
+
+class JobError(ValueError):
+    """A job submission failed validation."""
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its lifecycle state."""
+
+    job_id: str
+    kind: str
+    params: Dict[str, Any]
+    state: str = "queued"  # queued -> running -> done | failed
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    events_path: str = ""
+    campaign_key: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": self.params,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result": self.result,
+            "campaign_key": self.campaign_key,
+        }
+
+
+def _campaign_spec(params: Mapping[str, Any]):
+    from ..resilience import CampaignSpec
+
+    unknown = sorted(set(params) - CAMPAIGN_PARAMS)
+    if unknown:
+        raise JobError(
+            f"unknown campaign parameter(s) {unknown}; "
+            f"allowed: {sorted(CAMPAIGN_PARAMS)}"
+        )
+    kwargs = dict(params)
+    for name in ("rates", "models"):
+        if name in kwargs:
+            kwargs[name] = tuple(kwargs[name])
+    try:
+        spec = CampaignSpec(**kwargs)
+        spec.expand()  # validates model names / grid shape
+    except (TypeError, ValueError) as error:
+        raise JobError(str(error))
+    return spec
+
+
+class JobRunner:
+    """Queue + single runner thread executing jobs sequentially."""
+
+    def __init__(self, work_dir: str, store_path: Optional[str] = None) -> None:
+        self.work_dir = work_dir
+        os.makedirs(work_dir, exist_ok=True)
+        self.store_path = store_path or os.path.join(
+            work_dir, "campaigns.sqlite"
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-job-runner", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- interface --
+
+    def submit(self, kind: str, params: Mapping[str, Any]) -> Job:
+        """Validate and enqueue one job; returns it in ``queued`` state."""
+        if kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+        params = dict(params)
+        if kind == "campaign":
+            _campaign_spec(params)  # validate before accepting
+        job_id = uuid.uuid4().hex[:12]
+        job = Job(
+            job_id=job_id,
+            kind=kind,
+            params=params,
+            events_path=os.path.join(self.work_dir, f"job-{job_id}.events.jsonl"),
+        )
+        with self._lock:
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._queue.put(job_id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def shutdown(self) -> None:
+        self._queue.put(None)
+
+    # -------------------------------------------------------------- execution --
+
+    def _run_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self.get(job_id)
+            if job is None:
+                continue
+            events = JsonlAppender(job.events_path)
+            job.state = "running"
+            job.started_at = time.time()
+            events.append(
+                {"kind": "job_started", "job_id": job.job_id, "job_kind": job.kind}
+            )
+            # The terminal state is published *after* the job_finished
+            # event is on disk: pollers that see `terminal` must find a
+            # complete event file, and follow-mode tails end on it.
+            final_state = "failed"
+            try:
+                executor = getattr(self, f"_run_{job.kind}")
+                job.result = executor(job, events)
+                final_state = "done"
+            except Exception:
+                job.error = traceback.format_exc()
+                events.append({"kind": "job_failed", "error": job.error})
+            finally:
+                job.finished_at = time.time()
+                events.append(
+                    {
+                        "kind": "job_finished",
+                        "state": final_state,
+                        "wall_s": job.finished_at - (job.started_at or 0.0),
+                    }
+                )
+                events.close()
+                job.state = final_state
+
+    def _run_campaign(self, job: Job, events: JsonlAppender) -> Dict[str, Any]:
+        from ..resilience import run_campaign
+        from ..store import campaign_key as spec_campaign_key
+
+        spec = _campaign_spec(job.params)
+        job.campaign_key = spec_campaign_key(spec.to_dict())
+        events.append(
+            {
+                "kind": "campaign_registered",
+                "campaign_key": job.campaign_key,
+                "cells": len(spec.expand()),
+                "store": self.store_path,
+            }
+        )
+
+        def on_start(payload: Dict[str, Any]) -> None:
+            events.append(
+                {
+                    "kind": "run_started",
+                    "run_id": payload["run_id"],
+                    "seed": payload["seed"],
+                    "model": payload["model"],
+                    "rate": payload["rate"],
+                }
+            )
+
+        def progress(record) -> None:
+            events.append(
+                {
+                    "kind": "run_classified",
+                    "run_id": record.run_id,
+                    "seed": record.seed,
+                    "model": record.model,
+                    "rate": record.rate,
+                    "chip_seed": record.chip_seed,
+                    "run_class": record.run_class.value,
+                    "detail": record.detail,
+                }
+            )
+
+        def on_cached(record) -> None:
+            events.append(
+                {
+                    "kind": "run_cached",
+                    "run_id": record.run_id,
+                    "run_class": record.run_class.value,
+                }
+            )
+
+        report = run_campaign(
+            spec,
+            progress=progress,
+            store_path=self.store_path,
+            resume=True,  # the store dedupes: a resubmitted campaign resumes
+            on_cached=on_cached,
+            on_start=on_start,
+        )
+        return {
+            "campaign_key": job.campaign_key,
+            "counts": report.counts,
+            "runs": len(report.records),
+            "quarantine_events": report.quarantine_event_count,
+            "voltage_escalation_recoveries": (
+                report.voltage_escalation_recoveries
+            ),
+        }
+
+    def _run_fuzz(self, job: Job, events: JsonlAppender) -> Dict[str, Any]:
+        from ..lslog.segment import RollbackGranularity
+        from ..oracle import run_fuzz
+
+        params = dict(job.params)
+        seeds = range(
+            int(params.get("first_seed", 1)),
+            int(params.get("first_seed", 1)) + int(params.get("seeds", 25)),
+        )
+
+        def progress(result) -> None:
+            events.append(
+                {
+                    "kind": "fuzz_case",
+                    "seed": result.case.seed,
+                    "profile": result.case.profile,
+                    "ok": result.ok,
+                }
+            )
+
+        campaign = run_fuzz(
+            seeds,
+            granularity=RollbackGranularity(params.get("granularity", "line")),
+            checkpoint_interval=int(params.get("checkpoint_interval", 61)),
+            shrink=bool(params.get("shrink", True)),
+            progress=progress,
+        )
+        return {
+            "cases": campaign.cases,
+            "instructions": campaign.instructions,
+            "failures": len(campaign.failures),
+            "ok": not campaign.failures,
+        }
+
+    def _run_suite(self, job: Job, events: JsonlAppender) -> Dict[str, Any]:
+        from ..experiments.spec_runs import run_spec_suite
+
+        params = dict(job.params)
+        systems = tuple(params.get("systems", ("baseline", "paradox")))
+        runs = run_spec_suite(
+            iterations=int(params.get("iterations", 10)),
+            names=params.get("workloads"),
+            seed=int(params.get("seed", 12345)),
+            systems=systems,
+            jobs=int(params.get("jobs", 0)),
+        )
+        result = {
+            name: {
+                system: runs.by_system(system)[name].wall_ns
+                for system in systems
+            }
+            for name in runs.names()
+        }
+        events.append({"kind": "suite_finished", "workloads": len(result)})
+        return {"wall_ns": result}

@@ -1,0 +1,325 @@
+"""``repro serve`` — the long-lived campaign service (stdlib only).
+
+A :class:`ThreadingHTTPServer` front end over :class:`~repro.service.
+jobs.JobRunner`: requests are handled concurrently (one thread each,
+streaming endpoints included) while jobs execute one at a time on the
+runner thread, fanning worker processes out through the existing
+:mod:`repro.parallel` layer.  No third-party runtime dependency is
+involved anywhere.
+
+API (all JSON unless noted):
+
+* ``POST /jobs`` — submit ``{"kind": "campaign" | "fuzz" | "suite",
+  "params": {...}}``; returns the job object (``201``).
+* ``GET /jobs`` — every job, submission order.
+* ``GET /jobs/<id>`` — one job's state/result.
+* ``GET /jobs/<id>/events[?offset=N&follow=1]`` — the job's JSONL
+  telemetry stream.  Plain tail by default (with ``X-Events-Offset``
+  for resumption); ``follow=1`` streams lines as they are appended
+  until the job reaches a terminal state.
+* ``GET /store/campaigns`` — campaigns in the service store.
+* ``GET /store/campaigns/<key>`` — one campaign summary (key prefixes
+  accepted).
+* ``GET /store/campaigns/<key>/runs[?class=&model=&seed=&limit=]`` —
+  run records, filterable.
+* ``GET /dashboard`` — the store rendered as the live HTML dashboard.
+* ``GET /healthz`` — liveness.
+
+Campaign jobs write into one shared store file, so the ``/store``
+endpoints and the dashboard accumulate across jobs, and resubmitting a
+campaign resumes it (content-addressed run keys dedupe completed
+cells).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..store import CampaignStore, render_dashboard
+from .jobs import JobError, JobRunner
+
+#: Follow-mode poll interval; also bounds shutdown latency of streams.
+_FOLLOW_POLL_S = 0.1
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """The HTTP server plus the service state handlers reach for."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        runner: JobRunner,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.runner = runner
+        self.quiet = quiet
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    server: ReproHTTPServer
+
+    # ------------------------------------------------------------- plumbing --
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:  # pragma: no cover - logging cosmetics
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise JobError("request body required")
+        blob = self.rfile.read(length)
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise JobError("request body is not valid JSON")
+
+    def _open_store(self) -> CampaignStore:
+        # One connection per request thread: SQLite connections are not
+        # shared across threads; WAL makes concurrent readers safe.
+        return CampaignStore(self.server.runner.store_path)
+
+    # --------------------------------------------------------------- routing --
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urllib.parse.urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(url.query).items()
+        }
+        try:
+            if parts == ["healthz"]:
+                self._send_json({"ok": True})
+            elif parts == ["jobs"]:
+                self._send_json(
+                    {"jobs": [job.to_dict() for job in self.server.runner.jobs()]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._get_job(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                self._get_events(parts[1], query)
+            elif parts == ["store", "campaigns"]:
+                with self._open_store() as store:
+                    self._send_json({"campaigns": store.list_campaigns()})
+            elif len(parts) == 3 and parts[:2] == ["store", "campaigns"]:
+                self._get_campaign(parts[2])
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["store", "campaigns"]
+                and parts[3] == "runs"
+            ):
+                self._get_runs(parts[2], query)
+            elif parts == ["dashboard"]:
+                self._get_dashboard()
+            else:
+                self._error(404, f"no such endpoint: GET {url.path}")
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urllib.parse.urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts != ["jobs"]:
+            self._error(404, f"no such endpoint: POST {url.path}")
+            return
+        try:
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise JobError("body must be a JSON object")
+            kind = body.get("kind")
+            if not isinstance(kind, str):
+                raise JobError('body must carry a "kind" string')
+            params = body.get("params") or {}
+            if not isinstance(params, dict):
+                raise JobError('"params" must be a JSON object')
+            job = self.server.runner.submit(kind, params)
+        except JobError as error:
+            self._error(400, str(error))
+            return
+        self._send_json(job.to_dict(), 201)
+
+    # -------------------------------------------------------------- handlers --
+
+    def _resolve_job(self, job_id: str):
+        job = self.server.runner.get(job_id)
+        if job is None:
+            self._error(404, f"no job {job_id!r}")
+        return job
+
+    def _get_job(self, job_id: str) -> None:
+        job = self._resolve_job(job_id)
+        if job is not None:
+            self._send_json(job.to_dict())
+
+    def _get_events(self, job_id: str, query: Dict[str, str]) -> None:
+        from ..telemetry.stream import tail_jsonl
+
+        job = self._resolve_job(job_id)
+        if job is None:
+            return
+        try:
+            offset = int(query.get("offset", 0))
+        except ValueError:
+            self._error(400, "offset must be an integer")
+            return
+        follow = query.get("follow") in ("1", "true", "yes")
+        if not follow:
+            offset, events = tail_jsonl(job.events_path, offset)
+            body = "".join(
+                json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+                for event in events
+            ).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Events-Offset", str(offset))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        # Follow mode: stream appended lines until the job is terminal.
+        # No Content-Length — HTTP/1.0 close-at-end delimits the body.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        while True:
+            offset, events = tail_jsonl(job.events_path, offset)
+            for event in events:
+                line = json.dumps(
+                    event, sort_keys=True, separators=(",", ":")
+                )
+                self.wfile.write((line + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if job.terminal and not events:
+                return
+            if not events:
+                time.sleep(_FOLLOW_POLL_S)
+
+    def _match_campaign(self, store: CampaignStore, key_prefix: str):
+        matches = [
+            summary
+            for summary in store.list_campaigns()
+            if summary["campaign_key"].startswith(key_prefix)
+        ]
+        if not matches:
+            self._error(404, f"no campaign matching {key_prefix!r}")
+            return None
+        if len(matches) > 1:
+            self._error(
+                400,
+                f"campaign key prefix {key_prefix!r} is ambiguous "
+                f"({len(matches)} matches)",
+            )
+            return None
+        return matches[0]
+
+    def _get_campaign(self, key_prefix: str) -> None:
+        with self._open_store() as store:
+            summary = self._match_campaign(store, key_prefix)
+            if summary is None:
+                return
+            key = summary["campaign_key"]
+            summary = dict(summary)
+            summary["pending"] = len(store.pending_cells(key))
+            self._send_json(summary)
+
+    def _get_runs(self, key_prefix: str, query: Dict[str, str]) -> None:
+        with self._open_store() as store:
+            summary = self._match_campaign(store, key_prefix)
+            if summary is None:
+                return
+            try:
+                limit = (
+                    int(query["limit"]) if "limit" in query else None
+                )
+                seed = int(query["seed"]) if "seed" in query else None
+            except ValueError:
+                self._error(400, "limit/seed must be integers")
+                return
+            records = store.query_records(
+                summary["campaign_key"],
+                run_class=query.get("class"),
+                model=query.get("model"),
+                seed=seed,
+                limit=limit,
+            )
+            self._send_json({"runs": records, "count": len(records)})
+
+    def _get_dashboard(self) -> None:
+        with self._open_store() as store:
+            page = render_dashboard(store)
+        body = page.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    *,
+    work_dir: str = "repro-service",
+    store_path: Optional[str] = None,
+    quiet: bool = True,
+) -> ReproHTTPServer:
+    """Build the service (bound but not serving; call ``serve_forever``).
+
+    ``port=0`` binds an ephemeral port (see ``server_address[1]``) —
+    the form the tests use.
+    """
+    runner = JobRunner(work_dir, store_path)
+    return ReproHTTPServer((host, port), runner, quiet=quiet)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    *,
+    work_dir: str = "repro-service",
+    store_path: Optional[str] = None,
+    quiet: bool = True,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` entry)."""
+    server = create_server(
+        host, port, work_dir=work_dir, store_path=store_path, quiet=quiet
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro service on http://{bound_host}:{bound_port}")
+    print(f"  store:    {server.runner.store_path}")
+    print(f"  work dir: {server.runner.work_dir}")
+    print("  POST /jobs · GET /jobs/<id>/events?follow=1 · GET /dashboard")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.runner.shutdown()
+        server.server_close()

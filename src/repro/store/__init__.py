@@ -1,0 +1,54 @@
+"""Persistent, queryable campaign results (the service's memory).
+
+ParaDox's headline numbers are statistical: they emerge from sweeps
+over seeds × voltages × fault models × chip maps far too large to rerun
+on a whim or hold in one process's memory.  This package makes such
+campaigns durable and addressable:
+
+* :mod:`repro.store.runkey` — content-addressed identity: a stable
+  SHA-256 over the canonicalised cell spec, so "has this exact
+  simulation already run?" is a key lookup, resume is provably
+  bit-identical, and shards partition deterministically.
+* :mod:`repro.store.schema` — the WAL-mode SQLite schema and its
+  append-only, versioned migration chain.
+* :mod:`repro.store.store` — :class:`CampaignStore`: incremental
+  per-run writes, pending/completed queries, and shard merging.
+* :mod:`repro.store.dashboard` — the self-contained HTML dashboard
+  (``repro report``): outcome taxonomy, coverage heatmaps, MTTF and
+  degradation curves.
+
+See ``docs/SERVICE.md`` for the schema, the run-key canonicalisation
+rules, and the server API built on top of this package.
+"""
+
+from .dashboard import render_dashboard, write_dashboard
+from .runkey import (
+    CODE_IDENTITY,
+    campaign_key,
+    canonical_cell,
+    canonical_spec,
+    parse_shard,
+    run_key,
+    shard_of,
+)
+from .schema import SCHEMA_VERSION, SchemaTooNew, migrate, schema_version
+from .store import CampaignStore, StoreError, open_store
+
+__all__ = [
+    "CODE_IDENTITY",
+    "CampaignStore",
+    "SCHEMA_VERSION",
+    "SchemaTooNew",
+    "StoreError",
+    "campaign_key",
+    "canonical_cell",
+    "canonical_spec",
+    "migrate",
+    "open_store",
+    "parse_shard",
+    "render_dashboard",
+    "run_key",
+    "schema_version",
+    "shard_of",
+    "write_dashboard",
+]

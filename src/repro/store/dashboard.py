@@ -1,0 +1,486 @@
+"""Static HTML dashboard rendered from a campaign store.
+
+``repro report <store.sqlite>`` emits one self-contained page — inline
+CSS and SVG, no scripts, no external assets — summarising every
+campaign in the store:
+
+* stat tiles (grid size, completion, failure counts);
+* the outcome taxonomy as labelled stacked bars, overall and per
+  fault-model mix;
+* a seed × rate (or voltage) coverage heatmap, one cell per grid
+  point, pending cells in neutral gray;
+* mean-instructions-to-failure and degradation-share curves over the
+  rate axis.
+
+Color carries outcome *state*, so classes wear the fixed status
+palette (good/warning/serious/critical) rather than categorical series
+hues; ``crash`` — a tooling failure, not a simulation outcome — is a
+deliberately chroma-less ink.  Status colors never appear without a
+text label, every chart has a legend, and the counts table mirrors all
+of it, so no reading depends on color alone (two of the light-mode
+status steps sit below 3:1 contrast by design).  Dark mode is its own
+selected set of steps via CSS custom properties, not an automatic flip.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .store import CampaignStore
+
+#: Taxonomy order: also the severity ranking (later = worse) used when a
+#: heatmap cell aggregates several runs.
+CLASS_ORDER = (
+    "masked",
+    "detected_recovered",
+    "degraded",
+    "hang",
+    "sdc",
+    "crash",
+)
+
+#: Outcome-class color roles (light, dark): status palette steps, plus
+#: series blue for the benign recovered class and neutral ink for crash.
+CLASS_COLORS: Dict[str, Tuple[str, str]] = {
+    "masked": ("#0ca30c", "#0ca30c"),  # status good
+    "detected_recovered": ("#2a78d6", "#3987e5"),  # benign: series blue
+    "degraded": ("#fab219", "#fab219"),  # status warning
+    "hang": ("#ec835a", "#ec835a"),  # status serious
+    "sdc": ("#d03b3b", "#d03b3b"),  # status critical
+    "crash": ("#52514e", "#c3c2b7"),  # tooling failure: neutral ink
+}
+
+_PENDING = ("#e1e0d9", "#2c2c2a")  # gridline hairline: "not yet run"
+
+_FAILURE_CLASSES = frozenset({"hang", "sdc", "crash"})
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; background: var(--page);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--ink);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb; --ink: #0b0b0b;
+  --ink-2: #52514e; --muted: #898781; --grid: #e1e0d9;
+  --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --pending: #e1e0d9;
+  --c-masked: #0ca30c; --c-detected_recovered: #2a78d6;
+  --c-degraded: #fab219; --c-hang: #ec835a; --c-sdc: #d03b3b;
+  --c-crash: #52514e;
+  max-width: 1080px; margin: 0 auto; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19; --ink: #ffffff;
+    --ink-2: #c3c2b7; --muted: #898781; --grid: #2c2c2a;
+    --axis: #383835; --border: rgba(255,255,255,0.10);
+    --pending: #2c2c2a;
+    --c-detected_recovered: #3987e5; --c-crash: #c3c2b7;
+  }
+}
+h1 { font-size: 20px; font-weight: 650; margin: 8px 0 2px; }
+h2 { font-size: 15px; font-weight: 650; margin: 24px 0 8px; }
+h3 { font-size: 13px; font-weight: 600; margin: 14px 0 6px; color: var(--ink-2); }
+.sub { color: var(--ink-2); font-size: 12.5px; margin: 0 0 16px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 14px 0;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 10px 0 4px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 108px;
+}
+.tile .v { font-size: 22px; font-weight: 650; }
+.tile .k { font-size: 11.5px; color: var(--ink-2); margin-top: 2px; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px; font-size: 12px;
+  color: var(--ink-2); margin: 6px 0 2px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+table { border-collapse: collapse; font-size: 12.5px; margin-top: 8px; }
+th, td { text-align: right; padding: 3px 12px 3px 0;
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+tbody tr { border-top: 1px solid var(--grid); }
+svg text { fill: var(--muted); font-size: 11px;
+  font-variant-numeric: tabular-nums; }
+svg .lbl { fill: var(--ink-2); }
+.note { color: var(--muted); font-size: 12px; }
+code { font-size: 11.5px; color: var(--ink-2); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _class_label(name: str) -> str:
+    return name.replace("_", " ")
+
+
+def _fmt_rate(rate: float) -> str:
+    return f"{rate:.0e}" if rate < 0.01 else f"{rate:g}"
+
+
+def _severity(name: str) -> int:
+    return CLASS_ORDER.index(name) if name in CLASS_ORDER else len(CLASS_ORDER)
+
+
+def _legend(classes: Sequence[str], pending: bool = False) -> str:
+    items = [
+        f'<span><span class="sw" style="background:var(--c-{name})"></span>'
+        f"{_esc(_class_label(name))}</span>"
+        for name in classes
+    ]
+    if pending:
+        items.append(
+            '<span><span class="sw" style="background:var(--pending)"></span>'
+            "pending</span>"
+        )
+    return f'<div class="legend">{"".join(items)}</div>'
+
+
+def _stacked_bar(
+    label: str, counts: Mapping[str, int], total: int, width: int = 640
+) -> str:
+    """One labelled horizontal stacked bar with 2px surface gaps."""
+    bar_h, x = 18, 0.0
+    segments: List[str] = []
+    shown = [name for name in CLASS_ORDER if counts.get(name, 0)]
+    for name in shown:
+        count = counts[name]
+        seg_w = width * count / max(total, 1)
+        inner = max(seg_w - 2.0, 0.5)  # 2px gap to the next segment
+        share = 100.0 * count / max(total, 1)
+        segments.append(
+            f'<rect x="{x:.1f}" y="0" width="{inner:.1f}" height="{bar_h}" '
+            f'rx="4" fill="var(--c-{name})">'
+            f"<title>{_esc(label)} — {_esc(_class_label(name))}: "
+            f"{count} runs ({share:.1f}%)</title></rect>"
+        )
+        x += seg_w
+    if not segments:
+        segments.append(
+            f'<rect x="0" y="0" width="{width}" height="{bar_h}" rx="4" '
+            f'fill="var(--pending)"><title>{_esc(label)}: no runs recorded'
+            "</title></rect>"
+        )
+    return (
+        f'<div style="display:flex;align-items:center;gap:10px;margin:4px 0">'
+        f'<span style="font-size:12px;color:var(--ink-2);width:120px;'
+        f'text-align:right">{_esc(label)}</span>'
+        f'<svg width="{width}" height="{bar_h}" role="img" '
+        f'aria-label="{_esc(label)} outcome breakdown">'
+        f'{"".join(segments)}</svg>'
+        f'<span style="font-size:12px;color:var(--muted)">{total}</span>'
+        f"</div>"
+    )
+
+
+def _counts_table(
+    by_model: Mapping[str, Mapping[str, int]], overall: Mapping[str, int]
+) -> str:
+    head = "".join(
+        f"<th>{_esc(_class_label(name))}</th>" for name in CLASS_ORDER
+    )
+    rows = []
+    for model in sorted(by_model):
+        counts = by_model[model]
+        cells = "".join(
+            f"<td>{counts.get(name, 0)}</td>" for name in CLASS_ORDER
+        )
+        rows.append(f"<tr><td>{_esc(model)}</td>{cells}</tr>")
+    total_cells = "".join(
+        f"<td>{overall.get(name, 0)}</td>" for name in CLASS_ORDER
+    )
+    rows.append(f"<tr><td><b>all</b></td>{total_cells}</tr>")
+    return (
+        f'<table><thead><tr><th>model</th>{head}</tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def _heatmap(
+    records: Sequence[Mapping[str, Any]],
+    pending_payloads: Sequence[Mapping[str, Any]],
+    y_field: str,
+) -> str:
+    """Seed × rate/voltage coverage map, one cell per grid point.
+
+    A cell holding several runs (model mixes or chip seeds sharing one
+    (seed, y) point) takes its *worst* class, so green means every run
+    at that point was clean.
+    """
+    seeds = sorted(
+        {int(r["seed"]) for r in records}
+        | {int(p["seed"]) for p in pending_payloads}
+    )
+    y_values = sorted(
+        {float(r[y_field]) for r in records if r.get(y_field) is not None}
+        | {
+            float(p[y_field])
+            for p in pending_payloads
+            if p.get(y_field) is not None
+        }
+    )
+    if not seeds or not y_values:
+        return '<p class="note">no grid to map.</p>'
+    worst: Dict[Tuple[int, float], str] = {}
+    for record in records:
+        if record.get(y_field) is None:
+            continue
+        point = (int(record["seed"]), float(record[y_field]))
+        name = record["run_class"]
+        if point not in worst or _severity(name) > _severity(worst[point]):
+            worst[point] = name
+    cell, gap, left, top = 16, 2, 64, 6
+    width = left + len(seeds) * (cell + gap) + 10
+    height = top + len(y_values) * (cell + gap) + 26
+    parts: List[str] = []
+    for yi, y_value in enumerate(y_values):
+        y_px = top + yi * (cell + gap)
+        parts.append(
+            f'<text x="{left - 8}" y="{y_px + cell - 4}" '
+            f'text-anchor="end">{_esc(_fmt_rate(y_value))}</text>'
+        )
+        for xi, seed in enumerate(seeds):
+            x_px = left + xi * (cell + gap)
+            name = worst.get((seed, y_value))
+            fill = f"var(--c-{name})" if name else "var(--pending)"
+            state = _class_label(name) if name else "pending"
+            parts.append(
+                f'<rect x="{x_px}" y="{y_px}" width="{cell}" height="{cell}" '
+                f'rx="3" fill="{fill}"><title>seed {seed}, {y_field} '
+                f"{_fmt_rate(y_value)}: {_esc(state)}</title></rect>"
+            )
+    step = max(1, len(seeds) // 16)
+    for xi, seed in enumerate(seeds):
+        if xi % step:
+            continue
+        x_px = left + xi * (cell + gap) + cell / 2
+        parts.append(
+            f'<text x="{x_px}" y="{height - 8}" text-anchor="middle">'
+            f"{seed}</text>"
+        )
+    axis_note = "voltage (V)" if y_field == "voltage" else "fault rate"
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="coverage heatmap, seed by {axis_note}">'
+        f'{"".join(parts)}</svg>'
+        f'<p class="note">rows: {axis_note}; columns: seed; worst class '
+        f"per cell.</p>"
+    )
+
+
+def _line_chart(
+    title: str,
+    points: Sequence[Tuple[float, float]],
+    *,
+    y_label: str,
+    y_format: str = "{:.0f}",
+) -> str:
+    """One single-series 2px line with 8px markers over a log-ish rate axis."""
+    if len(points) < 2:
+        return (
+            f"<h3>{_esc(title)}</h3>"
+            f'<p class="note">needs at least two rate points '
+            f"({len(points)} available).</p>"
+        )
+    width, height, left, right, top, bottom = 420, 170, 52, 14, 14, 30
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(max(ys), 1e-9)
+
+    def px(x: float) -> float:
+        if x_hi == x_lo:
+            return left + (width - left - right) / 2
+        return left + (width - left - right) * (x - x_lo) / (x_hi - x_lo)
+
+    def py(y: float) -> float:
+        return top + (height - top - bottom) * (1 - (y - y_lo) / (y_hi - y_lo))
+
+    parts = []
+    for frac in (0.0, 0.5, 1.0):
+        y_val = y_lo + frac * (y_hi - y_lo)
+        y_px = py(y_val)
+        parts.append(
+            f'<line x1="{left}" y1="{y_px:.1f}" x2="{width - right}" '
+            f'y2="{y_px:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{left - 6}" y="{y_px + 4:.1f}" text-anchor="end">'
+            f"{_esc(y_format.format(y_val))}</text>"
+        )
+    for x in sorted(set(xs)):
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{height - 10}" text-anchor="middle">'
+            f"{_esc(_fmt_rate(x))}</text>"
+        )
+    path = " ".join(
+        f"{'M' if i == 0 else 'L'} {px(x):.1f} {py(y):.1f}"
+        for i, (x, y) in enumerate(points)
+    )
+    parts.append(
+        f'<path d="{path}" fill="none" stroke="var(--c-detected_recovered)" '
+        f'stroke-width="2" stroke-linejoin="round"/>'
+    )
+    for x, y in points:
+        parts.append(
+            f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="4" '
+            f'fill="var(--c-detected_recovered)" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>rate {_fmt_rate(x)}: '
+            f"{_esc(y_format.format(y))} {_esc(y_label)}</title></circle>"
+        )
+    return (
+        f"<h3>{_esc(title)}</h3>"
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="{_esc(title)}">{"".join(parts)}</svg>'
+    )
+
+
+def _curves(records: Sequence[Mapping[str, Any]]) -> str:
+    """MTTF and degradation curves over the rate axis."""
+    by_rate: Dict[float, List[Mapping[str, Any]]] = {}
+    for record in records:
+        by_rate.setdefault(float(record["rate"]), []).append(record)
+    mttf_points: List[Tuple[float, float]] = []
+    degraded_points: List[Tuple[float, float]] = []
+    for rate in sorted(by_rate):
+        rate_records = by_rate[rate]
+        failures = [
+            float(r["instructions"])
+            for r in rate_records
+            if r["run_class"] in _FAILURE_CLASSES
+        ]
+        if failures:
+            mttf_points.append((rate, sum(failures) / len(failures)))
+        not_clean = sum(1 for r in rate_records if r["run_class"] != "masked")
+        degraded_points.append(
+            (rate, 100.0 * not_clean / max(len(rate_records), 1))
+        )
+    return (
+        '<div style="display:flex;flex-wrap:wrap;gap:24px">'
+        f"<div>{_line_chart('Mean instructions to failure', mttf_points, y_label='instructions')}</div>"
+        f"<div>{_line_chart('Runs needing intervention', degraded_points, y_label='% of runs', y_format='{:.0f}%')}</div>"
+        "</div>"
+        '<p class="note">left: mean instructions completed by failing runs '
+        "(hang/sdc/crash) per rate; right: share of runs not fully masked "
+        "per rate.</p>"
+    )
+
+
+def _campaign_section(store: CampaignStore, summary: Mapping[str, Any]) -> str:
+    key = summary["campaign_key"]
+    spec = summary["spec"]
+    records = store.query_records(key)
+    recorded_keys = {r["run_key"] for r in records}
+    pending_payloads = [
+        cell["payload"]
+        for cell in store.cells(key)
+        if cell["run_key"] not in recorded_keys
+    ]
+    total = summary["total_cells"]
+    counts = summary["counts"]
+    by_model: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        model_counts = by_model.setdefault(record["model"], {})
+        model_counts[record["run_class"]] = (
+            model_counts.get(record["run_class"], 0) + 1
+        )
+    voltages = [r.get("voltage") for r in records]
+    y_field = (
+        "voltage" if voltages and all(v is not None for v in voltages) else "rate"
+    )
+    done = len(records)
+    failures = sum(counts.get(name, 0) for name in _FAILURE_CLASSES)
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+        for value, label in (
+            (total, "grid cells"),
+            (done, "recorded"),
+            (f"{100.0 * done / max(total, 1):.0f}%", "complete"),
+            (counts.get("sdc", 0), "sdc"),
+            (failures, "failures (hang+sdc+crash)"),
+            (counts.get("crash", 0), "crashes (bugs)"),
+        )
+    )
+    bars = [_stacked_bar("all models", counts, max(done, 1))]
+    for model in sorted(by_model):
+        model_total = sum(by_model[model].values())
+        bars.append(_stacked_bar(model, by_model[model], model_total))
+    shown_classes = [
+        name for name in CLASS_ORDER if counts.get(name, 0)
+    ] or list(CLASS_ORDER)
+    return (
+        f'<div class="card">'
+        f"<h2>{_esc(spec.get('workload', '?'))} campaign "
+        f"<code>{_esc(key[:12])}</code></h2>"
+        f'<p class="sub">rates {_esc(spec.get("rates"))} · models '
+        f"{_esc(spec.get('models'))} · seeds {_esc(spec.get('seeds'))} · "
+        f"chip seeds {_esc(spec.get('chip_seeds', 1))} · dvs "
+        f"{_esc(spec.get('dvs'))}</p>"
+        f'<div class="tiles">{tiles}</div>'
+        f"<h3>Outcome taxonomy</h3>{_legend(shown_classes)}{''.join(bars)}"
+        f"{_counts_table(by_model, counts)}"
+        f"<h3>Coverage (seed × {_esc(y_field)})</h3>"
+        f"{_legend(shown_classes, pending=bool(pending_payloads))}"
+        f"{_heatmap(records, pending_payloads, y_field)}"
+        f"{_curves(records)}"
+        f"</div>"
+    )
+
+
+def render_dashboard(
+    store: CampaignStore, campaign_key: Optional[str] = None
+) -> str:
+    """Render the store (or one campaign of it) as a standalone HTML page."""
+    summaries = store.list_campaigns()
+    if campaign_key is not None:
+        summaries = [
+            s for s in summaries if s["campaign_key"].startswith(campaign_key)
+        ]
+        if not summaries:
+            raise KeyError(f"no campaign matching {campaign_key!r} in store")
+    sections = "".join(
+        _campaign_section(store, summary) for summary in summaries
+    )
+    if not sections:
+        sections = '<div class="card"><p class="note">store is empty.</p></div>'
+    total_records = sum(s["recorded"] for s in summaries)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        "<title>repro campaign dashboard</title>"
+        f"<style>{_CSS}</style></head>"
+        '<body><div class="viz-root">'
+        "<h1>ParaDox injection-campaign dashboard</h1>"
+        f'<p class="sub">{len(summaries)} campaign(s), {total_records} '
+        f"recorded runs · store <code>{_esc(store.path)}</code> · schema "
+        f"v{store.version}</p>"
+        f"{sections}"
+        "</div></body></html>\n"
+    )
+
+
+def write_dashboard(
+    store_path: str, out_path: str, campaign_key: Optional[str] = None
+) -> int:
+    """Render ``store_path`` to ``out_path`` atomically; returns #campaigns."""
+    from ..ioutil import atomic_write_text
+
+    with CampaignStore(store_path) as store:
+        page = render_dashboard(store, campaign_key)
+        count = len(store.list_campaigns())
+    atomic_write_text(out_path, page)
+    return count
+
+
+def dashboard_json(store: CampaignStore) -> List[Dict[str, Any]]:
+    """The dashboard's underlying numbers, for the service's JSON API."""
+    return json.loads(json.dumps(store.list_campaigns()))

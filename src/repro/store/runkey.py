@@ -1,0 +1,120 @@
+"""Content-addressed identity for campaign cells and campaigns.
+
+A *cell* is one point of a campaign grid — everything that determines
+one simulation's result.  Its **run key** is the SHA-256 of the
+canonicalised cell spec, so identity is a pure function of content:
+
+* a re-launched campaign recognises completed cells in the store by key
+  and skips them, provably producing the same record an uninterrupted
+  run would have;
+* two machines sharding one campaign agree on which cells belong to
+  which shard without coordination (``shard_of``);
+* merged stores deduplicate naturally (``INSERT OR IGNORE`` on the key).
+
+Canonicalisation rules (pinned by golden-hash tests):
+
+* exactly the fields in :data:`CELL_FIELDS`, in sorted-key compact JSON
+  (``sort_keys=True``, ``separators=(",", ":")``);
+* numeric fields normalised (``seed``/``chip_seed`` to int, ``scale``/
+  ``rate``/``initial_margin``/``voltage`` to float — Python float repr
+  is shortest-roundtrip and platform-stable);
+* absent optional fields serialised as ``null``, so "no pinned voltage"
+  and a missing key hash identically;
+* positional bookkeeping (``run_id``) excluded — a cell's identity must
+  not depend on where the grid enumeration placed it;
+* a code-identity salt (:data:`CODE_IDENTITY`) folded in.  Bump it when
+  simulation semantics change such that old results are no longer what
+  the current code would produce; every stored record is then invisible
+  to resume and re-runs from scratch.
+
+Campaign keys hash the spec the same way, minus the fields that cannot
+change results (``workers``, ``timeout_s``) — so a campaign resumed at a
+different ``--jobs`` width or watchdog deadline is the *same* campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Tuple
+
+#: Salt folded into every run key.  Bump the trailing version when the
+#: simulator's semantics change incompatibly (stored records would no
+#: longer match what current code produces).
+CODE_IDENTITY = "paradox-repro/cell/v1"
+
+#: Cell-spec fields that participate in the run key, with normalisers.
+CELL_FIELDS: Tuple[Tuple[str, Any], ...] = (
+    ("workload", str),
+    ("scale", float),
+    ("seed", int),
+    ("rate", float),
+    ("model", str),
+    ("dvs", bool),
+    ("initial_margin", float),
+    ("chip_seed", int),
+    ("voltage", float),  # optional: None stays None
+    ("tracing", bool),
+    ("hook", str),  # optional test drill: None stays None
+)
+
+#: Spec fields excluded from the campaign key: they change how fast or
+#: how patiently a campaign runs, never what any cell computes.
+EXECUTION_ONLY_SPEC_FIELDS = ("workers", "timeout_s")
+
+
+def _canonical_json(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalise one expanded campaign payload to its canonical cell spec."""
+    cell: Dict[str, Any] = {"identity": CODE_IDENTITY}
+    for name, cast in CELL_FIELDS:
+        value = payload.get(name)
+        cell[name] = None if value is None else cast(value)
+    return cell
+
+
+def run_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest identifying one campaign cell."""
+    blob = _canonical_json(canonical_cell(payload))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def canonical_spec(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
+    """A campaign spec dict minus execution-only fields, JSON-normalised."""
+    spec: Dict[str, Any] = {}
+    for name, value in spec_dict.items():
+        if name in EXECUTION_ONLY_SPEC_FIELDS:
+            continue
+        if name == "hooks":
+            value = {str(key): hook for key, hook in dict(value).items()}
+        spec[name] = value
+    spec["identity"] = CODE_IDENTITY
+    return spec
+
+
+def campaign_key(spec_dict: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest identifying one campaign (grid + semantics)."""
+    blob = _canonical_json(canonical_spec(spec_dict))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Deterministic shard index (0-based) of a run key among ``shards``."""
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return int(key[:16], 16) % shards
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``K/N`` (1-based K) into a ``(k, n)`` tuple, validated."""
+    try:
+        k_text, n_text = text.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(f"--shard expects K/N (e.g. 2/4), got {text!r}")
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(f"--shard K/N requires 1 <= K <= N, got {text!r}")
+    return k, n

@@ -1,0 +1,150 @@
+"""Versioned SQLite schema for the campaign store.
+
+The schema version lives in ``PRAGMA user_version``; opening a store
+applies, inside one transaction per step, every migration between the
+file's version and :data:`SCHEMA_VERSION`.  Migrations are append-only:
+a released step is never edited, only followed — that is what makes a
+store written by an older build readable (and upgradeable) by this one,
+and what the migration tests pin.
+
+Tables (current version):
+
+* ``meta`` — free-form key/value (creation timestamp, code identity).
+* ``campaigns`` — one row per registered campaign: its content hash
+  (``campaign_key``), the full spec JSON, and the grid size.
+* ``cells`` — the *planned* grid: every cell of every campaign, present
+  from registration time so coverage queries can tell "pending" from
+  "was never part of the grid".  Keyed by the content-addressed run key.
+* ``run_records`` — one row per *completed* cell: the classification
+  plus the full record JSON.  A cell with no record is pending.
+* ``metrics_snapshots`` — per-run telemetry metrics (traced campaigns).
+* ``artifacts`` — opaque per-run artifacts, e.g. the raw trace event
+  stream (added in v2).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, List
+
+#: Current schema version (``PRAGMA user_version`` of a fresh store).
+SCHEMA_VERSION = 2
+
+_V1_STATEMENTS = (
+    """
+    CREATE TABLE meta (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE campaigns (
+        campaign_key TEXT PRIMARY KEY,
+        spec_json TEXT NOT NULL,
+        created_at TEXT NOT NULL,
+        total_cells INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE cells (
+        run_key TEXT PRIMARY KEY,
+        campaign_key TEXT NOT NULL REFERENCES campaigns(campaign_key),
+        run_id INTEGER NOT NULL,
+        payload_json TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE run_records (
+        run_key TEXT PRIMARY KEY REFERENCES cells(run_key),
+        campaign_key TEXT NOT NULL,
+        run_id INTEGER NOT NULL,
+        run_class TEXT NOT NULL,
+        seed INTEGER NOT NULL,
+        rate REAL NOT NULL,
+        model TEXT NOT NULL,
+        workload TEXT NOT NULL,
+        chip_seed INTEGER NOT NULL,
+        outcome TEXT,
+        detail TEXT NOT NULL,
+        recoveries INTEGER NOT NULL,
+        faults_injected INTEGER NOT NULL,
+        instructions INTEGER NOT NULL,
+        duration_s REAL NOT NULL,
+        record_json TEXT NOT NULL,
+        recorded_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE metrics_snapshots (
+        run_key TEXT PRIMARY KEY REFERENCES run_records(run_key),
+        metrics_json TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_cells_campaign ON cells(campaign_key, run_id)",
+    "CREATE INDEX idx_records_campaign ON run_records(campaign_key, run_id)",
+    "CREATE INDEX idx_records_class ON run_records(campaign_key, run_class)",
+)
+
+_V2_STATEMENTS = (
+    # The supply voltage a cell pinned (NULL = derived from DVS/rate):
+    # queryable directly so dashboards can build voltage axes without
+    # parsing payload JSON.
+    "ALTER TABLE run_records ADD COLUMN voltage REAL",
+    """
+    CREATE TABLE artifacts (
+        run_key TEXT NOT NULL REFERENCES run_records(run_key),
+        kind TEXT NOT NULL,
+        content TEXT NOT NULL,
+        PRIMARY KEY (run_key, kind)
+    )
+    """,
+)
+
+
+def _migrate_v1(conn: sqlite3.Connection) -> None:
+    for statement in _V1_STATEMENTS:
+        conn.execute(statement)
+
+
+def _migrate_v2(conn: sqlite3.Connection) -> None:
+    for statement in _V2_STATEMENTS:
+        conn.execute(statement)
+
+
+#: Append-only migration chain; ``MIGRATIONS[i]`` takes a store from
+#: version ``i`` to ``i + 1``.
+MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [
+    _migrate_v1,
+    _migrate_v2,
+]
+
+assert len(MIGRATIONS) == SCHEMA_VERSION
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(conn: sqlite3.Connection, *, upto: int = SCHEMA_VERSION) -> int:
+    """Bring ``conn`` to schema version ``upto``; returns the new version.
+
+    Each step runs in its own transaction, so an interrupt mid-migration
+    leaves the store at a consistent (older) version, never in between.
+    """
+    current = schema_version(conn)
+    if current > upto:
+        raise SchemaTooNew(
+            f"store is schema v{current}; this build supports up to v{upto} "
+            "(upgrade the repro package to open it)"
+        )
+    while current < upto:
+        step = MIGRATIONS[current]
+        with conn:  # one transaction per migration step
+            step(conn)
+            current += 1
+            conn.execute(f"PRAGMA user_version = {current}")
+    return current
+
+
+class SchemaTooNew(RuntimeError):
+    """The store was written by a newer build than this one."""

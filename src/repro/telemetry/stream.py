@@ -1,0 +1,95 @@
+"""Append-and-tail JSONL streams (live telemetry for long-lived jobs).
+
+The exporters in this package serialise a *finished* run's events.  A
+long-lived campaign needs the dual: an append-only JSONL file one
+process writes as events happen, which any number of readers can tail
+incrementally — the transport behind ``repro serve``'s
+``/jobs/<id>/events`` endpoint.
+
+Two invariants make tailing safe while the writer is alive:
+
+* the writer flushes a whole line (object + newline) per event, so a
+  reader never sees half an object *followed by EOF mid-file*;
+* the reader only consumes lines terminated by ``\\n`` and re-reads
+  from the byte offset it stopped at, so a line raced mid-write is
+  simply picked up whole on the next poll.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+
+class JsonlAppender:
+    """Append JSON objects to a file, one flushed line per object."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, payload: Mapping[str, Any]) -> None:
+        line = json.dumps(dict(payload), sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def tail_jsonl(
+    path: str, offset: int = 0
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """Read complete JSONL lines appended at/after byte ``offset``.
+
+    Returns ``(new_offset, objects)``; ``new_offset`` is the byte just
+    past the last *complete* line consumed — hand it back on the next
+    call to stream a growing file.  A missing file reads as empty (the
+    writer may not have produced its first event yet).  A torn final
+    line (no trailing newline yet) is left for the next poll; a line
+    that is complete but unparsable is surfaced as a ``{"kind":
+    "invalid"}`` object rather than silently dropped.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return offset, []
+    with handle:
+        handle.seek(offset)
+        blob = handle.read()
+    objects: List[Dict[str, Any]] = []
+    consumed = 0
+    while True:
+        newline = blob.find(b"\n", consumed)
+        if newline < 0:
+            break
+        line = blob[consumed:newline]
+        consumed = newline + 1
+        if not line.strip():
+            continue
+        try:
+            objects.append(json.loads(line.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError):
+            objects.append(
+                {"kind": "invalid", "raw": line.decode("utf-8", "replace")}
+            )
+    return offset + consumed, objects
+
+
+def read_jsonl_tail(
+    path: str, limit: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Convenience: every complete object currently in ``path``."""
+    _, objects = tail_jsonl(path, 0)
+    if limit is not None:
+        objects = objects[-limit:]
+    return objects

@@ -1,0 +1,236 @@
+"""Store-backed campaigns: interrupt/resume bit-identity, sharding, CLI."""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.resilience import CampaignSpec, run_campaign
+from repro.store import CampaignStore, StoreError, campaign_key
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def small_spec(workers=1, seeds=4):
+    return CampaignSpec(
+        workload="bitcount",
+        scale=0.1,
+        seeds=seeds,
+        rates=(1e-4,),
+        models=("transient",),
+        timeout_s=60.0,
+        workers=workers,
+    )
+
+
+def canonical(report):
+    return json.dumps(report.to_dict(canonical=True), sort_keys=True)
+
+
+class Interrupter:
+    """Progress callback that raises after ``after`` classified runs."""
+
+    def __init__(self, after):
+        self.after = after
+        self.seen = 0
+
+    def __call__(self, record):
+        self.seen += 1
+        if self.seen >= self.after:
+            raise KeyboardInterrupt("simulated interrupt")
+
+
+class TestResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_interrupted_resume_is_canonically_identical(
+        self, tmp_path, workers
+    ):
+        reference = canonical(run_campaign(small_spec(workers=1)))
+
+        store = str(tmp_path / "store.sqlite")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                small_spec(workers=workers),
+                progress=Interrupter(after=2),
+                store_path=store,
+            )
+        with CampaignStore(store) as s:
+            key = campaign_key(small_spec().to_dict())
+            recorded = s.recorded_count(key)
+            assert 0 < recorded < 4  # genuinely interrupted mid-campaign
+        # Resume at a *different* worker width than the interrupted run.
+        resumed = run_campaign(
+            small_spec(workers=3 - workers), store_path=store, resume=True
+        )
+        assert canonical(resumed) == reference
+        with CampaignStore(store) as s:
+            assert s.pending_cells(key) == []
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        launches, cached = [], []
+        run_campaign(
+            small_spec(), store_path=store, on_start=launches.append
+        )
+        assert len(launches) == 4
+        launches.clear()
+        run_campaign(
+            small_spec(),
+            store_path=store,
+            resume=True,
+            on_start=launches.append,
+            on_cached=cached.append,
+        )
+        assert launches == []  # nothing re-executed
+        assert len(cached) == 4
+
+    def test_existing_records_without_resume_refused(self, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        run_campaign(small_spec(), store_path=store)
+        with pytest.raises(StoreError):
+            run_campaign(small_spec(), store_path=store)
+
+    def test_store_holds_report_equivalent_records(self, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        report = run_campaign(small_spec(), store_path=store)
+        with CampaignStore(store) as s:
+            key = campaign_key(small_spec().to_dict())
+            stored = s.load_records(key)
+        assert [r["seed"] for r in stored] == [r.seed for r in report.records]
+        assert [r["run_class"] for r in stored] == [
+            r.run_class.value for r in report.records
+        ]
+
+
+class TestSharding:
+    def test_shards_reassemble_the_full_campaign(self, tmp_path):
+        reference = canonical(run_campaign(small_spec(seeds=6)))
+        stores = []
+        for k in (1, 2):
+            store = str(tmp_path / f"shard{k}.sqlite")
+            stores.append(store)
+            run_campaign(
+                small_spec(seeds=6), store_path=store, shard=(k, 2)
+            )
+        merged = str(tmp_path / "merged.sqlite")
+        with CampaignStore(merged) as dest:
+            for store in stores:
+                dest.merge_from(store)
+            key = campaign_key(small_spec(seeds=6).to_dict())
+            assert dest.pending_cells(key) == []
+        resumed = run_campaign(
+            small_spec(seeds=6), store_path=merged, resume=True
+        )
+        assert canonical(resumed) == reference
+
+    def test_shards_execute_disjoint_cells(self, tmp_path):
+        seen = []
+        for k in (1, 2, 3):
+            report = run_campaign(
+                small_spec(seeds=6),
+                store_path=str(tmp_path / f"s{k}.sqlite"),
+                shard=(k, 3),
+            )
+            seen.extend(record.run_id for record in report.records)
+        assert sorted(seen) == list(range(6))
+
+
+class TestCampaignCLI:
+    def parse(self, *argv):
+        return build_parser().parse_args(["campaign", *argv])
+
+    def test_store_flags_parse(self):
+        args = self.parse("--store", "s.sqlite", "--resume", "--shard", "2/4")
+        assert args.store == "s.sqlite"
+        assert args.resume is True
+        assert args.shard == "2/4"
+
+    def test_resume_requires_store(self, capsys):
+        from repro.cli import cmd_campaign
+
+        with pytest.raises(SystemExit):
+            cmd_campaign(self.parse("--resume", "--smoke"))
+
+    def test_bad_shard_exits(self):
+        from repro.cli import cmd_campaign
+
+        with pytest.raises(SystemExit):
+            cmd_campaign(self.parse("--smoke", "--shard", "9/4"))
+
+
+CLI_GRID = [
+    "--workload", "bitcount", "--scale", "0.1", "--seeds", "8",
+    "--models", "transient", "--workers", "2", "--quiet",
+]
+
+
+def run_cli(*argv, check=True, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        check=check,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+class TestKillResume:
+    def recorded(self, store):
+        if not os.path.exists(store):
+            return 0
+        conn = sqlite3.connect(store)
+        try:
+            return int(
+                conn.execute("SELECT COUNT(*) FROM run_records").fetchone()[0]
+            )
+        except sqlite3.OperationalError:  # schema not created yet
+            return 0
+        finally:
+            conn.close()
+
+    def test_sigkill_resume_report_is_byte_identical(self, tmp_path):
+        ref_json = str(tmp_path / "ref.json")
+        run_cli(
+            "campaign", *CLI_GRID,
+            "--store", str(tmp_path / "ref.sqlite"), "--json", ref_json,
+        )
+
+        store = str(tmp_path / "store.sqlite")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", *CLI_GRID,
+             "--store", store],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if self.recorded(store) >= 1 or process.poll() is not None:
+                    break
+                time.sleep(0.005)
+            process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=30)
+
+        resumed_json = str(tmp_path / "resumed.json")
+        run_cli(
+            "campaign", *CLI_GRID,
+            "--store", store, "--resume", "--json", resumed_json,
+        )
+        with open(ref_json, "rb") as a, open(resumed_json, "rb") as b:
+            assert a.read() == b.read()

@@ -1,0 +1,229 @@
+"""The ``repro serve`` job service: HTTP API, streaming, store queries."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import create_server
+from repro.service.jobs import JobError, JobRunner, _campaign_spec
+
+CAMPAIGN_PARAMS = {
+    "workload": "bitcount",
+    "scale": 0.1,
+    "seeds": 2,
+    "rates": [1e-4],
+    "models": ["transient"],
+    "timeout_s": 60,
+    "workers": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    work_dir = tmp_path_factory.mktemp("service")
+    server = create_server("127.0.0.1", 0, work_dir=str(work_dir))
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.runner.shutdown()
+    server.shutdown()
+    server.server_close()
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=60) as resp:
+        return resp.status, resp.read().decode(), dict(resp.headers)
+
+
+def post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def wait_done(base, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = json.loads(get(base, f"/jobs/{job_id}")[1])
+        if job["state"] in ("done", "failed"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+def submit_campaign(base, params=None):
+    status, job = post(
+        base, "/jobs", {"kind": "campaign", "params": params or CAMPAIGN_PARAMS}
+    )
+    assert status == 201
+    return job
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self, service):
+        status, body = post(service, "/jobs", {"kind": "bake", "params": {}})
+        assert status == 400 and "bake" in body["error"]
+
+    def test_unknown_campaign_param_rejected(self, service):
+        status, body = post(
+            service, "/jobs", {"kind": "campaign", "params": {"bogus": 1}}
+        )
+        assert status == 400 and "bogus" in body["error"]
+
+    def test_bad_model_rejected_at_submission(self, service):
+        status, body = post(
+            service,
+            "/jobs",
+            {"kind": "campaign", "params": {"models": ["nope"]}},
+        )
+        assert status == 400
+
+    def test_non_json_body_rejected(self, service):
+        request = urllib.request.Request(
+            service + "/jobs", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_campaign_spec_helper_rejects_unknowns(self):
+        with pytest.raises(JobError):
+            _campaign_spec({"bogus": 1})
+
+
+class TestJobs:
+    def test_campaign_job_lifecycle(self, service):
+        job = submit_campaign(service)
+        assert job["state"] == "queued"
+        done = wait_done(service, job["job_id"])
+        assert done["state"] == "done", done["error"]
+        assert done["result"]["runs"] == 2
+        assert done["campaign_key"]
+        assert sum(done["result"]["counts"].values()) == 2
+
+    def test_events_tail_and_offset(self, service):
+        job = submit_campaign(service)
+        wait_done(service, job["job_id"])
+        _, body, headers = get(service, f"/jobs/{job['job_id']}/events")
+        kinds = [json.loads(line)["kind"] for line in body.splitlines()]
+        assert kinds[0] == "job_started"
+        assert kinds[-1] == "job_finished"
+        assert "run_classified" in kinds or "run_cached" in kinds
+        # Tailing again from the returned offset yields nothing new.
+        offset = headers["X-Events-Offset"]
+        _, rest, _ = get(
+            service, f"/jobs/{job['job_id']}/events?offset={offset}"
+        )
+        assert rest == ""
+
+    def test_resubmitted_campaign_resumes_from_store(self, service):
+        first = submit_campaign(service)
+        wait_done(service, first["job_id"])
+        second = submit_campaign(service)
+        done = wait_done(service, second["job_id"])
+        assert done["result"]["runs"] == 2
+        _, body, _ = get(service, f"/jobs/{second['job_id']}/events")
+        kinds = [json.loads(line)["kind"] for line in body.splitlines()]
+        assert "run_cached" in kinds
+        assert "run_started" not in kinds  # nothing re-executed
+
+    def test_follow_stream_terminates_with_job(self, service):
+        job = submit_campaign(service)
+        with urllib.request.urlopen(
+            service + f"/jobs/{job['job_id']}/events?follow=1", timeout=120
+        ) as resp:
+            kinds = [json.loads(line)["kind"] for line in resp]
+        assert kinds[-1] == "job_finished"
+
+    def test_jobs_listing(self, service):
+        job = submit_campaign(service)
+        wait_done(service, job["job_id"])
+        _, body, _ = get(service, "/jobs")
+        listed = [j["job_id"] for j in json.loads(body)["jobs"]]
+        assert job["job_id"] in listed
+
+    def test_unknown_job_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(service + "/jobs/deadbeef", timeout=30)
+        assert info.value.code == 404
+
+
+class TestStoreEndpoints:
+    def test_campaign_queries(self, service):
+        job = submit_campaign(service)
+        done = wait_done(service, job["job_id"])
+        key = done["campaign_key"]
+
+        _, body, _ = get(service, "/store/campaigns")
+        campaigns = json.loads(body)["campaigns"]
+        assert any(c["campaign_key"] == key for c in campaigns)
+
+        _, body, _ = get(service, f"/store/campaigns/{key[:12]}")
+        summary = json.loads(body)
+        assert summary["campaign_key"] == key
+        assert summary["pending"] == 0
+
+        _, body, _ = get(service, f"/store/campaigns/{key[:12]}/runs?limit=1")
+        runs = json.loads(body)
+        assert runs["count"] == 1
+        assert runs["runs"][0]["campaign_key"] == key
+
+        _, body, _ = get(
+            service, f"/store/campaigns/{key[:12]}/runs?class=masked"
+        )
+        for run in json.loads(body)["runs"]:
+            assert run["run_class"] == "masked"
+
+    def test_unknown_campaign_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(
+                service + "/store/campaigns/ffffffffffff", timeout=30
+            )
+        assert info.value.code == 404
+
+    def test_dashboard_renders(self, service):
+        job = submit_campaign(service)
+        wait_done(service, job["job_id"])
+        status, body, headers = get(service, "/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert "viz-root" in body and "masked" in body
+
+    def test_unknown_path_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(service + "/nope", timeout=30)
+        assert info.value.code == 404
+
+
+class TestRunner:
+    def test_runner_without_server(self, tmp_path):
+        runner = JobRunner(str(tmp_path / "work"))
+        job = runner.submit("campaign", CAMPAIGN_PARAMS)
+        deadline = time.monotonic() + 120
+        while not job.terminal and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert job.state == "done", job.error
+        assert job.result["runs"] == 2
+        runner.shutdown()
+
+    def test_submit_validates_before_enqueue(self, tmp_path):
+        runner = JobRunner(str(tmp_path / "work"))
+        with pytest.raises(JobError):
+            runner.submit("campaign", {"models": ["nope"]})
+        assert runner.jobs() == []
+        runner.shutdown()
