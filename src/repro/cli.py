@@ -21,6 +21,13 @@ Commands:
 * ``report`` — render a campaign store as a static HTML dashboard.
 * ``store`` — inspect (``ls``) or consolidate (``merge``) campaign
   store files, e.g. shard stores from ``campaign --shard``.
+* ``explore`` — seeded evolutionary design-space search over the
+  ParaDox config space (checker count, AIMD constants, checkpoint
+  policy, DVFS steps, quarantine thresholds, voltage floor): NSGA-II
+  selection over a (energy, slowdown, failure-rate) Pareto archive,
+  each genome scored by a small campaign through the parallel fan-out,
+  every evaluation persisted in the ``--store`` and resumable with
+  ``--resume`` (see docs/EXPLORE.md).
 * ``suite`` — the shared SPEC-proxy suite behind figures 10/12/13, with
   ``--jobs N`` sharding independent runs over worker processes
   (bit-identical to ``--jobs 1``) and ``--metrics-out`` merging every
@@ -343,7 +350,11 @@ def cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "ls":
         if not os.path.exists(args.store):
             raise SystemExit(f"no store file {args.store!r}")
-        with CampaignStore(args.store) as store:
+        try:
+            store = CampaignStore(args.store)
+        except StoreError as error:
+            raise SystemExit(str(error))
+        with store:
             campaigns = store.list_campaigns()
             print(
                 f"{args.store}: schema v{store.version}, "
@@ -362,7 +373,11 @@ def cmd_store(args: argparse.Namespace) -> int:
                 )
         return 0
     if args.store_command == "merge":
-        with CampaignStore(args.dest) as store:
+        try:
+            store = CampaignStore(args.dest)
+        except StoreError as error:
+            raise SystemExit(str(error))
+        with store:
             for source in args.sources:
                 if not os.path.exists(source):
                     raise SystemExit(f"no store file {source!r}")
@@ -374,6 +389,114 @@ def cmd_store(args: argparse.Namespace) -> int:
                 print(f"merged {source}: {total} new row(s) " f"{added}")
         return 0
     raise SystemExit(f"unknown store command {args.store_command!r}")
+
+
+def explore_spec_from_args(args: argparse.Namespace):
+    """Build the :class:`ExploreSpec` a ``repro explore`` invocation runs.
+
+    Module-level for the same reason as :func:`campaign_spec_from_args`:
+    tests pin the flag→spec plumbing without spawning a search.
+    """
+    from .explore import ExploreSpec
+
+    if args.smoke:
+        return ExploreSpec(
+            workload="bitcount",
+            scale=0.3,
+            generations=2,
+            population=4,
+            eval_seeds=2,
+            timeout_s=30.0,
+            workers=args.workers,
+        )
+    return ExploreSpec(
+        workload=args.workload,
+        scale=args.scale,
+        generations=args.generations,
+        population=args.population,
+        seed=args.seed,
+        eval_seeds=args.eval_seeds,
+        first_eval_seed=args.first_eval_seed,
+        rate=args.rate,
+        model=args.model,
+        initial_margin=args.initial_margin,
+        timeout_s=resolve_run_timeout(args),
+        workers=args.workers,
+    )
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import run_explore, write_explore_report, write_report_json
+    from .store import StoreError
+
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
+    spec = explore_spec_from_args(args)
+
+    tracer = None
+    if args.jsonl_out:
+        from .telemetry import Tracer
+
+        tracer = Tracer(command="explore", workload=spec.workload)
+
+    def progress(evaluation, cached: bool) -> None:
+        if args.quiet:
+            return
+        objectives = evaluation.objectives
+        suffix = " (cached)" if cached else ""
+        print(
+            f"  gen {evaluation.generation} {evaluation.genome_key[:12]} "
+            f"energy {objectives['energy']:.4f} "
+            f"slowdown {objectives['slowdown']:.4f} "
+            f"fail {objectives['failure_rate']:.3f}{suffix}"
+        )
+
+    def on_generation(summary) -> None:
+        if args.quiet:
+            return
+        print(
+            f"generation {summary['generation']}: "
+            f"front {summary['front_size']}, "
+            f"hypervolume {summary['hypervolume']:.6f} "
+            f"({summary['evaluated']} evaluated, {summary['cached']} cached)"
+        )
+
+    try:
+        result = run_explore(
+            spec,
+            store_path=args.store,
+            resume=args.resume,
+            progress=progress,
+            on_generation=on_generation,
+            tracer=tracer,
+        )
+    except StoreError as error:
+        raise SystemExit(str(error))
+    improves = result.improves_on_default()
+    print(
+        f"search {result.key[:16]}: {len(result.evaluations)} genome(s) "
+        f"evaluated, Pareto front of {len(result.front_keys)}"
+    )
+    print(
+        "improves on paper default: "
+        + (", ".join(improves) if improves else "none")
+    )
+    if args.store:
+        print(f"evaluations stored in {args.store}")
+    if args.json:
+        write_report_json(result, args.json)
+        print(f"Pareto report written to {args.json}")
+    if args.html:
+        write_explore_report(result, args.html)
+        print(f"HTML report written to {args.html}")
+    if tracer is not None and args.jsonl_out:
+        from .telemetry import write_jsonl_path
+
+        count = write_jsonl_path(
+            args.jsonl_out, tracer.events, meta=tracer.meta
+        )
+        print(f"{count} search events -> {args.jsonl_out}")
+    return 0
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
@@ -799,6 +922,106 @@ def build_parser() -> argparse.ArgumentParser:
     store_merge.add_argument("dest", help="destination store (created if absent)")
     store_merge.add_argument("sources", nargs="+", help="source store file(s)")
     store_merge.set_defaults(func=cmd_store)
+
+    explore = sub.add_parser(
+        "explore",
+        help="evolutionary design-space search over the ParaDox config "
+        "space (NSGA-II Pareto archive; see docs/EXPLORE.md)",
+    )
+    explore.add_argument("--workload", default="bitcount")
+    explore.add_argument("--scale", type=float, default=0.3)
+    explore.add_argument(
+        "--generations",
+        type=int,
+        default=4,
+        help="generations after the seeded generation 0",
+    )
+    explore.add_argument(
+        "--population", type=int, default=8, help="genomes per generation"
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="search seed: drives sampling, crossover and mutation "
+        "(same seed + same store => byte-identical Pareto report)",
+    )
+    explore.add_argument(
+        "--eval-seeds",
+        type=int,
+        default=4,
+        help="injection seeds per genome evaluation campaign",
+    )
+    explore.add_argument("--first-eval-seed", type=int, default=0)
+    explore.add_argument(
+        "--rate",
+        type=float,
+        default=3e-4,
+        help="fault rate every evaluation campaign injects at",
+    )
+    explore.add_argument(
+        "--model",
+        default="transient",
+        help="fault-model mix for the evaluation campaigns",
+    )
+    explore.add_argument(
+        "--initial-margin",
+        type=float,
+        default=0.15,
+        help="starting undervolt margin handed to the DVS controller",
+    )
+    explore.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock watchdog in seconds (see 'repro "
+        "campaign --run-timeout')",
+    )
+    explore.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="deprecated alias for --run-timeout (warns when used)",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes per evaluation campaign (0 = auto); the "
+        "search trajectory is identical at any width",
+    )
+    explore.add_argument(
+        "--store",
+        help="persist every genome evaluation (and its campaign's runs) "
+        "into this SQLite campaign store",
+    )
+    explore.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay recorded evaluations from --store and continue the "
+        "interrupted search; the finished report is byte-identical to "
+        "an uninterrupted run",
+    )
+    explore.add_argument(
+        "--json", help="write the canonical Pareto-front report to this path"
+    )
+    explore.add_argument(
+        "--html", help="write the self-contained HTML report to this path"
+    )
+    explore.add_argument(
+        "--jsonl-out", help="write search telemetry events to this path"
+    )
+    explore.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-evaluation and per-generation lines",
+    )
+    explore.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized search (overrides the search flags)",
+    )
+    explore.set_defaults(func=cmd_explore)
 
     suite = sub.add_parser(
         "suite", help="run the shared SPEC-proxy suite (figures 10/12/13)"

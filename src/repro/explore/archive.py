@@ -1,0 +1,169 @@
+"""Multi-objective machinery: non-dominated sorting, crowding, hypervolume.
+
+Everything here treats an objective vector as a tuple to **minimise**
+(the fitness layer already negates "bigger is better" quantities).  The
+functions are deliberately pure and container-free so they unit-test on
+toy points; :mod:`repro.explore.loop` owns the genome bookkeeping.
+
+Tie-breaking is everywhere explicit and content-addressed (sort keys end
+with the genome key), because the selection pressure these functions
+produce feeds a byte-identity guarantee: two runs of the same seeded
+search must pick the *same* survivors, not merely equally good ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def non_dominated_sort(points: Sequence[Sequence[float]]) -> List[List[int]]:
+    """Fast non-dominated sort (Deb et al.): indices grouped into fronts.
+
+    Front 0 is the Pareto front; each later front is the Pareto front of
+    what remains.  O(M N^2) — fine for population-scale N.
+    """
+    n = len(points)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(sorted(next_front))
+    fronts.pop()  # the loop always leaves one empty trailing front
+    return fronts
+
+
+def crowding_distances(points: Sequence[Sequence[float]]) -> List[float]:
+    """Crowding distance of each point within its (single) front.
+
+    Boundary points get ``inf`` so selection always keeps the extremes;
+    interior points get the normalised side length sum of the cuboid
+    their neighbours span.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    if n <= 2:
+        return [math.inf] * n
+    m = len(points[0])
+    distance = [0.0] * n
+    for axis in range(m):
+        order = sorted(range(n), key=lambda i: (points[i][axis], i))
+        low = points[order[0]][axis]
+        high = points[order[-1]][axis]
+        distance[order[0]] = math.inf
+        distance[order[-1]] = math.inf
+        span = high - low
+        if span <= 0.0:
+            continue
+        for rank in range(1, n - 1):
+            i = order[rank]
+            if math.isinf(distance[i]):
+                continue
+            gap = points[order[rank + 1]][axis] - points[order[rank - 1]][axis]
+            distance[i] += gap / span
+    return distance
+
+
+def pareto_front_indices(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, ascending."""
+    if not points:
+        return []
+    return sorted(non_dominated_sort(points)[0])
+
+
+def _hv2d(points: Sequence[Tuple[float, float]], ref: Tuple[float, float]) -> float:
+    """Area dominated by 2-D minimisation points within the ref box."""
+    area = 0.0
+    bound = ref[1]
+    for y, z in sorted(set(points)):
+        if z < bound:
+            area += (ref[0] - y) * (bound - z)
+            bound = z
+    return area
+
+
+def hypervolume(
+    points: Sequence[Sequence[float]], ref: Sequence[float]
+) -> float:
+    """Exact hypervolume dominated by 3-D minimisation ``points`` vs ``ref``.
+
+    Slicing along the first objective: between consecutive distinct
+    x-values, the dominated cross-section is the 2-D hypervolume of the
+    points at or below that slab.  Points outside the reference box are
+    clipped to it (a point worse than the reference on every axis
+    contributes nothing).  O(N^2 log N); populations are small.
+    """
+    if len(ref) != 3:
+        raise ValueError(f"hypervolume expects 3 objectives, got {len(ref)}")
+    clipped = [
+        tuple(min(float(p[k]), float(ref[k])) for k in range(3))
+        for p in points
+        if all(float(p[k]) < float(ref[k]) for k in range(3))
+    ]
+    if not clipped:
+        return 0.0
+    xs = sorted({p[0] for p in clipped})
+    volume = 0.0
+    for index, x in enumerate(xs):
+        next_x = xs[index + 1] if index + 1 < len(xs) else float(ref[0])
+        slab = next_x - x
+        if slab <= 0.0:
+            continue
+        cross = [(p[1], p[2]) for p in clipped if p[0] <= x]
+        volume += slab * _hv2d(cross, (float(ref[1]), float(ref[2])))
+    return volume
+
+
+def select_survivors(
+    keys: Sequence[str],
+    objectives: Dict[str, Objectives],
+    count: int,
+) -> List[str]:
+    """NSGA-II survivor selection: best ``count`` keys by (rank, crowding).
+
+    Ties inside a front break on crowding distance (descending), then on
+    the genome key — the content-addressed tiebreak that keeps selection
+    a pure function of the candidate set.
+    """
+    unique = sorted(set(keys))
+    points = [objectives[key] for key in unique]
+    survivors: List[str] = []
+    for front in non_dominated_sort(points):
+        front_keys = [unique[i] for i in front]
+        front_points = [points[i] for i in front]
+        crowding = crowding_distances(front_points)
+        ranked = sorted(
+            range(len(front_keys)),
+            key=lambda i: (-crowding[i], front_keys[i]),
+        )
+        for i in ranked:
+            if len(survivors) >= count:
+                return survivors
+            survivors.append(front_keys[i])
+    return survivors

@@ -1,0 +1,181 @@
+"""Genome codec and variation operators for the config-space search.
+
+A *genome* is a plain dict mapping gene names to values — exactly the
+``overrides`` dict the campaign layer applies onto ``table1_config()``
+and :class:`~repro.resilience.guard.ResilienceConfig` (see
+``CONFIG_OVERRIDES`` / ``RESILIENCE_OVERRIDES`` in
+:mod:`repro.resilience.campaign`).  The gene table below is the whole
+search space: every knob the paper hand-picks that the explorer may
+vary, with its paper default and the range the search samples.
+
+Determinism rules (the search's byte-identity guarantee rests on them):
+
+* every gene value is **quantised** to a fixed grid (ints to 1, floats
+  to the gene's ``quantum``), so a genome's JSON — and therefore its
+  content-addressed key — never depends on float noise from arithmetic
+  order;
+* all randomness flows through a ``numpy`` generator the caller seeds
+  (the loop derives one per generation via ``derive_seed``);
+* genomes are *repaired* after every variation: values clamped into
+  range, and ``guard_escalate_after`` kept strictly above
+  ``guard_shrink_after`` (the guard stages are ordered).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+#: Salt folded into every genome key.  Bump when gene semantics change
+#: (a stored evaluation would no longer describe what the current code
+#: simulates for the same gene values).
+GENOME_IDENTITY = "paradox-repro/genome/v1"
+
+
+@dataclass(frozen=True)
+class Gene:
+    """One dimension of the search space."""
+
+    name: str
+    #: "int" or "float" — fixes the JSON type and the mutation grid.
+    kind: str
+    low: float
+    high: float
+    #: The paper's hand-picked value (Table I / sections IV-A, IV-B).
+    default: float
+    #: Quantisation grid for float genes (ints always snap to 1).
+    quantum: float = 1.0
+    description: str = ""
+
+    def clamp(self, value: float) -> Any:
+        """Snap ``value`` onto the gene's grid inside [low, high]."""
+        value = min(max(float(value), self.low), self.high)
+        if self.kind == "int":
+            return int(round(value))
+        # Round to the quantum grid, then kill float dust with a final
+        # decimal round (quanta are powers of ten times small ints, so
+        # 12 digits is far finer than any grid in the table).
+        return round(round(value / self.quantum) * self.quantum, 12)
+
+
+#: The search space.  Ranges bracket the paper defaults generously but
+#: stay inside what the simulator accepts (e.g. the voltage floor stays
+#: above the 0.45 V transistor threshold the frequency model divides by).
+GENES: Tuple[Gene, ...] = (
+    Gene(
+        "checker_count", "int", 4, 24, 16,
+        description="checker cores sharing the checkpoint load (Table I: 16)",
+    ),
+    Gene(
+        "ckpt_additive_increase", "int", 2, 50, 10,
+        description="AIMD additive increase per clean checkpoint (IV-A: 10)",
+    ),
+    Gene(
+        "ckpt_multiplicative_decrease", "float", 0.25, 0.8, 0.5, 0.01,
+        description="AIMD multiplicative decrease on an error (IV-A: 0.5)",
+    ),
+    Gene(
+        "ckpt_initial_instructions", "int", 100, 3000, 1000,
+        description="initial checkpoint-length target (IV-A: 1000)",
+    ),
+    Gene(
+        "dvfs_step_volts", "float", 0.0005, 0.008, 0.002, 0.0001,
+        description="voltage-difference step per clean checkpoint (IV-B)",
+    ),
+    Gene(
+        "dvfs_recovery_factor", "float", 0.75, 0.95, 0.875, 0.005,
+        description="difference shrink factor on an error (IV-B: 0.875)",
+    ),
+    Gene(
+        "dvfs_tide_slowdown", "float", 1.0, 16.0, 8.0, 0.5,
+        description="descent slowdown below the error tide mark (IV-B: 8)",
+    ),
+    Gene(
+        "dvfs_min_voltage", "float", 0.55, 0.95, 0.70, 0.01,
+        description="regulator voltage floor (Table I: 0.70 V)",
+    ),
+    Gene(
+        "guard_shrink_after", "int", 2, 6, 3,
+        description="stuck-checkpoint rollbacks before window shrink",
+    ),
+    Gene(
+        "guard_escalate_after", "int", 3, 10, 5,
+        description="rollbacks before the guard escalates voltage",
+    ),
+    Gene(
+        "quarantine_vindications", "int", 1, 8, 3,
+        description="vindicated false detections before quarantine",
+    ),
+)
+
+GENE_BY_NAME: Dict[str, Gene] = {gene.name: gene for gene in GENES}
+
+Genome = Dict[str, Any]
+
+
+def paper_default_genome() -> Genome:
+    """The genome encoding exactly the paper's hand-picked configuration."""
+    return {gene.name: gene.clamp(gene.default) for gene in GENES}
+
+
+def repair(genome: Mapping[str, Any]) -> Genome:
+    """Clamp/quantise every gene and restore ordering constraints."""
+    fixed = {
+        gene.name: gene.clamp(genome.get(gene.name, gene.default))
+        for gene in GENES
+    }
+    # The guard's stages are ordered: shrink must fire before voltage
+    # escalation can.
+    if fixed["guard_escalate_after"] <= fixed["guard_shrink_after"]:
+        fixed["guard_escalate_after"] = min(
+            int(GENE_BY_NAME["guard_escalate_after"].high),
+            fixed["guard_shrink_after"] + 1,
+        )
+    return fixed
+
+
+def genome_key(genome: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest identifying one (repaired) genome."""
+    payload = {"identity": GENOME_IDENTITY}
+    payload.update(repair(genome))
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def random_genome(rng: np.random.Generator) -> Genome:
+    """Uniform sample of the whole space, repaired onto the grid."""
+    draft = {
+        gene.name: gene.low + float(rng.random()) * (gene.high - gene.low)
+        for gene in GENES
+    }
+    return repair(draft)
+
+
+def crossover(
+    a: Mapping[str, Any], b: Mapping[str, Any], rng: np.random.Generator
+) -> Genome:
+    """Uniform crossover: each gene from one parent with equal odds."""
+    child = {
+        gene.name: (a if rng.random() < 0.5 else b)[gene.name] for gene in GENES
+    }
+    return repair(child)
+
+
+def mutate(
+    genome: Mapping[str, Any],
+    rng: np.random.Generator,
+    rate: float = 0.25,
+    scale: float = 0.15,
+) -> Genome:
+    """Gaussian creep mutation: each gene perturbed with probability
+    ``rate`` by ``N(0, scale * range)``, then repaired onto the grid."""
+    child = dict(genome)
+    for gene in GENES:
+        if rng.random() < rate:
+            sigma = scale * (gene.high - gene.low)
+            child[gene.name] = float(child[gene.name]) + float(rng.normal()) * sigma
+    return repair(child)

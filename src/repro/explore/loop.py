@@ -1,0 +1,423 @@
+"""The seeded NSGA-II search loop over the ParaDox config space.
+
+One *generation* is one evaluation wave: generation 0 evaluates the
+initial population (the paper-default genome plus uniform random
+samples); every later generation breeds ``population`` offspring by
+binary-tournament selection, uniform crossover and Gaussian creep
+mutation, evaluates them, and keeps the best ``population`` of
+parents ∪ offspring by non-dominated rank and crowding distance
+(μ+λ survivor selection).  ``--generations N`` therefore means N waves,
+at most ``N × population`` genome evaluations.
+
+Each genome is scored by a small fault-injection campaign — the genome
+*is* the campaign's ``overrides`` dict — executed through the existing
+:func:`repro.resilience.campaign.run_campaign` fan-out.  Parallelism
+lives entirely inside that fan-out: genomes are evaluated sequentially,
+so the search trajectory is independent of ``--workers`` by
+construction (the campaign layer already guarantees record-level
+bit-identity at any width).
+
+Resume works by replay: the loop's decisions are a pure function of
+the spec's seed and the (deterministic) objective values, so a killed
+search relaunched with ``--resume`` walks the identical trajectory,
+finds every finished campaign cell in the store by content-addressed
+run key, finishes any half-done generation, and continues — the final
+report is byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..parallel import derive_seed
+from ..resilience.campaign import CampaignSpec, run_campaign
+from .archive import (
+    crowding_distances,
+    hypervolume,
+    non_dominated_sort,
+    pareto_front_indices,
+    select_survivors,
+)
+from .fitness import (
+    HYPERVOLUME_REFERENCE,
+    OBJECTIVE_NAMES,
+    objective_vector,
+    objectives_from_records,
+)
+from .genome import (
+    GENES,
+    Genome,
+    crossover,
+    genome_key,
+    mutate,
+    paper_default_genome,
+    random_genome,
+)
+
+#: Salt folded into every explore key (bump with search semantics).
+EXPLORE_IDENTITY = "paradox-repro/explore/v1"
+
+#: Spec fields that change how fast the search runs, never what it
+#: computes — excluded from the explore key, mirroring the campaign key.
+EXECUTION_ONLY_EXPLORE_FIELDS = ("workers", "timeout_s")
+
+
+@dataclass
+class ExploreSpec:
+    """Everything needed to reproduce a design-space search."""
+
+    workload: str = "bitcount"
+    scale: float = 0.3
+    #: Evaluation waves, including the initial population (see module doc).
+    generations: int = 4
+    #: Genomes per wave (and survivors kept between waves).
+    population: int = 8
+    #: Master seed: every random draw of the search derives from it.
+    seed: int = 0
+    #: Injection seeds per genome evaluation (the campaign's grid).
+    eval_seeds: int = 4
+    first_eval_seed: int = 0
+    #: Injected error rate and fault-model mix for evaluation campaigns.
+    rate: float = 3e-4
+    model: str = "transient"
+    #: DVS warm-start margin for evaluation campaigns.
+    initial_margin: float = 0.15
+    #: Per-run watchdog (execution-only, like the campaign's).
+    timeout_s: float = 60.0
+    #: Worker processes inside each evaluation campaign (0 = auto).
+    workers: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def campaign_spec(self, genome: Genome) -> CampaignSpec:
+        """The evaluation campaign for one genome (= its overrides)."""
+        return CampaignSpec(
+            workload=self.workload,
+            scale=self.scale,
+            seeds=self.eval_seeds,
+            first_seed=self.first_eval_seed,
+            rates=(self.rate,),
+            models=(self.model,),
+            dvs=True,
+            initial_margin=self.initial_margin,
+            timeout_s=self.timeout_s,
+            workers=self.workers,
+            overrides=dict(genome),
+        )
+
+
+def explore_key(spec: ExploreSpec) -> str:
+    """SHA-256 hex digest identifying one search (content-addressed)."""
+    payload = {
+        key: value
+        for key, value in spec.to_dict().items()
+        if key not in EXECUTION_ONLY_EXPLORE_FIELDS
+    }
+    payload["identity"] = EXPLORE_IDENTITY
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Evaluation:
+    """One genome, scored."""
+
+    genome_key: str
+    genome: Genome
+    #: Generation the genome was first evaluated in.
+    generation: int
+    objectives: Dict[str, float]
+    campaign_key: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "genome_key": self.genome_key,
+            "generation": self.generation,
+            "genome": dict(self.genome),
+            "objectives": dict(self.objectives),
+            "campaign_key": self.campaign_key,
+        }
+
+
+@dataclass
+class ExploreResult:
+    """The search outcome: archive, front, and per-generation history."""
+
+    spec: ExploreSpec
+    key: str
+    evaluations: List[Evaluation] = field(default_factory=list)
+    #: Final Pareto front over *every* evaluation, sorted by genome key.
+    front_keys: List[str] = field(default_factory=list)
+    #: Per-wave history: evaluated/cached counts, front size, hypervolume.
+    generations: List[Dict[str, Any]] = field(default_factory=list)
+    default_key: str = ""
+
+    def front(self) -> List[Evaluation]:
+        front_set = set(self.front_keys)
+        return [e for e in self.evaluations if e.genome_key in front_set]
+
+    def default_evaluation(self) -> Optional[Evaluation]:
+        for evaluation in self.evaluations:
+            if evaluation.genome_key == self.default_key:
+                return evaluation
+        return None
+
+    def improves_on_default(self) -> List[str]:
+        """Objectives where some front genome strictly beats the default."""
+        default = self.default_evaluation()
+        if default is None:
+            return []
+        improved = []
+        for name in OBJECTIVE_NAMES:
+            best = min(e.objectives[name] for e in self.front())
+            if best < default.objectives[name]:
+                improved.append(name)
+        return improved
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON report — a pure function of the search.
+
+        Execution-only spec fields are dropped, so interrupted-and-
+        resumed searches (and any ``--workers`` width) serialise
+        byte-identically.
+        """
+        spec = {
+            key: value
+            for key, value in self.spec.to_dict().items()
+            if key not in EXECUTION_ONLY_EXPLORE_FIELDS
+        }
+        return {
+            "spec": spec,
+            "explore_key": self.key,
+            "objective_names": list(OBJECTIVE_NAMES),
+            "hypervolume_reference": list(HYPERVOLUME_REFERENCE),
+            "genes": [
+                {
+                    "name": gene.name,
+                    "kind": gene.kind,
+                    "low": gene.low,
+                    "high": gene.high,
+                    "default": gene.clamp(gene.default),
+                    "description": gene.description,
+                }
+                for gene in GENES
+            ],
+            "paper_default": {
+                "genome_key": self.default_key,
+                "objectives": (
+                    dict(self.default_evaluation().objectives)
+                    if self.default_evaluation()
+                    else None
+                ),
+            },
+            "improves_on_default": self.improves_on_default(),
+            "generations": [dict(entry) for entry in self.generations],
+            "front": [e.to_dict() for e in self.front()],
+            "evaluations": [e.to_dict() for e in self.evaluations],
+        }
+
+
+def run_explore(
+    spec: ExploreSpec,
+    *,
+    store_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[Evaluation, bool], None]] = None,
+    on_generation: Optional[Callable[[Dict[str, Any]], None]] = None,
+    tracer: Optional[Any] = None,
+) -> ExploreResult:
+    """Run the seeded search; see the module docstring for semantics.
+
+    With ``store_path`` every campaign cell and every genome evaluation
+    is persisted; a search whose key already has evaluations in the
+    store refuses to run unless ``resume=True`` (mirroring the campaign
+    layer's contract).  ``progress(evaluation, cached)`` fires per
+    genome; ``on_generation(summary)`` per wave.
+    """
+    from ..store import CampaignStore, StoreError
+    from ..store import campaign_key as campaign_key_of
+
+    key = explore_key(spec)
+    if spec.generations < 1 or spec.population < 2:
+        raise ValueError("explore needs generations >= 1 and population >= 2")
+
+    store: Optional[CampaignStore] = None
+    try:
+        if store_path is not None:
+            store = CampaignStore(store_path)
+            if store.load_evaluations(key) and not resume:
+                raise StoreError(
+                    f"store {store_path!r} already holds evaluations for "
+                    "this search; pass resume=True (--resume) to continue "
+                    "it, or use a fresh store"
+                )
+            store.register_explore(key, spec.to_dict())
+
+        result = ExploreResult(spec=spec, key=key)
+        evaluations: Dict[str, Evaluation] = {}
+        genomes: Dict[str, Genome] = {}
+
+        def evaluate(genome: Genome, generation: int) -> Tuple[Evaluation, bool]:
+            gkey = genome_key(genome)
+            if gkey in evaluations:
+                return evaluations[gkey], True
+            campaign = spec.campaign_spec(genome)
+            report = run_campaign(
+                campaign,
+                store_path=store_path,
+                # Always resume inside a search: a store hit on a cell
+                # another search (or an earlier attempt) already ran is
+                # exactly the caching the store exists for.
+                resume=store_path is not None,
+            )
+            objectives = objectives_from_records(report.records, scale=spec.scale)
+            evaluation = Evaluation(
+                genome_key=gkey,
+                genome=dict(genome),
+                generation=generation,
+                objectives=objectives,
+                campaign_key=campaign_key_of(campaign.to_dict()),
+            )
+            evaluations[gkey] = evaluation
+            result.evaluations.append(evaluation)
+            if store is not None:
+                store.record_evaluation(
+                    key, gkey, generation, genome, objectives,
+                    evaluation.campaign_key,
+                )
+            if tracer is not None:
+                tracer.emit(
+                    "explore",
+                    "evaluation",
+                    time_ns=float(generation),
+                    value=float(objectives["energy"]),
+                    detail=f"{gkey[:12]} {json.dumps(objectives, sort_keys=True)}",
+                )
+            return evaluation, False
+
+        def archive_front() -> List[str]:
+            keys = sorted(evaluations)
+            points = [objective_vector(evaluations[k].objectives) for k in keys]
+            return [keys[i] for i in pareto_front_indices(points)]
+
+        def close_generation(generation: int, fresh: int, cached: int) -> None:
+            front = archive_front()
+            volume = hypervolume(
+                [objective_vector(evaluations[k].objectives) for k in front],
+                HYPERVOLUME_REFERENCE,
+            )
+            summary = {
+                "generation": generation,
+                "evaluated": fresh,
+                "cached": cached,
+                "archive_size": len(evaluations),
+                "front_size": len(front),
+                "hypervolume": round(volume, 9),
+            }
+            result.generations.append(summary)
+            if tracer is not None:
+                tracer.emit(
+                    "explore",
+                    "generation",
+                    time_ns=float(generation),
+                    value=float(len(front)),
+                    detail=json.dumps(summary, sort_keys=True),
+                )
+            if on_generation is not None:
+                on_generation(summary)
+
+        # Generation 0: the paper's design point plus uniform samples.
+        default = paper_default_genome()
+        result.default_key = genome_key(default)
+        rng = np.random.default_rng(derive_seed(spec.seed, "explore", "init"))
+        population: List[str] = []
+        candidates: List[Genome] = [default]
+        while len(candidates) < spec.population * 8:
+            candidates.append(random_genome(rng))
+        for genome in candidates:
+            gkey = genome_key(genome)
+            if gkey not in genomes:
+                genomes[gkey] = genome
+                population.append(gkey)
+            if len(population) >= spec.population:
+                break
+        fresh = cached = 0
+        for gkey in population:
+            evaluation, was_cached = evaluate(genomes[gkey], 0)
+            cached += was_cached
+            fresh += not was_cached
+            if progress is not None:
+                progress(evaluation, was_cached)
+        close_generation(0, fresh, cached)
+
+        for generation in range(1, spec.generations):
+            rng = np.random.default_rng(
+                derive_seed(spec.seed, "explore", "gen", generation)
+            )
+            # Rank the current population once for tournament selection.
+            points = [objective_vector(evaluations[k].objectives) for k in population]
+            rank: Dict[str, int] = {}
+            for front_rank, front in enumerate(non_dominated_sort(points)):
+                for i in front:
+                    rank[population[i]] = front_rank
+            crowding = crowding_distances(points)
+            crowd = {population[i]: crowding[i] for i in range(len(population))}
+
+            def better(a: str, b: str) -> str:
+                score_a = (rank[a], -crowd[a], a)
+                score_b = (rank[b], -crowd[b], b)
+                return a if score_a <= score_b else b
+
+            def tournament() -> str:
+                i = int(rng.integers(len(population)))
+                j = int(rng.integers(len(population)))
+                return better(population[i], population[j])
+
+            children: List[str] = []
+            attempts = 0
+            while len(children) < spec.population and attempts < spec.population * 16:
+                attempts += 1
+                child = mutate(
+                    crossover(genomes[tournament()], genomes[tournament()], rng),
+                    rng,
+                )
+                ckey = genome_key(child)
+                if ckey in children:
+                    continue
+                genomes[ckey] = child
+                children.append(ckey)
+
+            fresh = cached = 0
+            for ckey in children:
+                evaluation, was_cached = evaluate(genomes[ckey], generation)
+                cached += was_cached
+                fresh += not was_cached
+                if progress is not None:
+                    progress(evaluation, was_cached)
+            pool = sorted(set(population) | set(children))
+            population = select_survivors(
+                pool,
+                {k: objective_vector(evaluations[k].objectives) for k in pool},
+                spec.population,
+            )
+            close_generation(generation, fresh, cached)
+
+        result.front_keys = archive_front()
+        if tracer is not None:
+            tracer.emit(
+                "explore",
+                "front",
+                time_ns=float(spec.generations - 1),
+                value=float(result.generations[-1]["hypervolume"]),
+                detail=",".join(k[:12] for k in result.front_keys),
+            )
+        return result
+    finally:
+        if store is not None:
+            store.close()

@@ -1,0 +1,372 @@
+"""Pareto-front report artifacts: canonical JSON and a static HTML page.
+
+The JSON report is :meth:`ExploreResult.to_dict` verbatim — a pure
+function of the search content (see the byte-identity notes there) —
+published atomically like every CLI artifact.
+
+The HTML page follows the ``repro report`` dashboard idiom: one
+self-contained file, inline CSS and SVG, no scripts, no external
+assets.  It shows stat tiles, the objective-space scatter (slowdown ×
+energy, failure rate as ring markers), the generation-by-generation
+hypervolume trend, and a per-genome drill-down for every front member
+(gene values against the paper defaults).  Color never carries meaning
+without a text label; dark mode is an explicit custom-property set.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, List, Sequence, Tuple
+
+from ..ioutil import atomic_write_json, atomic_write_text
+from .fitness import OBJECTIVE_NAMES
+from .genome import GENES
+from .loop import Evaluation, ExploreResult
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; background: var(--page);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--ink);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb; --ink: #0b0b0b;
+  --ink-2: #52514e; --muted: #898781; --grid: #e1e0d9;
+  --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --front: #2a78d6; --dominated: #c3c2b7; --default: #fab219;
+  --fail: #d03b3b;
+  max-width: 1080px; margin: 0 auto; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19; --ink: #ffffff;
+    --ink-2: #c3c2b7; --muted: #898781; --grid: #2c2c2a;
+    --axis: #383835; --border: rgba(255,255,255,0.10);
+    --front: #3987e5; --dominated: #52514e;
+  }
+}
+h1 { font-size: 20px; font-weight: 650; margin: 8px 0 2px; }
+h2 { font-size: 15px; font-weight: 650; margin: 24px 0 8px; }
+.sub { color: var(--ink-2); font-size: 12.5px; margin: 0 0 16px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 14px 0;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 10px 0 4px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 108px;
+}
+.tile .v { font-size: 22px; font-weight: 650; }
+.tile .k { font-size: 11.5px; color: var(--ink-2); margin-top: 2px; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 14px; font-size: 12px;
+  color: var(--ink-2); margin: 6px 0 2px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 5px; margin-right: 5px; vertical-align: -1px; }
+table { border-collapse: collapse; font-size: 12.5px; margin-top: 8px; }
+th, td { text-align: right; padding: 3px 12px 3px 0;
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+tbody tr { border-top: 1px solid var(--grid); }
+svg text { fill: var(--muted); font-size: 11px;
+  font-variant-numeric: tabular-nums; }
+svg .lbl { fill: var(--ink-2); }
+details { margin: 8px 0; }
+summary { cursor: pointer; font-size: 13px; color: var(--ink-2); }
+.delta { color: var(--fail); font-weight: 600; }
+.note { color: var(--muted); font-size: 12px; }
+code { font-size: 11.5px; color: var(--ink-2); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def write_report_json(result: ExploreResult, path: str) -> None:
+    """Publish the canonical Pareto-front JSON report atomically."""
+    atomic_write_json(path, result.to_dict())
+
+
+def _axis_range(values: Sequence[float]) -> Tuple[float, float]:
+    low, high = min(values), max(values)
+    if high <= low:
+        high = low + 1.0
+    pad = 0.08 * (high - low)
+    return low - pad, high + pad
+
+
+def _scatter_svg(result: ExploreResult) -> str:
+    """Objective-space scatter: slowdown (x) × energy (y).
+
+    Front members in series blue, dominated genomes in muted gray, the
+    paper default as a labelled diamond; genomes with a nonzero failure
+    rate get a critical-color ring.  Every marker carries a ``<title>``
+    tooltip with its key and full objective vector.
+    """
+    width, height = 640, 360
+    margin = 46
+    evaluations = result.evaluations
+    if not evaluations:
+        return '<p class="note">no evaluations</p>'
+    xs = [e.objectives["slowdown"] for e in evaluations]
+    ys = [e.objectives["energy"] for e in evaluations]
+    x_lo, x_hi = _axis_range(xs)
+    y_lo, y_hi = _axis_range(ys)
+
+    def px(x: float) -> float:
+        return margin + (x - x_lo) / (x_hi - x_lo) * (width - 2 * margin)
+
+    def py(y: float) -> float:
+        return height - margin - (y - y_lo) / (y_hi - y_lo) * (height - 2 * margin)
+
+    front = set(result.front_keys)
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="Pareto front scatter">'
+    ]
+    # Axes and gridlines (4 ticks each).
+    for tick in range(5):
+        x = x_lo + tick * (x_hi - x_lo) / 4
+        y = y_lo + tick * (y_hi - y_lo) / 4
+        parts.append(
+            f'<line x1="{px(x):.1f}" y1="{margin}" x2="{px(x):.1f}" '
+            f'y2="{height - margin}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{px(x):.1f}" y="{height - margin + 16}" '
+            f'text-anchor="middle">{_fmt(x)}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin}" y1="{py(y):.1f}" x2="{width - margin}" '
+            f'y2="{py(y):.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{margin - 8}" y="{py(y):.1f}" text-anchor="end" '
+            f'dominant-baseline="middle">{_fmt(y)}</text>'
+        )
+    parts.append(
+        f'<text class="lbl" x="{width / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle">slowdown vs fault-free baseline</text>'
+        f'<text class="lbl" x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">relative energy</text>'
+    )
+    # Dominated first so the front draws on top.
+    ordered = sorted(
+        evaluations, key=lambda e: (e.genome_key in front, e.genome_key)
+    )
+    for e in ordered:
+        x = px(e.objectives["slowdown"])
+        y = py(e.objectives["energy"])
+        is_front = e.genome_key in front
+        fill = "var(--front)" if is_front else "var(--dominated)"
+        ring = (
+            ' stroke="var(--fail)" stroke-width="2"'
+            if e.objectives["failure_rate"] > 0
+            else ""
+        )
+        tooltip = _esc(
+            f"{e.genome_key[:12]} gen {e.generation} — "
+            + ", ".join(f"{n}={e.objectives[n]:.4g}" for n in OBJECTIVE_NAMES)
+        )
+        if e.genome_key == result.default_key:
+            size = 7
+            parts.append(
+                f'<path d="M {x:.1f} {y - size:.1f} L {x + size:.1f} {y:.1f} '
+                f'L {x:.1f} {y + size:.1f} L {x - size:.1f} {y:.1f} Z" '
+                f'fill="var(--default)"{ring}><title>paper default: '
+                f"{tooltip}</title></path>"
+            )
+        else:
+            radius = 5 if is_front else 3.5
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" '
+                f'fill="{fill}"{ring}><title>{tooltip}</title></circle>'
+            )
+    parts.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--front)"></span>'
+        "Pareto front</span>"
+        '<span><span class="sw" style="background:var(--dominated)"></span>'
+        "dominated</span>"
+        '<span><span class="sw" style="background:var(--default)"></span>'
+        "paper default</span>"
+        '<span><span class="sw" style="border:2px solid var(--fail);'
+        'background:transparent"></span>forward-progress failures &gt; 0</span>'
+        "</div>"
+    )
+    return "".join(parts) + legend
+
+
+def _hypervolume_svg(result: ExploreResult) -> str:
+    """Generation-by-generation hypervolume trend as a polyline."""
+    width, height = 640, 180
+    margin = 46
+    series = [entry["hypervolume"] for entry in result.generations]
+    if not series:
+        return '<p class="note">no generations</p>'
+    y_lo, y_hi = _axis_range(series)
+    n = len(series)
+
+    def px(i: int) -> float:
+        if n == 1:
+            return width / 2
+        return margin + i / (n - 1) * (width - 2 * margin)
+
+    def py2(v: float) -> float:
+        return height - margin - (v - y_lo) / (y_hi - y_lo) * (height - 2 * margin)
+
+    points = " ".join(f"{px(i):.1f},{py2(v):.1f}" for i, v in enumerate(series))
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="hypervolume per generation">',
+        f'<polyline points="{points}" fill="none" stroke="var(--front)" '
+        f'stroke-width="2"/>',
+    ]
+    for i, v in enumerate(series):
+        parts.append(
+            f'<circle cx="{px(i):.1f}" cy="{py2(v):.1f}" r="3.5" '
+            f'fill="var(--front)"><title>generation {i}: '
+            f"hypervolume {v:.6g}</title></circle>"
+            f'<text x="{px(i):.1f}" y="{height - margin + 16}" '
+            f'text-anchor="middle">{i}</text>'
+        )
+    parts.append(
+        f'<text x="{margin - 8}" y="{py2(y_lo):.1f}" text-anchor="end" '
+        f'dominant-baseline="middle">{_fmt(y_lo)}</text>'
+        f'<text x="{margin - 8}" y="{py2(y_hi):.1f}" text-anchor="end" '
+        f'dominant-baseline="middle">{_fmt(y_hi)}</text>'
+        f'<text class="lbl" x="{width / 2:.0f}" y="{height - 6}" '
+        f'text-anchor="middle">generation</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _genome_details(result: ExploreResult, evaluation: Evaluation) -> str:
+    """One front member's drill-down: genes against the paper default."""
+    rows = []
+    for gene in GENES:
+        value = evaluation.genome[gene.name]
+        default = gene.clamp(gene.default)
+        cell = _esc(value)
+        if value != default:
+            cell = f'<span class="delta">{cell}</span>'
+        rows.append(
+            f"<tr><td><code>{_esc(gene.name)}</code></td>"
+            f"<td>{cell}</td><td>{_esc(default)}</td>"
+            f"<td>{_esc(gene.low)}–{_esc(gene.high)}</td></tr>"
+        )
+    objectives = ", ".join(
+        f"{name} {evaluation.objectives[name]:.4g}" for name in OBJECTIVE_NAMES
+    )
+    marker = (
+        " (paper default)" if evaluation.genome_key == result.default_key else ""
+    )
+    return (
+        f"<details><summary><code>{_esc(evaluation.genome_key[:12])}</code>"
+        f"{_esc(marker)} — generation {evaluation.generation}, "
+        f"{_esc(objectives)}</summary>"
+        '<table><thead><tr><th>gene</th><th>value</th><th>default</th>'
+        "<th>range</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+        f'<p class="note">campaign <code>'
+        f"{_esc(evaluation.campaign_key[:16])}</code>; deviations from the "
+        "paper default are highlighted.</p></details>"
+    )
+
+
+def render_explore_report(result: ExploreResult) -> str:
+    """The whole page as one self-contained HTML string."""
+    spec = result.spec
+    final = result.generations[-1] if result.generations else {}
+    improves = result.improves_on_default()
+    tiles = [
+        (str(spec.generations), "generations"),
+        (str(len(result.evaluations)), "genomes evaluated"),
+        (str(len(result.front_keys)), "front size"),
+        (_fmt(float(final.get("hypervolume", 0.0))), "final hypervolume"),
+        (", ".join(improves) if improves else "none", "improves on default"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+        for value, label in tiles
+    )
+    front_rows = "".join(
+        f"<tr><td><code>{_esc(e.genome_key[:12])}</code></td>"
+        f"<td>{e.generation}</td>"
+        + "".join(
+            f"<td>{e.objectives[name]:.4g}</td>" for name in OBJECTIVE_NAMES
+        )
+        + "</tr>"
+        for e in result.front()
+    )
+    details = "".join(_genome_details(result, e) for e in result.front())
+    default = result.default_evaluation()
+    default_note = ""
+    if default is not None:
+        objectives = ", ".join(
+            f"{name} {default.objectives[name]:.4g}" for name in OBJECTIVE_NAMES
+        )
+        default_note = (
+            f'<p class="sub">paper default '
+            f"<code>{_esc(default.genome_key[:12])}</code>: {_esc(objectives)}"
+            "</p>"
+        )
+    generation_rows = "".join(
+        f"<tr><td>{entry['generation']}</td><td>{entry['evaluated']}</td>"
+        f"<td>{entry['cached']}</td><td>{entry['archive_size']}</td>"
+        f"<td>{entry['front_size']}</td><td>{entry['hypervolume']:.6g}</td></tr>"
+        for entry in result.generations
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro explore — {_esc(spec.workload)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<div class="viz-root">
+<h1>Design-space search — {_esc(spec.workload)}</h1>
+<p class="sub">search <code>{_esc(result.key[:16])}</code> · seed
+{spec.seed} · population {spec.population} ·
+{spec.eval_seeds} injection seed(s) × rate {_esc(spec.rate)} per genome</p>
+<div class="tiles">{tile_html}</div>
+{default_note}
+<div class="card">
+<h2>Objective space</h2>
+{_scatter_svg(result)}
+</div>
+<div class="card">
+<h2>Hypervolume trend</h2>
+{_hypervolume_svg(result)}
+<table><thead><tr><th>generation</th><th>evaluated</th><th>cached</th>
+<th>archive</th><th>front</th><th>hypervolume</th></tr></thead>
+<tbody>{generation_rows}</tbody></table>
+</div>
+<div class="card">
+<h2>Pareto front</h2>
+<table><thead><tr><th>genome</th><th>gen</th>
+{"".join(f"<th>{_esc(name)}</th>" for name in OBJECTIVE_NAMES)}
+</tr></thead><tbody>{front_rows}</tbody></table>
+<h2>Per-genome drill-down</h2>
+{details}
+</div>
+<p class="note">Deterministic artifact: byte-identical for the same
+search spec and store at any worker width. See docs/EXPLORE.md.</p>
+</div>
+</body>
+</html>
+"""
+
+
+def write_explore_report(result: ExploreResult, path: str) -> None:
+    """Render and atomically publish the HTML page."""
+    atomic_write_text(path, render_explore_report(result))

@@ -49,7 +49,7 @@ import json
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..ioutil import atomic_write_json
 from ..parallel import FanoutOutcome, resolve_jobs, run_fanout
@@ -67,6 +67,52 @@ MODEL_MIXES = (
     "sram",
     "sram-uniform",
 )
+
+
+#: Override key -> (config section, field, cast) for config-space knobs
+#: the explore layer may vary.  The whitelist is the contract between a
+#: genome and the engine: an unknown key raises, never silently no-ops
+#: (a typo'd gene that changed nothing would corrupt a whole search).
+CONFIG_OVERRIDES: Dict[str, Tuple[str, str, Any]] = {
+    "checker_count": ("checker", "count", int),
+    "ckpt_additive_increase": ("checkpoint", "additive_increase", int),
+    "ckpt_multiplicative_decrease": ("checkpoint", "multiplicative_decrease", float),
+    "ckpt_initial_instructions": ("checkpoint", "initial_instructions", int),
+    "dvfs_step_volts": ("dvfs", "step_volts", float),
+    "dvfs_recovery_factor": ("dvfs", "recovery_factor", float),
+    "dvfs_tide_slowdown": ("dvfs", "tide_slowdown", float),
+    "dvfs_min_voltage": ("dvfs", "min_voltage", float),
+}
+
+#: Override key -> (ResilienceConfig field, cast).
+RESILIENCE_OVERRIDES: Dict[str, Tuple[str, Any]] = {
+    "guard_shrink_after": ("shrink_after", int),
+    "guard_escalate_after": ("escalate_after", int),
+    "quarantine_vindications": ("quarantine_vindications", int),
+}
+
+
+def apply_config_overrides(
+    config: Any, resilience: ResilienceConfig, overrides: Mapping[str, Any]
+) -> Tuple[Any, ResilienceConfig]:
+    """Apply a whitelisted override dict onto (SystemConfig, ResilienceConfig)."""
+    from dataclasses import replace
+
+    for key in sorted(overrides):
+        value = overrides[key]
+        if key in CONFIG_OVERRIDES:
+            section, field_name, cast = CONFIG_OVERRIDES[key]
+            sub = getattr(config, section)
+            config = replace(
+                config, **{section: replace(sub, **{field_name: cast(value)})}
+            )
+        elif key in RESILIENCE_OVERRIDES:
+            field_name, cast = RESILIENCE_OVERRIDES[key]
+            resilience = replace(resilience, **{field_name: cast(value)})
+        else:
+            known = sorted(CONFIG_OVERRIDES) + sorted(RESILIENCE_OVERRIDES)
+            raise ValueError(f"unknown config override {key!r}; known: {known}")
+    return config, resilience
 
 
 class RunClass(enum.Enum):
@@ -118,6 +164,13 @@ class CampaignSpec:
     #: misbehaves accordingly, proving the campaign's isolation without
     #: waiting for a real simulator bug.
     hooks: Dict[int, str] = field(default_factory=dict)
+    #: Config-space overrides applied to every run (the explore layer's
+    #: genome, mapped onto engine knobs by :func:`apply_config_overrides`
+    #: — an unknown key is a hard error).  ``None`` leaves Table I
+    #: untouched and, deliberately, serialises to *nothing*: campaigns
+    #: without overrides keep their pre-overrides campaign and run keys,
+    #: so existing stores keep resuming.
+    overrides: Optional[Dict[str, Any]] = None
 
     def resolved_workers(self) -> int:
         return resolve_jobs(self.workers)
@@ -148,6 +201,8 @@ class CampaignSpec:
                     }
                     if self.voltage is not None:
                         payload["voltage"] = self.voltage
+                    if self.overrides:
+                        payload["overrides"] = dict(self.overrides)
                     if run_id in self.hooks:
                         payload["hook"] = self.hooks[run_id]
                     payloads.append(payload)
@@ -157,6 +212,10 @@ class CampaignSpec:
         data = asdict(self)
         data["rates"] = list(self.rates)
         data["models"] = list(self.models)
+        if not self.overrides:
+            # Omitted, not null: a no-overrides spec must hash to its
+            # pre-overrides campaign key (see store.runkey).
+            data.pop("overrides", None)
         return data
 
 
@@ -186,6 +245,13 @@ class RunRecord:
     quarantined: List[int] = field(default_factory=list)
     #: Guard stage -> count ("shrink" / "voltage" / "fail").
     escalations: Dict[str, int] = field(default_factory=dict)
+    #: Simulated wall time (ns) — deterministic, unlike ``duration_s``.
+    wall_ns: float = 0.0
+    #: Time-weighted mean supply voltage over the run (0.0 pre-overrides
+    #: records / crashed workers).
+    mean_voltage: float = 0.0
+    #: Per-checker wake rates over the run window (power-model input).
+    wake_rates: List[float] = field(default_factory=list)
     duration_s: float = 0.0
     #: Worker traceback for ``crash`` records.
     traceback: Optional[str] = None
@@ -227,6 +293,9 @@ class RunRecord:
             instructions=int(data.get("instructions", 0)),
             quarantined=list(data.get("quarantined") or []),
             escalations=dict(data.get("escalations") or {}),
+            wall_ns=float(data.get("wall_ns", 0.0)),
+            mean_voltage=float(data.get("mean_voltage", 0.0)),
+            wake_rates=list(data.get("wake_rates") or []),
             duration_s=float(data.get("duration_s", 0.0)),
             traceback=data.get("traceback"),
             metrics=data.get("metrics"),
@@ -465,6 +534,12 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     golden = golden_run(workload)
 
     config = table1_config()
+    resilience_config = ResilienceConfig()
+    overrides = payload.get("overrides")
+    if overrides:
+        config, resilience_config = apply_config_overrides(
+            config, resilience_config, overrides
+        )
     if payload["dvs"]:
         # Warm-start below the safe voltage: campaigns probe the
         # error-intensive region the production controller converges to.
@@ -484,7 +559,7 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         # runs are comparable across the rate grid.
         voltage_model=None,
         tracing=bool(payload.get("tracing", False)),
-        resilience=ResilienceConfig(),
+        resilience=resilience_config,
     )
     engine = SimulationEngine(
         workload.program,
@@ -522,6 +597,11 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         "instructions": result.instructions,
         "quarantined": [event.core_id for event in result.quarantine_events],
         "escalations": stages,
+        # Deterministic fitness inputs for the explore layer: simulated
+        # wall time, time-weighted supply voltage, per-checker wake rates.
+        "wall_ns": float(result.wall_ns),
+        "mean_voltage": float(result.mean_voltage),
+        "wake_rates": [float(rate) for rate in result.checker_wake_rates],
         "failure": result.failure.summary() if result.failure else None,
         "duration_s": time.perf_counter() - started,
         "metrics": result.metrics,
@@ -591,6 +671,9 @@ def _record_from_message(
     record.instructions = message["instructions"]
     record.quarantined = list(message["quarantined"])
     record.escalations = dict(message["escalations"])
+    record.wall_ns = float(message.get("wall_ns", 0.0))
+    record.mean_voltage = float(message.get("mean_voltage", 0.0))
+    record.wake_rates = list(message.get("wake_rates") or [])
     record.duration_s = message["duration_s"]
     record.metrics = message.get("metrics")
     record.trace = message.get("trace")

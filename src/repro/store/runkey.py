@@ -20,6 +20,11 @@ Canonicalisation rules (pinned by golden-hash tests):
   is shortest-roundtrip and platform-stable);
 * absent optional fields serialised as ``null``, so "no pinned voltage"
   and a missing key hash identically;
+* the one exception: the optional ``overrides`` block (the explore
+  layer's config-space genome) is **omitted entirely** when absent or
+  empty, never serialised as ``null`` — fields added after v1 must not
+  perturb the keys of cells that do not use them, or every pre-existing
+  store would stop resuming;
 * positional bookkeeping (``run_id``) excluded — a cell's identity must
   not depend on where the grid enumeration placed it;
 * a code-identity salt (:data:`CODE_IDENTITY`) folded in.  Bump it when
@@ -73,6 +78,17 @@ def canonical_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
     for name, cast in CELL_FIELDS:
         value = payload.get(name)
         cell[name] = None if value is None else cast(value)
+    overrides = payload.get("overrides")
+    if overrides:
+        # Omitted (not null) when absent/empty: cells without overrides
+        # must keep their pre-overrides v1 keys, or old stores would
+        # stop resuming.  Values keep their int/float type — the genome
+        # codec quantises each gene to a fixed type, and int vs float
+        # JSON text differs (10 vs 10.0).
+        cell["overrides"] = {
+            str(key): (int(value) if isinstance(value, int) else float(value))
+            for key, value in overrides.items()
+        }
     return cell
 
 

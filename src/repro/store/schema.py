@@ -20,6 +20,10 @@ Tables (current version):
 * ``metrics_snapshots`` — per-run telemetry metrics (traced campaigns).
 * ``artifacts`` — opaque per-run artifacts, e.g. the raw trace event
   stream (added in v2).
+* ``explore_searches`` / ``explore_evaluations`` — the explore
+  namespace (added in v3): one row per design-space search, and one row
+  per evaluated genome with its generation of first evaluation, its
+  gene values, its objective vector, and the campaign that scored it.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ import sqlite3
 from typing import Callable, List
 
 #: Current schema version (``PRAGMA user_version`` of a fresh store).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _V1_STATEMENTS = (
     """
@@ -101,6 +105,36 @@ _V2_STATEMENTS = (
 )
 
 
+_V3_STATEMENTS = (
+    # The explore namespace: design-space searches and their genome
+    # evaluations.  A search is identified by the content hash of its
+    # spec; an evaluation by (search, genome content hash).  The
+    # generation column records the generation a genome was *first*
+    # evaluated in — re-encounters in later generations are store hits.
+    """
+    CREATE TABLE explore_searches (
+        explore_key TEXT PRIMARY KEY,
+        spec_json TEXT NOT NULL,
+        created_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE explore_evaluations (
+        explore_key TEXT NOT NULL REFERENCES explore_searches(explore_key),
+        genome_key TEXT NOT NULL,
+        generation INTEGER NOT NULL,
+        genome_json TEXT NOT NULL,
+        objectives_json TEXT NOT NULL,
+        campaign_key TEXT NOT NULL,
+        recorded_at TEXT NOT NULL,
+        PRIMARY KEY (explore_key, genome_key)
+    )
+    """,
+    "CREATE INDEX idx_explore_generation "
+    "ON explore_evaluations(explore_key, generation)",
+)
+
+
 def _migrate_v1(conn: sqlite3.Connection) -> None:
     for statement in _V1_STATEMENTS:
         conn.execute(statement)
@@ -111,11 +145,17 @@ def _migrate_v2(conn: sqlite3.Connection) -> None:
         conn.execute(statement)
 
 
+def _migrate_v3(conn: sqlite3.Connection) -> None:
+    for statement in _V3_STATEMENTS:
+        conn.execute(statement)
+
+
 #: Append-only migration chain; ``MIGRATIONS[i]`` takes a store from
 #: version ``i`` to ``i + 1``.
 MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [
     _migrate_v1,
     _migrate_v2,
+    _migrate_v3,
 ]
 
 assert len(MIGRATIONS) == SCHEMA_VERSION

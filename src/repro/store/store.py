@@ -48,6 +48,8 @@ _MERGE_TABLES = (
     "run_records",
     "metrics_snapshots",
     "artifacts",
+    "explore_searches",
+    "explore_evaluations",
 )
 
 
@@ -57,12 +59,22 @@ class CampaignStore:
     def __init__(self, path: str, *, timeout_s: float = 30.0) -> None:
         self.path = path
         fresh = not os.path.exists(path)
-        self._conn = sqlite3.connect(path, timeout=timeout_s)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA foreign_keys=ON")
-        migrate(self._conn)
+        try:
+            self._conn = sqlite3.connect(path, timeout=timeout_s)
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            migrate(self._conn)
+        except sqlite3.DatabaseError as exc:
+            # A garbage path (not SQLite at all, or a pre-v1 file some
+            # other tool wrote) should surface as a store-level error
+            # the CLI can print, not a traceback.
+            raise StoreError(
+                f"{path!r} is not a campaign store ({exc}); expected a "
+                "SQLite file created by `repro campaign --store` or "
+                "`repro store merge`"
+            ) from exc
         if fresh:
             with self._conn:
                 self._conn.execute(
@@ -355,6 +367,91 @@ class CampaignStore:
                 json.loads(row["metrics_json"]) if row["metrics_json"] else None
             )
         return snapshots
+
+    # --------------------------------------------------------------- explore --
+
+    def register_explore(
+        self, explore_key: str, spec_dict: Mapping[str, Any]
+    ) -> None:
+        """Idempotently register a design-space search (v3 namespace)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO explore_searches "
+                "(explore_key, spec_json, created_at) VALUES (?, ?, ?)",
+                (explore_key, _dumps(dict(spec_dict)), _now()),
+            )
+
+    def record_evaluation(
+        self,
+        explore_key: str,
+        genome_key: str,
+        generation: int,
+        genome: Mapping[str, Any],
+        objectives: Mapping[str, Any],
+        campaign_key: str,
+    ) -> None:
+        """Persist one genome evaluation — first writer wins.
+
+        ``INSERT OR IGNORE`` keeps the *original* generation when a
+        genome is re-encountered (by a later generation, or by a resumed
+        search re-playing the loop), so resume reproduces the
+        uninterrupted history exactly.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO explore_evaluations "
+                "(explore_key, genome_key, generation, genome_json,"
+                " objectives_json, campaign_key, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    explore_key,
+                    genome_key,
+                    int(generation),
+                    _dumps(dict(genome)),
+                    _dumps(dict(objectives)),
+                    campaign_key,
+                    _now(),
+                ),
+            )
+
+    def load_evaluations(self, explore_key: str) -> List[Dict[str, Any]]:
+        """Every evaluation of a search, (generation, genome_key) order."""
+        return [
+            {
+                "genome_key": row["genome_key"],
+                "generation": int(row["generation"]),
+                "genome": json.loads(row["genome_json"]),
+                "objectives": json.loads(row["objectives_json"]),
+                "campaign_key": row["campaign_key"],
+            }
+            for row in self._conn.execute(
+                "SELECT genome_key, generation, genome_json, objectives_json,"
+                " campaign_key FROM explore_evaluations "
+                "WHERE explore_key = ? ORDER BY generation, genome_key",
+                (explore_key,),
+            )
+        ]
+
+    def list_explores(self) -> List[Dict[str, Any]]:
+        """Every registered search with its evaluation count."""
+        return [
+            {
+                "explore_key": row["explore_key"],
+                "created_at": row["created_at"],
+                "spec": json.loads(row["spec_json"]),
+                "evaluations": int(
+                    self._conn.execute(
+                        "SELECT COUNT(*) FROM explore_evaluations "
+                        "WHERE explore_key = ?",
+                        (row["explore_key"],),
+                    ).fetchone()[0]
+                ),
+            }
+            for row in self._conn.execute(
+                "SELECT explore_key, spec_json, created_at "
+                "FROM explore_searches ORDER BY created_at"
+            )
+        ]
 
     # ----------------------------------------------------------------- merge --
 

@@ -51,6 +51,12 @@ class EventSource(enum.Enum):
     #: The differential-execution oracle: fuzz cases, checkpoint-level
     #: cross-checks, and first divergences (``repro fuzz``/``diffcheck``).
     ORACLE = "oracle"
+    #: The design-space explorer (``repro explore``): per-genome
+    #: evaluations, generation summaries, and Pareto-front snapshots.
+    #: Explore events use the *generation index* as their logical time —
+    #: the search has no simulated clock, and wall-clock stamps would
+    #: break the byte-identical-resume guarantee.
+    EXPLORE = "explore"
 
 
 #: Event kinds each source may emit.  ``validate_event_dict`` enforces
@@ -84,6 +90,11 @@ KNOWN_KINDS: Dict[str, frozenset] = {
     EventSource.ORACLE.value: frozenset(
         {"fuzz_case", "checkpoint", "divergence"}
     ),
+    # ``evaluation``: one genome scored (value = its energy objective,
+    # detail = genome key + objective vector).  ``generation``: one
+    # generation finished (value = front size).  ``front``: the final
+    # Pareto front (value = hypervolume).
+    EventSource.EXPLORE.value: frozenset({"evaluation", "generation", "front"}),
 }
 
 

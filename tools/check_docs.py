@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Docs checker: links resolve, CLI verbs/flags in docs actually exist.
+
+Run from the repo root (CI's ``docs`` job, also pinned by
+``tests/test_explore.py::TestDocsChecker``):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two validations over ``README.md`` and every ``docs/*.md`` page,
+stdlib only:
+
+1. **Links.**  Every relative markdown link target resolves to a real
+   file (anchored against the linking file's directory), and every
+   ``#fragment`` — in-page or cross-page — matches a heading in the
+   target file under GitHub's slug rules.
+2. **CLI surface.**  Every ``repro <verb> [--flag ...]`` invocation in
+   a code span or fenced block names a verb that ``repro --help``
+   knows, with flags that verb actually accepts (``store``'s
+   subcommands included); and every bare ``--flag`` mentioned in
+   inline code exists on at least one verb.
+
+Exit status is the number of problems found (0 = clean), each printed
+as ``file:line: message``.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402  (path bootstrap above)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+# "repro <verb>" or "python -m repro <verb>"; a following "." means a
+# module path (python -m repro.experiments.fig08), not a CLI verb.
+INVOCATION_RE = re.compile(
+    r"(?:python[0-9.]*\s+-m\s+repro|(?<!from )\brepro)\s+([a-z][a-z0-9_-]*)(?![.\w-])"
+)
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+
+
+def slugify(heading):
+    """GitHub's markdown heading -> anchor slug."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors, seen = set(), {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def cli_surface():
+    """verb -> set of option strings; plus ('store', sub) entries."""
+    parser = build_parser()
+    surface = {}
+
+    def options_of(p):
+        flags = set()
+        for action in p._actions:
+            flags.update(s for s in action.option_strings if s.startswith("--"))
+        return flags
+
+    def subparsers_of(p):
+        for action in p._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                yield from action.choices.items()
+
+    for verb, verb_parser in subparsers_of(parser):
+        surface[verb] = options_of(verb_parser)
+        for sub, sub_parser in subparsers_of(verb_parser):
+            surface[(verb, sub)] = options_of(sub_parser)
+            surface[verb] |= surface[(verb, sub)]
+    return surface
+
+
+def iter_code_text(lines):
+    """Yield (line_number, text) for fenced-block lines and inline code."""
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield number, line
+        else:
+            for match in INLINE_CODE_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def check_file(path, surface, all_flags, problems):
+    lines = path.read_text().splitlines()
+
+    # --- links --------------------------------------------------------------
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, fragment = target.partition("#")
+            dest = path if not file_part else (path.parent / file_part).resolve()
+            if file_part and not dest.exists():
+                problems.append(f"{path}:{number}: broken link {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    problems.append(
+                        f"{path}:{number}: no anchor #{fragment} in {dest.name}"
+                    )
+
+    # --- CLI invocations ----------------------------------------------------
+    # Join backslash-continued command lines inside code so a flag on a
+    # continuation line is attributed to its verb.
+    code = []
+    for number, text in iter_code_text(lines):
+        if code and code[-1][1].rstrip().endswith("\\"):
+            last_number, last_text = code[-1]
+            code[-1] = (last_number, last_text.rstrip()[:-1] + " " + text)
+        else:
+            code.append((number, text))
+
+    for number, text in code:
+        for match in INVOCATION_RE.finditer(text):
+            verb = match.group(1)
+            if verb not in surface:
+                problems.append(
+                    f"{path}:{number}: unknown repro verb {verb!r}"
+                )
+                continue
+            allowed = surface[verb]
+            # Flags between this invocation and the end of the command
+            # (the next shell separator or the end of the span).
+            tail = text[match.end():]
+            tail = re.split(r"[|;#]| && ", tail)[0]
+            for flag_match in FLAG_RE.finditer(tail):
+                flag = flag_match.group(1)
+                if flag not in allowed:
+                    problems.append(
+                        f"{path}:{number}: verb {verb!r} has no flag {flag}"
+                    )
+
+    # --- bare flags in inline code ------------------------------------------
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for span in INLINE_CODE_RE.finditer(line):
+            text = span.group(1)
+            if INVOCATION_RE.search(text):
+                continue  # already checked against its verb above
+            for flag_match in FLAG_RE.finditer(text):
+                flag = flag_match.group(1)
+                if flag not in all_flags:
+                    problems.append(
+                        f"{path}:{number}: no repro verb accepts {flag}"
+                    )
+
+
+def main():
+    surface = cli_surface()
+    all_flags = set()
+    for flags in surface.values():
+        all_flags |= flags
+    pages = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for page in pages:
+        check_file(page, surface, all_flags, problems)
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(pages)} page(s): {len(problems)} problem(s)")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
