@@ -115,6 +115,8 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.main_cores > 1:
+        return _cmd_run_multicore(args)
     workload = resolve_workload(args.workload, args.scale)
     config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
     if args.resilient and args.system != "paradox":
@@ -135,6 +137,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(render_timeline(engine.timeline, limit=args.timeline_limit))
         print()
         print(render_checker_gantt(engine.timeline))
+    return 0
+
+
+def _cmd_run_multicore(args: argparse.Namespace) -> int:
+    """``repro run`` with ``--main-cores N``: M producers, one shared pool.
+
+    The workload argument may be a comma list (a multiprogrammed mix);
+    names are cycled across the main cores.
+    """
+    from .core import run_multicore
+    from .scheduling import POOL_POLICIES
+
+    if args.timeline:
+        raise SystemExit("--timeline is single-core only (one timeline per main)")
+    if args.resilient and args.system != "paradox":
+        raise SystemExit("--resilient is only meaningful with --system paradox")
+    names = [name.strip() for name in args.workload.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("expected at least one workload name")
+    mix = [names[i % len(names)] for i in range(args.main_cores)]
+    workloads = [resolve_workload(name, args.scale) for name in mix]
+    config = table1_config().with_error_rate(args.error_rate, seed=args.seed)
+    system = SYSTEMS[args.system](config, args.dvs, args.resilient)
+    system.paranoid = args.paranoid
+    system.jit = args.jit
+    try:
+        result = run_multicore(
+            workloads,
+            system=system,
+            policy=POOL_POLICIES[args.pool_policy],
+            seed=args.seed,
+        )
+    except ValueError as error:  # e.g. a non-checking system
+        raise SystemExit(str(error))
+    print(result.summary())
     return 0
 
 
@@ -223,7 +260,11 @@ def campaign_spec_from_args(args: argparse.Namespace):
     from .resilience import CampaignSpec, smoke_spec
 
     if args.smoke:
-        return smoke_spec()
+        spec = smoke_spec()
+        if args.main_cores > 1:
+            spec.main_cores = args.main_cores
+            spec.pool_policy = args.pool_policy
+        return spec
     # --fault-model (repeatable) overrides the comma-list --models.
     models = (
         tuple(args.fault_model)
@@ -244,6 +285,8 @@ def campaign_spec_from_args(args: argparse.Namespace):
         voltage=args.voltage,
         timeout_s=timeout_s,
         workers=args.workers,
+        main_cores=args.main_cores,
+        pool_policy=args.pool_policy if args.main_cores > 1 else None,
     )
 
 
@@ -705,6 +748,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import (
+        ext_multicore,
         ext_sram,
         fig08,
         fig09,
@@ -724,6 +768,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         "fig13": fig13,
         "sec6e": sec6e,
         "ext_sram": ext_sram,
+        "ext_multicore": ext_multicore,
     }
     module = figures.get(args.name)
     if module is None:
@@ -765,6 +810,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the main core through the compiled superblock tier "
         "(bit-identical to interpretation; --no-jit forces the interpreter)",
     )
+    run.add_argument(
+        "--main-cores",
+        type=int,
+        default=1,
+        help="main cores sharing one checker pool; the workload argument "
+        "may be a comma list cycled across cores (see docs/MULTICORE.md)",
+    )
+    run.add_argument(
+        "--pool-policy",
+        choices=["static", "steal", "reserve"],
+        default="steal",
+        help="shared-pool arbitration with --main-cores > 1: static "
+        "partition, work-stealing, or reserved stripes + shared overflow",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run all four systems side by side")
@@ -779,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.set_defaults(func=cmd_workloads)
 
     figure = sub.add_parser("figure", help="regenerate a figure of the paper")
-    figure.add_argument("name", help="fig08..fig13, sec6e, or ext_sram")
+    figure.add_argument("name", help="fig08..fig13, sec6e, ext_sram, or ext_multicore")
     figure.set_defaults(func=cmd_figure)
 
     campaign = sub.add_parser(
@@ -839,6 +898,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated alias for --run-timeout (warns when used)",
     )
     campaign.add_argument("--workers", type=int, default=0, help="worker processes (0 = auto)")
+    campaign.add_argument(
+        "--main-cores",
+        type=int,
+        default=1,
+        help="main cores sharing one checker pool per run; each main "
+        "gets a derived-seed injector and the run's class is the worst "
+        "outcome across mains",
+    )
+    campaign.add_argument(
+        "--pool-policy",
+        choices=["static", "steal", "reserve"],
+        default="steal",
+        help="shared-pool arbitration with --main-cores > 1",
+    )
     campaign.add_argument("--json", help="write the full JSON report to this path")
     campaign.add_argument(
         "--metrics-out",

@@ -21,6 +21,7 @@ from ..resilience.guard import (
     ResilienceConfig,
 )
 from .engine import EngineOptions, LivelockError, PendingCheck, SimulationEngine
+from .multicore import CoreSpec, MulticoreEngine, MulticoreResult, run_multicore
 from .systems import (
     BaselineSystem,
     DetectionOnlySystem,
@@ -32,6 +33,10 @@ from .systems import (
 
 __all__ = [
     "BaselineSystem",
+    "CoreSpec",
+    "MulticoreEngine",
+    "MulticoreResult",
+    "run_multicore",
     "DetectionOnlySystem",
     "EngineOptions",
     "ForwardProgressDiagnostics",

@@ -159,8 +159,13 @@ class SimulationEngine:
         memory: Optional[MemoryImage] = None,
         system_name: str = "system",
         rng: Optional[np.random.Generator] = None,
+        pool: Optional[CheckerPool] = None,
+        main_id: int = 0,
     ) -> None:
         self.program = program
+        #: Which main core this engine models (0 for a private pool; the
+        #: multicore harness numbers the producers of a shared pool).
+        self.main_id = main_id
         self.config = config
         self.options = options
         self.injector = injector
@@ -185,7 +190,18 @@ class SimulationEngine:
 
         # Checker pool, optionally health-tracked (resilience layer).
         self.health: Optional[CheckerHealthTracker] = None
-        if options.checking:
+        if options.checking and pool is not None:
+            # Injected (shared) pool: the multicore harness owns core
+            # construction and the anti-ageing rotation draw; each
+            # engine keeps a private health view of the shared cores.
+            if options.resilience is not None and options.resilience.quarantine_enabled:
+                self.health = CheckerHealthTracker(
+                    len(pool.cores),
+                    quarantine_vindications=options.resilience.quarantine_vindications,
+                )
+            pool.health = self.health
+            self.pool: Optional[CheckerPool] = pool
+        elif options.checking:
             cores = [
                 CheckerCore(i, config.checker, program)
                 for i in range(config.checker.count)
@@ -196,7 +212,7 @@ class SimulationEngine:
                     config.checker.count,
                     quarantine_vindications=options.resilience.quarantine_vindications,
                 )
-            self.pool: Optional[CheckerPool] = CheckerPool(
+            self.pool = CheckerPool(
                 cores,
                 options.scheduling,
                 boot_offset=boot_offset,
@@ -353,6 +369,7 @@ class SimulationEngine:
             capacity_bytes=self.config.checker.log_bytes_per_core,
             start_state=start_state,
             prev_checker_id=prev_id,
+            main_id=self.main_id,
         )
         self._segment.text_footprint_bytes = self.program.text_bytes
         self.port.segment = self._segment

@@ -87,8 +87,16 @@ class System:
         workload: WorkloadLike,
         seed: Optional[int] = None,
         injector: Optional[FaultInjector] = None,
+        pool=None,
+        main_id: int = 0,
     ) -> SimulationEngine:
-        """Build a ready-to-run engine for ``workload``."""
+        """Build a ready-to-run engine for ``workload``.
+
+        ``pool``/``main_id`` inject a shared checker pool view when the
+        engine is one producer of a multi-main-core system (see
+        :mod:`repro.core.multicore`); left at their defaults the engine
+        builds its own private pool.
+        """
         seed = self.config.fault.seed if seed is None else seed
         if injector is None:
             injector = self._injector(seed)
@@ -107,6 +115,8 @@ class System:
             memory=workload.create_memory(),
             system_name=self.name,
             rng=np.random.default_rng(seed),
+            pool=pool,
+            main_id=main_id,
         )
 
     def run(

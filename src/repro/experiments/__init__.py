@@ -16,6 +16,7 @@ or everything (reduced sizes) via ``python -m repro.experiments``.
 from . import (
     ext_coverage,
     ext_design_space,
+    ext_multicore,
     ext_sharing,
     ext_sram,
     fig08,
@@ -33,6 +34,7 @@ __all__ = [
     "SpecSuiteRuns",
     "ext_coverage",
     "ext_design_space",
+    "ext_multicore",
     "ext_sharing",
     "ext_sram",
     "fig08",

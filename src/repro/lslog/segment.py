@@ -82,6 +82,9 @@ class LogSegment:
     #: front of the new one for continuity and rollback chaining.
     checker_id: Optional[int] = None
     prev_checker_id: Optional[int] = None
+    #: Main core that produced this segment (0 unless several mains
+    #: share a checker pool — each keeps its own log and checkpoints).
+    main_id: int = 0
 
     # Detection side (FIFO order).
     loads: List[Tuple[int, int]] = field(default_factory=list)

@@ -171,6 +171,14 @@ class CampaignSpec:
     #: without overrides keep their pre-overrides campaign and run keys,
     #: so existing stores keep resuming.
     overrides: Optional[Dict[str, Any]] = None
+    #: Main cores sharing one checker pool per run.  1 (the default) is
+    #: the classic single-producer campaign and — like ``overrides`` —
+    #: serialises to *nothing*, so pre-multicore campaign and run keys
+    #: (and golden reports) are untouched.
+    main_cores: int = 1
+    #: Shared-pool arbitration when ``main_cores > 1``: one of
+    #: ``static`` / ``steal`` / ``reserve`` (None means ``steal``).
+    pool_policy: Optional[str] = None
 
     def resolved_workers(self) -> int:
         return resolve_jobs(self.workers)
@@ -182,6 +190,16 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown fault-model mixes {unknown}; choose from {MODEL_MIXES}"
             )
+        policy = None
+        if self.main_cores > 1:
+            from ..scheduling.shared import POOL_POLICIES
+
+            policy = self.pool_policy or "steal"
+            if policy not in POOL_POLICIES:
+                raise ValueError(
+                    f"unknown pool policy {policy!r}; "
+                    f"choose from {sorted(POOL_POLICIES)}"
+                )
         payloads: List[Dict[str, Any]] = []
         for chip in range(max(1, self.chip_seeds)):
             for index in range(self.seeds):
@@ -201,6 +219,11 @@ class CampaignSpec:
                     }
                     if self.voltage is not None:
                         payload["voltage"] = self.voltage
+                    if policy is not None:
+                        # Present only for multi-main campaigns: the
+                        # single-core grid keeps its golden run keys.
+                        payload["main_cores"] = self.main_cores
+                        payload["pool_policy"] = policy
                     if self.overrides:
                         payload["overrides"] = dict(self.overrides)
                     if run_id in self.hooks:
@@ -216,6 +239,11 @@ class CampaignSpec:
             # Omitted, not null: a no-overrides spec must hash to its
             # pre-overrides campaign key (see store.runkey).
             data.pop("overrides", None)
+        if self.main_cores <= 1:
+            # Same contract: a single-main spec must hash to its
+            # pre-multicore campaign key.
+            data.pop("main_cores", None)
+            data.pop("pool_policy", None)
         return data
 
 
@@ -253,6 +281,10 @@ class RunRecord:
     #: Per-checker wake rates over the run window (power-model input).
     wake_rates: List[float] = field(default_factory=list)
     duration_s: float = 0.0
+    #: Per-main fairness summary (``FairnessReport.to_dict()``), present
+    #: only for multi-main-core runs — single-core records serialise
+    #: byte-identically to their pre-multicore form.
+    fairness: Optional[Dict[str, Any]] = None
     #: Worker traceback for ``crash`` records.
     traceback: Optional[str] = None
     #: Telemetry artifacts, present only when the campaign traced runs.
@@ -269,6 +301,17 @@ class RunRecord:
         # The raw event stream is exported separately (JSONL/Perfetto);
         # inlining thousands of events would bloat the report JSON.
         data.pop("trace", None)
+        if self.fairness is None:
+            # Omitted, not null: single-core records keep their
+            # pre-multicore byte-identical report form.
+            data.pop("fairness", None)
+        else:
+            # Sorted key order so a fresh record and one round-tripped
+            # through the store (which canonicalises JSON with
+            # ``sort_keys``) serialise byte-identically.
+            data["fairness"] = {
+                key: self.fairness[key] for key in sorted(self.fairness)
+            }
         if canonical:
             # Wall-clock duration is the one field a bit-identical
             # re-execution cannot reproduce.
@@ -297,6 +340,7 @@ class RunRecord:
             mean_voltage=float(data.get("mean_voltage", 0.0)),
             wake_rates=list(data.get("wake_rates") or []),
             duration_s=float(data.get("duration_s", 0.0)),
+            fairness=data.get("fairness"),
             traceback=data.get("traceback"),
             metrics=data.get("metrics"),
             trace=data.get("trace"),
@@ -517,6 +561,9 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     if hook == "error":  # test hook: unhandled worker exception
         raise RuntimeError("campaign error hook")
 
+    if int(payload.get("main_cores", 1)) > 1:
+        return _execute_multicore_run(payload)
+
     from dataclasses import replace
 
     import numpy as np
@@ -609,6 +656,157 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _execute_multicore_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one multi-main-core campaign run (shared checker pool).
+
+    Every main core runs the campaign's workload against its own
+    derived-seed injector while sharing one checker pool under the
+    payload's ``pool_policy``; the run's class is the *worst* outcome
+    across mains (one SDC anywhere is an SDC for the run), and the
+    result carries the pool's fairness summary.
+    """
+    from dataclasses import replace
+
+    import numpy as np
+
+    from ..cli import resolve_workload
+    from ..config import table1_config
+    from ..core.engine import EngineOptions, SimulationEngine
+    from ..core.multicore import fairness_trace_events, run_shared_engines
+    from ..lslog.segment import RollbackGranularity
+    from ..parallel import derive_seed
+    from ..scheduling import SchedulingPolicy
+    from ..scheduling.shared import POOL_POLICIES, SharedCheckerPool
+    from ..stats import RunOutcome
+    from ..stats.fairness import FairnessReport
+    from ..workloads import golden_run
+
+    started = time.perf_counter()
+    mains = int(payload["main_cores"])
+    policy = POOL_POLICIES[payload.get("pool_policy") or "steal"]
+    workload = resolve_workload(payload["workload"], payload["scale"])
+    golden = golden_run(workload)
+
+    config = table1_config()
+    resilience_config = ResilienceConfig()
+    overrides = payload.get("overrides")
+    if overrides:
+        config, resilience_config = apply_config_overrides(
+            config, resilience_config, overrides
+        )
+    if payload["dvs"]:
+        config = replace(
+            config,
+            dvfs=replace(
+                config.dvfs, initial_difference=float(payload["initial_margin"])
+            ),
+        )
+
+    base_seed = int(payload["seed"])
+    pool_size = config.checker.count
+    boot_rng = np.random.default_rng(derive_seed(base_seed, "mc-boot"))
+    pool = SharedCheckerPool(
+        mains,
+        pool_size,
+        policy=policy,
+        boot_offset=int(boot_rng.integers(pool_size)),
+    )
+    tracing = bool(payload.get("tracing", False))
+
+    engines: List[SimulationEngine] = []
+    for main_id in range(mains):
+        core_payload = dict(payload)
+        core_payload["seed"] = derive_seed(base_seed, "mc", main_id)
+        injector = _build_injector(core_payload, pool_size)
+        options = EngineOptions(
+            granularity=RollbackGranularity.LINE,
+            scheduling=SchedulingPolicy.LOWEST_FREE_ID,
+            adaptive_checkpoints=True,
+            dvs=bool(payload["dvs"]),
+            voltage_model=None,
+            tracing=tracing,
+            resilience=resilience_config,
+        )
+        view = pool.view(main_id, config.checker, workload.program)
+        engine = SimulationEngine(
+            workload.program,
+            config,
+            options,
+            injector=injector,
+            memory=workload.create_memory(),
+            system_name="paradox-resilient",
+            rng=np.random.default_rng(int(core_payload["seed"])),
+            pool=view,
+            main_id=main_id,
+        )
+        # Rebind core-bound defects to the first checker this main's
+        # policy order actually prefers (same rationale as the
+        # single-core path: a defect on a never-selected checker would
+        # be vacuously benign).
+        for model in injector.models:
+            if model.bound_checker_id is not None:
+                model.bound_checker_id = pool._candidates[main_id][0]
+        engines.append(engine)
+
+    results = run_shared_engines(engines, pool, [workload.max_instructions] * mains)
+
+    stages: Dict[str, int] = {}
+    quarantined: set = set()
+    failure = None
+    for result in results:
+        for event in result.escalations:
+            stages[event.stage] = stages.get(event.stage, 0) + 1
+        quarantined.update(event.core_id for event in result.quarantine_events)
+        if failure is None and result.failure is not None:
+            failure = result.failure.summary()
+    severity = {"completed": 0, "livelock": 1, "forward_progress_failure": 2}
+    outcome = max(
+        (result.outcome.value for result in results),
+        key=lambda value: severity.get(value, 3),
+    )
+    matches = all(
+        result.outcome is RunOutcome.COMPLETED for result in results
+    ) and all(
+        engine.memory == golden.memory and result.program_output == golden.output
+        for engine, result in zip(engines, results)
+    )
+    wall_ns = max(result.wall_ns for result in results)
+    fairness = FairnessReport.from_pool(pool, wall_ns)
+
+    metrics = None
+    trace = None
+    if tracing:
+        from ..telemetry import merge_metrics
+
+        metrics = merge_metrics([result.metrics for result in results])
+        trace = fairness_trace_events(
+            results, fairness, wall_ns, seed=base_seed, policy=policy
+        )
+    return {
+        "status": "ok",
+        "outcome": outcome,
+        "matches_golden": bool(matches),
+        "recoveries": sum(len(result.recoveries) for result in results),
+        "faults_injected": sum(result.faults_injected for result in results),
+        "instructions": sum(result.instructions for result in results),
+        "quarantined": sorted(quarantined),
+        "escalations": stages,
+        "wall_ns": float(wall_ns),
+        # Unweighted mean across mains: each core's mean_voltage is
+        # already time-weighted over its own run.
+        "mean_voltage": float(
+            sum(result.mean_voltage for result in results) / len(results)
+        ),
+        # Pool-wide wake rates: all mains' dispatches per physical core.
+        "wake_rates": [float(rate) for rate in pool.wake_rates(wall_ns)],
+        "failure": failure,
+        "duration_s": time.perf_counter() - started,
+        "fairness": fairness.to_dict(),
+        "metrics": metrics,
+        "trace": trace,
+    }
+
+
 # ---------------------------------------------------------------- parent side --
 
 
@@ -675,6 +873,7 @@ def _record_from_message(
     record.mean_voltage = float(message.get("mean_voltage", 0.0))
     record.wake_rates = list(message.get("wake_rates") or [])
     record.duration_s = message["duration_s"]
+    record.fairness = message.get("fairness")
     record.metrics = message.get("metrics")
     record.trace = message.get("trace")
     return record

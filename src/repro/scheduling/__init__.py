@@ -1,6 +1,14 @@
 """Checker-core scheduling policies and power-gating accounting."""
 
 from .pool import CheckerPool, DispatchRecord, SchedulingPolicy
+from .shared import (
+    DEFAULT_POOL_POLICY,
+    POOL_POLICIES,
+    PoolPolicy,
+    SharedCheckerCore,
+    SharedCheckerPool,
+    SharedPoolView,
+)
 from .sharing import (
     SharedPoolReport,
     merge_traces,
@@ -11,8 +19,14 @@ from .sharing import (
 
 __all__ = [
     "CheckerPool",
+    "DEFAULT_POOL_POLICY",
     "DispatchRecord",
+    "POOL_POLICIES",
+    "PoolPolicy",
     "SchedulingPolicy",
+    "SharedCheckerCore",
+    "SharedCheckerPool",
+    "SharedPoolView",
     "SharedPoolReport",
     "merge_traces",
     "minimum_adequate_pool",

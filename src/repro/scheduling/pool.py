@@ -39,6 +39,9 @@ class DispatchRecord:
     segment_seq: int
     start_ns: float
     end_ns: float
+    #: Main core that produced the segment (always 0 for a private pool;
+    #: the shared pool stamps the owning producer for attribution).
+    main_id: int = 0
 
 
 class CheckerPool:
@@ -96,9 +99,14 @@ class CheckerPool:
                 cores = preferred
         return cores
 
-    def earliest_free_ns(self) -> float:
-        """Wall time at which at least one core is free."""
-        return min(core.busy_until_ns for core in self._eligible(None))
+    def earliest_free_ns(self, avoid: Optional[Set[int]] = None) -> float:
+        """Wall time at which at least one selectable core is free.
+
+        Shares :meth:`_eligible` with :meth:`select` so wait-time
+        accounting and the core actually chosen agree during retries
+        (an ``avoid`` set narrows both views identically).
+        """
+        return min(core.busy_until_ns for core in self._eligible(avoid))
 
     def select(
         self, now_ns: float, avoid: Optional[Set[int]] = None
@@ -117,15 +125,19 @@ class CheckerPool:
     def _select_round_robin(
         self, now_ns: float, eligible: List[CheckerCore]
     ) -> Tuple[CheckerCore, float]:
-        n = len(self.cores)
+        order = self._logical_order()
+        n = len(order)
         allowed = {core.core_id for core in eligible}
+        # The round-robin pointer walks *logical* positions so the
+        # anti-ageing boot rotation applies to both policies.
         for probe in range(n):
-            core = self.cores[(self._rr_pointer + probe) % n]
+            pos = (self._rr_pointer + probe) % n
+            core = self.cores[order[pos]]
             if core.core_id in allowed and core.busy_until_ns <= now_ns:
-                self._rr_pointer = (core.core_id + 1) % n
+                self._rr_pointer = (pos + 1) % n
                 return core, now_ns
         core = min(eligible, key=lambda c: c.busy_until_ns)
-        self._rr_pointer = (core.core_id + 1) % n
+        self._rr_pointer = (order.index(core.core_id) + 1) % n
         return core, core.busy_until_ns
 
     def _select_lowest_free(
@@ -170,9 +182,22 @@ class CheckerPool:
         core = self.cores[record.core_id]
         if record.end_ns > at_ns:
             reclaimed = record.end_ns - max(at_ns, record.start_ns)
-            core.busy_ns_total -= reclaimed
-            core.busy_until_ns = min(core.busy_until_ns, at_ns)
+            # max() guards float drift: reclaiming the whole of a check
+            # whose end was computed as start + duration can overshoot
+            # the accumulated total by an ulp.
+            core.busy_ns_total = max(core.busy_ns_total - reclaimed, 0.0)
             record.end_ns = max(at_ns, record.start_ns)
+            # Clamp against the ends of the *remaining* dispatches on this
+            # core: a squash that lands before the check even began must
+            # not rewind the core below an earlier, unaborted check.
+            core.busy_until_ns = max(
+                (
+                    r.end_ns
+                    for r in self.dispatches
+                    if r.core_id == record.core_id
+                ),
+                default=record.end_ns,
+            )
             if self.tracer is not None:
                 self.tracer.emit(
                     "scheduling",

@@ -89,6 +89,12 @@ def canonical_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
             str(key): (int(value) if isinstance(value, int) else float(value))
             for key, value in overrides.items()
         }
+    main_cores = payload.get("main_cores")
+    if main_cores is not None and int(main_cores) > 1:
+        # Same omit-when-absent contract as ``overrides``: single-core
+        # cells must keep their pre-multicore v1 keys.
+        cell["main_cores"] = int(main_cores)
+        cell["pool_policy"] = str(payload.get("pool_policy") or "steal")
     return cell
 
 

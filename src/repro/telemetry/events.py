@@ -57,6 +57,9 @@ class EventSource(enum.Enum):
     #: the search has no simulated clock, and wall-clock stamps would
     #: break the byte-identical-resume guarantee.
     EXPLORE = "explore"
+    #: The multi-main-core harness (shared checker pool): per-main
+    #: fairness/throughput attribution emitted once at the end of a run.
+    MULTICORE = "multicore"
 
 
 #: Event kinds each source may emit.  ``validate_event_dict`` enforces
@@ -95,6 +98,13 @@ KNOWN_KINDS: Dict[str, frozenset] = {
     # generation finished (value = front size).  ``front``: the final
     # Pareto front (value = hypervolume).
     EventSource.EXPLORE.value: frozenset({"evaluation", "generation", "front"}),
+    # ``core_done``: one main core finished (core = main id, value =
+    # its wall_ns).  ``dispatch_share`` / ``busy_share`` / ``wait_ns``:
+    # per-main fairness attribution (core = main id).  ``wait_gini``:
+    # pool-wide concentration of the waiting cost.
+    EventSource.MULTICORE.value: frozenset(
+        {"core_done", "dispatch_share", "busy_share", "wait_ns", "wait_gini"}
+    ),
 }
 
 

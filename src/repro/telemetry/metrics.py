@@ -159,6 +159,12 @@ def merge_metrics(
     ``None`` entries (runs without telemetry, crashed workers) are
     skipped but counted in ``skipped_runs`` so a merged report never
     silently claims more coverage than it has.
+
+    The merge nests: an entry may itself be a previous
+    :func:`merge_metrics` output (a multicore cell merges its M mains'
+    registries before the campaign merges its cells), recognised by its
+    ``merged_runs`` key and weighted accordingly, so ``merged_runs``
+    always counts underlying engine runs.
     """
     present = [run for run in runs if run is not None]
     for run in present:
@@ -169,18 +175,29 @@ def merge_metrics(
     histograms: Dict[str, Histogram] = {}
     per_checker: Dict[str, List[float]] = {}
     per_checker_runs: Dict[str, int] = {}
+    total_runs = 0
+    nested_skipped = 0
 
     for run in present:
+        weight = int(run.get("merged_runs", 1))
+        total_runs += weight
+        nested_skipped += int(run.get("skipped_runs", 0))
         for name, value in run.get("counters", {}).items():
             counters[name] = counters.get(name, 0.0) + value
         for name, value in run.get("gauges", {}).items():
+            if isinstance(value, Mapping):  # already-merged stats
+                vmin, vmax = value["min"], value["max"]
+                vsum, n = value["mean"] * weight, weight
+            else:
+                vmin = vmax = vsum = value
+                n = 1
             stats = gauges.setdefault(
-                name, {"min": value, "max": value, "mean": 0.0, "_n": 0}
+                name, {"min": vmin, "max": vmax, "mean": 0.0, "_n": 0}
             )
-            stats["min"] = min(stats["min"], value)
-            stats["max"] = max(stats["max"], value)
-            stats["mean"] += value
-            stats["_n"] += 1
+            stats["min"] = min(stats["min"], vmin)
+            stats["max"] = max(stats["max"], vmax)
+            stats["mean"] += vsum
+            stats["_n"] += n
         for name, payload in run.get("histograms", {}).items():
             incoming = Histogram.from_dict(payload)
             existing = histograms.get(name)
@@ -193,8 +210,8 @@ def merge_metrics(
             if len(summed) < len(values):
                 summed.extend([0.0] * (len(values) - len(summed)))
             for index, value in enumerate(values):
-                summed[index] += value
-            per_checker_runs[name] = per_checker_runs.get(name, 0) + 1
+                summed[index] += value * weight
+            per_checker_runs[name] = per_checker_runs.get(name, 0) + weight
 
     for stats in gauges.values():
         n = stats.pop("_n")
@@ -208,8 +225,8 @@ def merge_metrics(
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
-        "merged_runs": len(present),
-        "skipped_runs": len(runs) - len(present),
+        "merged_runs": total_runs,
+        "skipped_runs": len(runs) - len(present) + nested_skipped,
         "counters": counters,
         "gauges": gauges,
         "histograms": {

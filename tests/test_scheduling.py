@@ -87,6 +87,28 @@ class TestRoundRobin:
         core2, _ = pool.select(0.0)
         assert core2.core_id == 2
 
+    def test_boot_offset_rotates_cycle(self):
+        """Regression: RR must walk the boot-rotated ring, not physical IDs.
+
+        The anti-ageing rotation says logical ID 0 is a random physical
+        core; a round-robin that starts every boot at physical 0 defeats
+        it (the same silicon always ages first).
+        """
+        pool = make_pool(SchedulingPolicy.ROUND_ROBIN, count=4, boot_offset=2)
+        ids = []
+        now = 0.0
+        for seq in range(4):
+            core, start = pool.select(now)
+            pool.dispatch(core, seq, max(start, now), 5.0)
+            ids.append(core.core_id)
+            now += 100.0
+        assert ids == [2, 3, 0, 1]
+
+    def test_boot_offset_first_pick(self):
+        pool = make_pool(SchedulingPolicy.ROUND_ROBIN, count=4, boot_offset=3)
+        core, _ = pool.select(0.0)
+        assert core.core_id == 3
+
 
 class TestDispatchAndAbort:
     def test_dispatch_occupies(self):
@@ -115,6 +137,54 @@ class TestDispatchAndAbort:
         pool.dispatch(pool.cores[2], 1, 0.0, 10.0)
         assert pool.last_core_id == 2
 
+    def test_abort_before_start_cannot_rewind_earlier_dispatch(self):
+        """Regression: squashing a not-yet-started check must not free
+        the core below an earlier, unaborted check's end."""
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID)
+        pool.dispatch(pool.cores[0], 1, 0.0, 100.0)  # runs [0, 100)
+        second = pool.dispatch(pool.cores[0], 2, 100.0, 50.0)  # [100, 150)
+        pool.abort(second, at_ns=30.0)  # squash lands before it began
+        # The unconditional min() rewound busy_until to 30 here, letting
+        # a third check overlap the still-running first one.
+        assert pool.cores[0].busy_until_ns == 100.0
+        assert second.end_ns == 100.0
+        assert pool.cores[0].busy_ns_total == 100.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # core id
+                st.floats(min_value=0.0, max_value=500.0),  # start
+                st.floats(min_value=1.0, max_value=200.0),  # duration
+                st.booleans(),  # abort it?
+                st.floats(min_value=0.0, max_value=800.0),  # abort time
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_abort_invariants_hold(self, ops):
+        """After any dispatch/abort interleaving, each core's
+        ``busy_until_ns`` equals the max end of its remaining records and
+        its ``busy_ns_total`` equals their summed lengths."""
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=3)
+        records = []
+        for seq, (core_id, start, duration, do_abort, abort_at) in enumerate(ops):
+            start = max(start, pool.cores[core_id].busy_until_ns)
+            record = pool.dispatch(pool.cores[core_id], seq, start, duration)
+            records.append(record)
+            if do_abort:
+                pool.abort(record, at_ns=abort_at)
+        for core in pool.cores:
+            mine = [r for r in records if r.core_id == core.core_id]
+            if not mine:
+                continue
+            assert core.busy_until_ns == max(r.end_ns for r in mine)
+            total = sum(r.end_ns - r.start_ns for r in mine)
+            assert abs(core.busy_ns_total - total) < 1e-6
+            assert core.busy_ns_total >= 0.0
+
 
 class TestStatistics:
     def test_wake_rates_fraction(self):
@@ -142,6 +212,30 @@ class TestStatistics:
 
         with pytest.raises(ValueError):
             CheckerPool([], SchedulingPolicy.ROUND_ROBIN)
+
+    def test_earliest_free_matches_select_eligibility(self):
+        """Regression: ``earliest_free_ns`` must see the same eligibility
+        view as ``select`` — with an ``avoid`` set narrowing both."""
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=4)
+        pool.dispatch(pool.cores[0], 1, 0.0, 100.0)
+        # Unconstrained: cores 1-3 are free right now.
+        assert pool.earliest_free_ns() == 0.0
+        # A retry avoiding every free core must wait for core 0 — and
+        # the wait-time accounting must agree with the core selected.
+        avoid = {1, 2, 3}
+        assert pool.earliest_free_ns(avoid=avoid) == 100.0
+        core, start = pool.select(10.0, avoid=avoid)
+        assert core.core_id == 0
+        assert start == pool.earliest_free_ns(avoid=avoid)
+
+    def test_earliest_free_relaxes_with_select(self):
+        """If ``avoid`` would empty the pool both views drop it."""
+        pool = make_pool(SchedulingPolicy.LOWEST_FREE_ID, count=2)
+        pool.dispatch(pool.cores[0], 1, 0.0, 50.0)
+        avoid = {0, 1}
+        assert pool.earliest_free_ns(avoid=avoid) == 0.0
+        core, start = pool.select(0.0, avoid=avoid)
+        assert start == 0.0 and core.core_id == 1
 
 
 class TestWakeRateClamping:
